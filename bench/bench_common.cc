@@ -1,0 +1,110 @@
+#include "bench/bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+#include "common/log.hh"
+
+namespace getm {
+namespace bench {
+
+double
+benchScale()
+{
+    if (const char *env = std::getenv("GETM_BENCH_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+std::uint64_t
+benchSeed()
+{
+    if (const char *env = std::getenv("GETM_BENCH_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return 7;
+}
+
+BenchOutcome
+runBench(const BenchSpec &spec)
+{
+    GpuConfig cfg = spec.gpu;
+    cfg.protocol = spec.protocol;
+    cfg.seed = spec.seed;
+
+    auto workload = makeWorkload(spec.bench, spec.scale, spec.seed);
+    cfg.core.txWarpLimit =
+        spec.concurrency ? spec.concurrency
+                         : optimalConcurrency(spec.bench, spec.protocol);
+
+    GpuSystem gpu(cfg);
+    workload->setup(gpu, spec.protocol == ProtocolKind::FgLock);
+
+    BenchOutcome outcome;
+    outcome.threads = workload->numThreads();
+    outcome.run =
+        gpu.run(workload->kernel(), workload->numThreads(), 8'000'000'000ull);
+
+    std::string why;
+    if (!workload->verify(gpu, why))
+        fatal("%s/%s failed verification: %s", benchName(spec.bench),
+              protocolName(spec.protocol), why.c_str());
+    return outcome;
+}
+
+std::uint64_t
+lockBaselineCycles(BenchId bench, double scale, std::uint64_t seed)
+{
+    static std::map<std::tuple<BenchId, long, std::uint64_t>,
+                    std::uint64_t>
+        cache;
+    const auto key = std::make_tuple(
+        bench, static_cast<long>(scale * 1e6), seed);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    BenchSpec spec;
+    spec.bench = bench;
+    spec.protocol = ProtocolKind::FgLock;
+    spec.scale = scale;
+    spec.seed = seed;
+    const std::uint64_t cycles = runBench(spec).run.cycles;
+    cache.emplace(key, cycles);
+    return cycles;
+}
+
+void
+printHeader(const std::string &title,
+            const std::vector<std::string> &columns)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-10s", "bench");
+    for (const auto &column : columns)
+        std::printf(" %14s", column.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &values)
+{
+    std::printf("%-10s", label.c_str());
+    for (double value : values)
+        std::printf(" %14.3f", value);
+    std::printf("\n");
+}
+
+double
+gmean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    for (double value : values)
+        log_sum += std::log(value);
+    return values.empty() ? 0.0
+                          : std::exp(log_sum /
+                                     static_cast<double>(values.size()));
+}
+
+} // namespace bench
+} // namespace getm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 3: transactional execution / wait / total cycles per transaction
+ * on HT-H as the number of warps allowed to run transactions grows, for
+ * WarpTM-LL and the idealized eager-lazy variant WarpTM-EL.
+ *
+ * Paper claim: with lazy conflict detection, per-transaction cycles grow
+ * much faster with concurrency (retries pay two validation round trips),
+ * so total tx time has its optimum at very low concurrency; the eager
+ * variant keeps improving with concurrency.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+    const unsigned limits[] = {1, 2, 4, 8, 16, 0xffffffffu};
+
+    std::printf("Fig. 3 reproduction: HT-H per-transaction cycles vs "
+                "tx-warp concurrency (scale %.3g)\n",
+                scale);
+    std::printf("%-8s %12s %12s %12s %12s %12s %12s\n", "limit",
+                "LL exec/tx", "LL wait/tx", "LL total", "EL exec/tx",
+                "EL wait/tx", "EL total");
+
+    for (unsigned limit : limits) {
+        double row[6] = {};
+        int col = 0;
+        for (ProtocolKind proto :
+             {ProtocolKind::WarpTmLL, ProtocolKind::WarpTmEL}) {
+            BenchSpec spec;
+            spec.bench = BenchId::HtH;
+            spec.protocol = proto;
+            spec.scale = scale;
+            spec.seed = seed;
+            spec.concurrency = limit;
+            const BenchOutcome outcome = runBench(spec);
+            const double commits =
+                static_cast<double>(outcome.run.commits);
+            row[col * 3 + 0] =
+                static_cast<double>(outcome.run.txExecCycles) / commits;
+            row[col * 3 + 1] =
+                static_cast<double>(outcome.run.txWaitCycles) / commits;
+            row[col * 3 + 2] = row[col * 3 + 0] + row[col * 3 + 1];
+            ++col;
+        }
+        if (limit == 0xffffffffu)
+            std::printf("%-8s", "NL");
+        else
+            std::printf("%-8u", limit);
+        for (double value : row)
+            std::printf(" %12.1f", value);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 10: transaction-only execution and wait cycles for WarpTM,
+ * idealized EAPG, and GETM, normalized to WarpTM (lower is better).
+ *
+ * Paper claim: GETM reduces both components for most workloads; even
+ * where its abort rate is higher (CC, AP), cheap commits/aborts keep it
+ * ahead of WarpTM and EAPG.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+
+    std::printf("Fig. 10 reproduction: tx exec+wait cycles normalized to "
+                "WarpTM (scale %.3g)\n",
+                scale);
+    std::printf("%-8s %10s %10s %10s  (exec%% / wait%% of WTM total)\n",
+                "bench", "WTM", "EAPG", "GETM");
+
+    std::vector<double> norm_eapg, norm_getm;
+    for (BenchId bench : allBenchIds()) {
+        double totals[3] = {};
+        double execs[3] = {};
+        int col = 0;
+        for (ProtocolKind proto :
+             {ProtocolKind::WarpTmLL, ProtocolKind::Eapg,
+              ProtocolKind::Getm}) {
+            BenchSpec spec;
+            spec.bench = bench;
+            spec.protocol = proto;
+            spec.scale = scale;
+            spec.seed = seed;
+            const BenchOutcome outcome = runBench(spec);
+            execs[col] = static_cast<double>(outcome.run.txExecCycles);
+            totals[col] = static_cast<double>(outcome.run.txExecCycles +
+                                              outcome.run.txWaitCycles);
+            ++col;
+        }
+        std::printf("%-8s %10.3f %10.3f %10.3f  (", benchName(bench),
+                    1.0, totals[1] / totals[0], totals[2] / totals[0]);
+        for (int i = 0; i < 3; ++i)
+            std::printf("%s%.0f/%.0f", i ? "  " : "",
+                        100.0 * execs[i] / totals[0],
+                        100.0 * (totals[i] - execs[i]) / totals[0]);
+        std::printf(")\n");
+        norm_eapg.push_back(totals[1] / totals[0]);
+        norm_getm.push_back(totals[2] / totals[0]);
+    }
+    std::printf("%-8s %10.3f %10.3f %10.3f\n", "GMEAN", 1.0,
+                gmean(norm_eapg), gmean(norm_getm));
+    return 0;
+}

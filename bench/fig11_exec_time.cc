@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 11: total execution time (transactional and non-transactional
+ * parts) normalized to the fine-grained-lock baseline, for WarpTM,
+ * idealized EAPG, and GETM (lower is better).
+ *
+ * Paper claim: GETM outperforms WarpTM by 1.2x gmean (up to 2.1x on
+ * HT-H) and lands near the lock baseline; EAPG's broadcasts make it no
+ * better than WarpTM.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+
+    std::printf("Fig. 11 reproduction: total exec time normalized to "
+                "FGLock (scale %.3g)\n",
+                scale);
+    std::printf("%-8s %10s %10s %10s %10s %12s\n", "bench", "FGLock",
+                "WTM", "EAPG", "GETM", "WTM/GETM");
+
+    std::vector<double> n_wtm, n_eapg, n_getm, speedup;
+    for (BenchId bench : allBenchIds()) {
+        const double lock = static_cast<double>(
+            lockBaselineCycles(bench, scale, seed));
+        double totals[3] = {};
+        int col = 0;
+        for (ProtocolKind proto :
+             {ProtocolKind::WarpTmLL, ProtocolKind::Eapg,
+              ProtocolKind::Getm}) {
+            BenchSpec spec;
+            spec.bench = bench;
+            spec.protocol = proto;
+            spec.scale = scale;
+            spec.seed = seed;
+            totals[col++] =
+                static_cast<double>(runBench(spec).run.cycles);
+        }
+        std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %12.3f\n",
+                    benchName(bench), 1.0, totals[0] / lock,
+                    totals[1] / lock, totals[2] / lock,
+                    totals[0] / totals[2]);
+        n_wtm.push_back(totals[0] / lock);
+        n_eapg.push_back(totals[1] / lock);
+        n_getm.push_back(totals[2] / lock);
+        speedup.push_back(totals[0] / totals[2]);
+    }
+    std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %12.3f\n", "GMEAN", 1.0,
+                gmean(n_wtm), gmean(n_eapg), gmean(n_getm),
+                gmean(speedup));
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 12: crossbar traffic (total flits, both networks) normalized to
+ * WarpTM (lower is better).
+ *
+ * Paper claim: GETM pays a minor traffic cost over WarpTM -- it skips
+ * read-log transmission at commit but must acquire a lock for every
+ * write at encounter time, and its higher abort rate adds retries.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+
+    std::printf("Fig. 12 reproduction: crossbar flits normalized to "
+                "WarpTM (scale %.3g)\n",
+                scale);
+    std::printf("%-8s %12s %12s %12s\n", "bench", "WTM", "EAPG", "GETM");
+
+    std::vector<double> n_eapg, n_getm;
+    for (BenchId bench : allBenchIds()) {
+        double flits[3] = {};
+        int col = 0;
+        for (ProtocolKind proto :
+             {ProtocolKind::WarpTmLL, ProtocolKind::Eapg,
+              ProtocolKind::Getm}) {
+            BenchSpec spec;
+            spec.bench = bench;
+            spec.protocol = proto;
+            spec.scale = scale;
+            spec.seed = seed;
+            flits[col++] =
+                static_cast<double>(runBench(spec).run.xbarFlits);
+        }
+        std::printf("%-8s %12.3f %12.3f %12.3f\n", benchName(bench), 1.0,
+                    flits[1] / flits[0], flits[2] / flits[0]);
+        n_eapg.push_back(flits[1] / flits[0]);
+        n_getm.push_back(flits[2] / flits[0]);
+    }
+    std::printf("%-8s %12.3f %12.3f %12.3f\n", "GMEAN", 1.0,
+                gmean(n_eapg), gmean(n_getm));
+    return 0;
+}

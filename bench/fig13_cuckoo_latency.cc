@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 13: mean validation-unit cycles spent accessing the GETM metadata
+ * tables per request (>= 1.0; lower is better).
+ *
+ * Paper claim: allowing evictions of unreserved entries into the
+ * approximate table, plus the small stash, keeps cuckoo insertions very
+ * efficient -- close to one cycle on average even at high load factors.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+
+    std::printf("Fig. 13 reproduction: mean metadata access cycles per "
+                "request (scale %.3g)\n",
+                scale);
+    std::printf("%-8s %16s\n", "bench", "access cycles");
+
+    std::vector<double> all;
+    for (BenchId bench : allBenchIds()) {
+        BenchSpec spec;
+        spec.bench = bench;
+        spec.protocol = ProtocolKind::Getm;
+        spec.scale = scale;
+        spec.seed = seed;
+        const BenchOutcome outcome = runBench(spec);
+        std::printf("%-8s %16.3f\n", benchName(bench),
+                    outcome.run.metaAccessCycles);
+        all.push_back(outcome.run.metaAccessCycles);
+    }
+    double sum = 0;
+    for (double value : all)
+        sum += value;
+    std::printf("%-8s %16.3f\n", "AVG",
+                sum / static_cast<double>(all.size()));
+    return 0;
+}

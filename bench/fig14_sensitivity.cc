@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 14: GETM sensitivity to metadata-table size (2K/4K/8K entries
+ * GPU-wide; top panel) and metadata granularity (16/32/64/128 bytes at
+ * 4K entries; bottom panel). Execution time normalized to the WarpTM
+ * baseline (lower is better).
+ *
+ * Paper claims: 2K entries is too small when parallelism is abundant;
+ * 8K does not significantly beat 4K. Finer granularity helps (less
+ * false sharing) until table pressure bites.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+
+    std::printf("Fig. 14 reproduction: GETM sensitivity, exec time "
+                "normalized to WarpTM (scale %.3g)\n",
+                scale);
+
+    // Cache the WarpTM baseline per benchmark.
+    std::vector<double> wtm;
+    for (BenchId bench : allBenchIds()) {
+        BenchSpec spec;
+        spec.bench = bench;
+        spec.protocol = ProtocolKind::WarpTmLL;
+        spec.scale = scale;
+        spec.seed = seed;
+        wtm.push_back(static_cast<double>(runBench(spec).run.cycles));
+    }
+
+    std::printf("\n-- metadata table size (32 B granularity) --\n");
+    std::printf("%-8s %12s %12s %12s\n", "bench", "GETM-2K", "GETM-4K",
+                "GETM-8K");
+    const unsigned sizes[] = {2048, 4096, 8192};
+    for (std::size_t i = 0; i < allBenchIds().size(); ++i) {
+        const BenchId bench = allBenchIds()[i];
+        std::printf("%-8s", benchName(bench));
+        for (unsigned entries : sizes) {
+            BenchSpec spec;
+            spec.bench = bench;
+            spec.protocol = ProtocolKind::Getm;
+            spec.scale = scale;
+            spec.seed = seed;
+            spec.gpu.getmPreciseEntriesTotal = entries;
+            std::printf(" %12.3f",
+                        static_cast<double>(runBench(spec).run.cycles) /
+                            wtm[i]);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n-- metadata granularity (4K entries) --\n");
+    std::printf("%-8s %12s %12s %12s %12s\n", "bench", "16B", "32B",
+                "64B", "128B");
+    const unsigned granules[] = {16, 32, 64, 128};
+    for (std::size_t i = 0; i < allBenchIds().size(); ++i) {
+        const BenchId bench = allBenchIds()[i];
+        std::printf("%-8s", benchName(bench));
+        for (unsigned granule : granules) {
+            BenchSpec spec;
+            spec.bench = bench;
+            spec.protocol = ProtocolKind::Getm;
+            spec.scale = scale;
+            spec.seed = seed;
+            spec.gpu.getmGranule = granule;
+            std::printf(" %12.3f",
+                        static_cast<double>(runBench(spec).run.cycles) /
+                            wtm[i]);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

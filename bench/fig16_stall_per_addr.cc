@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 16: average number of requests concurrently queued per address in
+ * GETM's stall buffers.
+ *
+ * Paper claim: very few requests ever wait on the same address (around
+ * one on average), motivating 4 entries per stall-buffer line.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+
+    std::printf("Fig. 16 reproduction: mean stalled requests per address "
+                "(scale %.3g)\n",
+                scale);
+    std::printf("%-8s %16s\n", "bench", "waiters/addr");
+
+    double sum = 0.0;
+    unsigned count = 0;
+    for (BenchId bench : allBenchIds()) {
+        BenchSpec spec;
+        spec.bench = bench;
+        spec.protocol = ProtocolKind::Getm;
+        spec.scale = scale;
+        spec.seed = seed;
+        spec.gpu.getmStall.lines = 64;
+        spec.gpu.getmStall.entriesPerLine = 64;
+        const BenchOutcome outcome = runBench(spec);
+        std::printf("%-8s %16.3f\n", benchName(bench),
+                    outcome.run.stallWaitersPerAddr);
+        sum += outcome.run.stallWaitersPerAddr;
+        ++count;
+    }
+    std::printf("%-8s %16.3f\n", "AVG", sum / count);
+    return 0;
+}

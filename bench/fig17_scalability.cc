@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 17: execution time in the 15-core and 56-core configurations,
+ * normalized to 15-core WarpTM (lower is better).
+ *
+ * Paper claim: the overall trends of the 15-core comparison carry over
+ * to 56 cores / 4 MB LLC (with GETM's precise table doubled).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::uint64_t seed = benchSeed();
+
+    std::printf("Fig. 17 reproduction: exec time normalized to 15-core "
+                "WarpTM (scale %.3g)\n",
+                scale);
+    std::printf("%-8s %9s %9s %9s %9s %9s %9s\n", "bench", "WTM15",
+                "EAPG15", "GETM15", "WTM56", "EAPG56", "GETM56");
+
+    const ProtocolKind protos[] = {ProtocolKind::WarpTmLL,
+                                   ProtocolKind::Eapg, ProtocolKind::Getm};
+    std::vector<double> norm[6];
+    for (BenchId bench : allBenchIds()) {
+        double cycles[6] = {};
+        int col = 0;
+        for (const GpuConfig &gpu :
+             {GpuConfig::gtx480(), GpuConfig::scaled56()}) {
+            for (ProtocolKind proto : protos) {
+                BenchSpec spec;
+                spec.bench = bench;
+                spec.protocol = proto;
+                spec.scale = scale;
+                spec.seed = seed;
+                spec.gpu = gpu;
+                cycles[col++] =
+                    static_cast<double>(runBench(spec).run.cycles);
+            }
+        }
+        std::printf("%-8s", benchName(bench));
+        for (int i = 0; i < 6; ++i) {
+            const double value = cycles[i] / cycles[0];
+            std::printf(" %9.3f", value);
+            norm[i].push_back(value);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-8s", "GMEAN");
+    for (auto &column : norm)
+        std::printf(" %9.3f", gmean(column));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table IV: optimal transactional concurrency (warps per core allowed in
+ * transactions) and abort rates (aborts per 1000 commits) for WarpTM,
+ * EAPG, WarpTM-EL, and GETM on every benchmark.
+ *
+ * Paper claims: GETM tolerates higher concurrency than WarpTM where
+ * parallelism is abundant (e.g. HT-H), and sustains dramatically higher
+ * abort rates (e.g. AP) while still performing better, because commits
+ * and aborts are cheap under eager conflict detection.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace getm;
+using namespace getm::bench;
+
+namespace {
+
+const char *
+limitName(unsigned limit)
+{
+    static char buf[16];
+    if (limit == 0xffffffffu)
+        return "NL";
+    std::snprintf(buf, sizeof(buf), "%u", limit);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    // This bench sweeps 9 benchmarks x 4 protocols x 6 limits = 216
+    // simulations; run it at a quarter of the configured scale so the
+    // full sweep stays in the minutes range.
+    const double scale = benchScale() * 0.25;
+    const std::uint64_t seed = benchSeed();
+    const unsigned limits[] = {1, 2, 4, 8, 16, 0xffffffffu};
+    const ProtocolKind protos[] = {
+        ProtocolKind::WarpTmLL, ProtocolKind::Eapg, ProtocolKind::WarpTmEL,
+        ProtocolKind::Getm};
+
+    std::printf("Table IV reproduction: best concurrency and aborts/1K "
+                "commits (scale %.3g)\n",
+                scale);
+    std::printf("%-8s | %6s %6s %6s %6s | %8s %8s %8s %8s\n", "bench",
+                "WTM", "EAPG", "EL", "GETM", "WTM", "EAPG", "EL", "GETM");
+
+    for (BenchId bench : allBenchIds()) {
+        unsigned best_limit[4] = {};
+        double best_aborts[4] = {};
+        for (int p = 0; p < 4; ++p) {
+            std::fprintf(stderr, "  sweeping %s / %s...\n",
+                         benchName(bench), protocolName(protos[p]));
+            std::uint64_t best_cycles = ~0ull;
+            for (unsigned limit : limits) {
+                BenchSpec spec;
+                spec.bench = bench;
+                spec.protocol = protos[p];
+                spec.scale = scale;
+                spec.seed = seed;
+                spec.concurrency = limit;
+                const BenchOutcome outcome = runBench(spec);
+                if (outcome.run.cycles < best_cycles) {
+                    best_cycles = outcome.run.cycles;
+                    best_limit[p] = limit;
+                    best_aborts[p] = outcome.run.abortsPer1kCommits();
+                }
+            }
+        }
+        std::printf("%-8s |", benchName(bench));
+        for (int p = 0; p < 4; ++p)
+            std::printf(" %6s", limitName(best_limit[p]));
+        std::printf(" |");
+        for (int p = 0; p < 4; ++p)
+            std::printf(" %8.0f", best_aborts[p]);
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    return 0;
+}

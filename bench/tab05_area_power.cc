@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table V: silicon area and power overheads (32 nm) of the structures
+ * each TM system adds, estimated with the CACTI-lite model calibrated
+ * against the paper's own CACTI 6.5 data points.
+ *
+ * Paper claims: GETM needs 3.6x less area and 2.2x less power than
+ * WarpTM (4.9x / 3.6x less than EAPG); overall ~0.2% of a GTX 480 die.
+ */
+
+#include <cstdio>
+
+#include "power/tm_structures.hh"
+
+using namespace getm;
+
+namespace {
+
+void
+printReport(const char *title, const OverheadReport &report)
+{
+    std::printf("\n%s\n", title);
+    for (const auto &row : report.rows) {
+        std::printf("  %-30s %7.1f KB x%-3u %8.3f mm^2 %9.2f mW\n",
+                    row.name.c_str(), row.kilobytesPerInstance,
+                    row.instances, row.estimate.areaMm2,
+                    row.estimate.powerMw);
+    }
+    std::printf("  %-30s %14s %8.3f mm^2 %9.2f mW\n", "TOTAL", "",
+                report.totalAreaMm2, report.totalPowerMw);
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig cfg = GpuConfig::gtx480();
+    const OverheadReport wtm = tmOverheads(ProtocolKind::WarpTmLL, cfg);
+    const OverheadReport eapg = tmOverheads(ProtocolKind::Eapg, cfg);
+    const OverheadReport getm = tmOverheads(ProtocolKind::Getm, cfg);
+
+    std::printf("Table V reproduction: TM hardware overheads (32 nm)\n");
+    printReport("WarpTM", wtm);
+    printReport("EAPG (incl. WarpTM structures)", eapg);
+    printReport("GETM", getm);
+
+    std::printf("\nratios (WarpTM/GETM): area %.1fx, power %.1fx "
+                "(paper: 3.6x, 2.2x)\n",
+                wtm.totalAreaMm2 / getm.totalAreaMm2,
+                wtm.totalPowerMw / getm.totalPowerMw);
+    std::printf("ratios (EAPG/GETM):   area %.1fx, power %.1fx "
+                "(paper: 4.9x, 3.6x)\n",
+                eapg.totalAreaMm2 / getm.totalAreaMm2,
+                eapg.totalPowerMw / getm.totalPowerMw);
+    return 0;
+}

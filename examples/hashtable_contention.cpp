@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Contention study on the hash-table workload: sweep the table size
+ * (HT-H / HT-M / HT-L) and the transactional-concurrency throttle, and
+ * watch how GETM and WarpTM respond.
+ *
+ * This reproduces, interactively, the paper's Sec. III observation: lazy
+ * validation caps useful concurrency at a couple of warps per core,
+ * while eager conflict detection keeps scaling.
+ */
+
+#include <cstdio>
+
+#include "gpu/gpu_system.hh"
+#include "workloads/workload.hh"
+
+using namespace getm;
+
+int
+main()
+{
+    const double scale = 0.25;
+    const unsigned limits[] = {1, 2, 4, 8, 0xffffffffu};
+
+    for (BenchId bench : {BenchId::HtH, BenchId::HtM, BenchId::HtL}) {
+        std::printf("\n%s (scale %.2f)\n", benchName(bench), scale);
+        std::printf("%-8s %14s %14s %18s %18s\n", "tx-warps",
+                    "GETM cycles", "WarpTM cycles", "GETM aborts/1K",
+                    "WarpTM aborts/1K");
+        for (unsigned limit : limits) {
+            double cycles[2] = {};
+            double aborts[2] = {};
+            int col = 0;
+            for (ProtocolKind protocol :
+                 {ProtocolKind::Getm, ProtocolKind::WarpTmLL}) {
+                GpuConfig cfg = GpuConfig::gtx480();
+                cfg.protocol = protocol;
+                cfg.core.txWarpLimit = limit;
+                GpuSystem gpu(cfg);
+                auto workload = makeWorkload(bench, scale, 3);
+                workload->setup(gpu, false);
+                const RunResult result =
+                    gpu.run(workload->kernel(), workload->numThreads());
+                std::string why;
+                if (!workload->verify(gpu, why)) {
+                    std::fprintf(stderr, "verify failed: %s\n",
+                                 why.c_str());
+                    return 1;
+                }
+                cycles[col] = static_cast<double>(result.cycles);
+                aborts[col] = result.abortsPer1kCommits();
+                ++col;
+            }
+            if (limit == 0xffffffffu)
+                std::printf("%-8s", "NL");
+            else
+                std::printf("%-8u", limit);
+            std::printf(" %14.0f %14.0f %18.0f %18.0f\n", cycles[0],
+                        cycles[1], aborts[0], aborts[1]);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tooling example: disassemble a workload's kernels and dump the raw
+ * statistics of a run -- useful when porting new workloads to the
+ * micro-ISA or when debugging a protocol engine.
+ */
+
+#include <cstdio>
+
+#include "gpu/gpu_system.hh"
+#include "workloads/workload.hh"
+
+using namespace getm;
+
+int
+main()
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::Getm;
+    GpuSystem gpu(cfg);
+
+    auto workload = makeWorkload(BenchId::Atm, 0.01, 5);
+    workload->setup(gpu, /*lock_variant=*/false);
+
+    std::printf("=== disassembly of %s ===\n%s\n",
+                workload->kernel().name().c_str(),
+                workload->kernel().disassemble().c_str());
+
+    const RunResult result =
+        gpu.run(workload->kernel(), workload->numThreads());
+    std::string why;
+    if (!workload->verify(gpu, why)) {
+        std::fprintf(stderr, "verify failed: %s\n", why.c_str());
+        return 1;
+    }
+
+    std::printf("=== merged statistics ===\n%s",
+                result.stats.dump().c_str());
+    std::printf("=== summary ===\ncycles %llu, commits %llu, aborts "
+                "%llu, flits %llu\n",
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.commits),
+                static_cast<unsigned long long>(result.aborts),
+                static_cast<unsigned long long>(result.xbarFlits));
+    return 0;
+}

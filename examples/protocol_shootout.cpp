@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Run every Table III benchmark under every protocol at a small scale
+ * and print a one-screen comparison -- a miniature of the paper's
+ * Fig. 11 that finishes in seconds. Also demonstrates post-run
+ * invariant verification, which every workload ships with.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "gpu/gpu_system.hh"
+#include "workloads/workload.hh"
+
+using namespace getm;
+
+int
+main()
+{
+    const double scale = 0.05;
+    const ProtocolKind protocols[] = {
+        ProtocolKind::FgLock, ProtocolKind::WarpTmLL, ProtocolKind::Eapg,
+        ProtocolKind::Getm};
+
+    std::printf("cycles by protocol (scale %.2f; all runs verified)\n\n",
+                scale);
+    std::printf("%-8s", "bench");
+    for (ProtocolKind protocol : protocols)
+        std::printf(" %12s", protocolName(protocol));
+    std::printf("\n");
+
+    for (BenchId bench : allBenchIds()) {
+        std::printf("%-8s", benchName(bench));
+        for (ProtocolKind protocol : protocols) {
+            GpuConfig cfg = GpuConfig::gtx480();
+            cfg.protocol = protocol;
+            cfg.core.txWarpLimit = optimalConcurrency(bench, protocol);
+            GpuSystem gpu(cfg);
+            auto workload = makeWorkload(bench, scale, 17);
+            workload->setup(gpu, protocol == ProtocolKind::FgLock);
+            const RunResult result =
+                gpu.run(workload->kernel(), workload->numThreads());
+            std::string why;
+            if (!workload->verify(gpu, why)) {
+                std::printf("\n%s/%s FAILED: %s\n", benchName(bench),
+                            protocolName(protocol), why.c_str());
+                return 1;
+            }
+            std::printf(" %12llu",
+                        static_cast<unsigned long long>(result.cycles));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * gem5-style categorized debug tracing.
+ *
+ * Categories are enabled with the GETM_DEBUG environment variable, a
+ * comma-separated list (e.g. GETM_DEBUG=getm,wtm,core) or "all".
+ * Tracing compiles in unconditionally but costs one boolean test per
+ * site when disabled; simulators live and die by their traces.
+ *
+ *     DTRACE(getm, "[%llu] P%u LD wid=%u ...", now, part, wid);
+ */
+
+#ifndef GETM_COMMON_DEBUG_HH
+#define GETM_COMMON_DEBUG_HH
+
+#include <cstdio>
+
+namespace getm {
+namespace debug {
+
+/** Trace categories. */
+enum class Category : unsigned
+{
+    Getm,   ///< GETM validation/commit units and core engine.
+    Wtm,    ///< WarpTM validation ordering and decisions.
+    Eapg,   ///< EAPG broadcasts / pauses / early aborts.
+    Core,   ///< SIMT core scheduling, tx begin/commit/abort.
+    Mem,    ///< Partition-local traffic (non-tx, atomics).
+    NumCategories,
+};
+
+/** True if @p category was enabled via GETM_DEBUG. */
+bool enabled(Category category);
+
+/** printf to stderr (callers should gate on enabled()). */
+void tracef(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace debug
+} // namespace getm
+
+/** Trace @p fmt under category @p cat (no trailing newline needed). */
+#define DTRACE(cat, ...)                                                  \
+    do {                                                                  \
+        if (::getm::debug::enabled(::getm::debug::Category::cat))         \
+            ::getm::debug::tracef(__VA_ARGS__);                           \
+    } while (0)
+
+#endif // GETM_COMMON_DEBUG_HH

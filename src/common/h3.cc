@@ -1,0 +1,21 @@
+#include "common/h3.hh"
+
+#include "common/rng.hh"
+
+namespace getm {
+
+H3Hash::H3Hash(std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (auto &word : matrix)
+        word = rng.next();
+}
+
+H3Family::H3Family(unsigned count, std::uint64_t seed)
+{
+    members.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        members.emplace_back(seed + 0x51ed2701 * (i + 1));
+}
+
+} // namespace getm

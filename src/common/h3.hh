@@ -1,0 +1,73 @@
+/**
+ * @file
+ * H3 universal hash family.
+ *
+ * GETM's metadata structures (the 4-way cuckoo table and the recency Bloom
+ * filter; paper Sec. V-B) index with four independently drawn H3 hashes,
+ * following the signature-hashing study of Sanchez et al. [40]. An H3 hash
+ * of a b-bit key XORs together one random word per set key bit:
+ *
+ *     h(x) = XOR over i of (x[i] ? q_i : 0)
+ */
+
+#ifndef GETM_COMMON_H3_HH
+#define GETM_COMMON_H3_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace getm {
+
+/** One member of the H3 hash family for 64-bit keys. */
+class H3Hash
+{
+  public:
+    /**
+     * Draw a random H3 function.
+     *
+     * @param seed Seed selecting the member of the family.
+     */
+    explicit H3Hash(std::uint64_t seed);
+
+    /** Hash a 64-bit key to a 64-bit value. */
+    std::uint64_t
+    hash(std::uint64_t key) const
+    {
+        std::uint64_t h = 0;
+        while (key) {
+            // Process the lowest set bit; sparse keys stay cheap.
+            const int bit = __builtin_ctzll(key);
+            h ^= matrix[bit];
+            key &= key - 1;
+        }
+        return h;
+    }
+
+    std::uint64_t operator()(std::uint64_t key) const { return hash(key); }
+
+  private:
+    /** One random 64-bit word per input bit. */
+    std::uint64_t matrix[64];
+};
+
+/** A bank of n independent H3 hashes (e.g., one per cuckoo way). */
+class H3Family
+{
+  public:
+    H3Family(unsigned count, std::uint64_t seed);
+
+    std::uint64_t
+    hash(unsigned which, std::uint64_t key) const
+    {
+        return members[which].hash(key);
+    }
+
+    unsigned size() const { return members.size(); }
+
+  private:
+    std::vector<H3Hash> members;
+};
+
+} // namespace getm
+
+#endif // GETM_COMMON_H3_HH

@@ -1,0 +1,37 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace getm {
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.maxima)
+        trackMax(name, value);
+    for (const auto &[name, avg] : other.averages) {
+        auto &slot = averages[name];
+        slot.sum += avg.sum;
+        slot.count += avg.count;
+    }
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : counters)
+        out << setName << '.' << name << ' ' << value << '\n';
+    for (const auto &[name, value] : maxima)
+        out << setName << '.' << name << ".max " << value << '\n';
+    for (const auto &[name, avg] : averages) {
+        const double mean =
+            avg.count ? avg.sum / static_cast<double>(avg.count) : 0.0;
+        out << setName << '.' << name << ".avg " << mean << '\n';
+    }
+    return out.str();
+}
+
+} // namespace getm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Every simulated component owns a StatSet; counters and scalar trackers
+ * are registered by name so benches and tests can query results uniformly.
+ */
+
+#ifndef GETM_COMMON_STATS_HH
+#define GETM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace getm {
+
+/**
+ * A flat bag of named statistics.
+ *
+ * Three flavours are supported:
+ *  - counters: monotonically increasing event counts (inc())
+ *  - maxima:   high-water marks (trackMax())
+ *  - averages: sum/count pairs reported as means (sample())
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name_) : setName(std::move(name_)) {}
+
+    /** Increment counter @p name by @p delta. */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Record @p value into high-water-mark stat @p name. */
+    void
+    trackMax(const std::string &name, std::uint64_t value)
+    {
+        auto &slot = maxima[name];
+        if (value > slot)
+            slot = value;
+    }
+
+    /** Record a sample into averaging stat @p name. */
+    void
+    sample(const std::string &name, double value)
+    {
+        auto &avg = averages[name];
+        avg.sum += value;
+        avg.count += 1;
+    }
+
+    /** Read a counter (0 if never touched). */
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Read a high-water mark (0 if never touched). */
+    std::uint64_t
+    maximum(const std::string &name) const
+    {
+        auto it = maxima.find(name);
+        return it == maxima.end() ? 0 : it->second;
+    }
+
+    /** Read the mean of an averaging stat (0 if never sampled). */
+    double
+    mean(const std::string &name) const
+    {
+        auto it = averages.find(name);
+        if (it == averages.end() || it->second.count == 0)
+            return 0.0;
+        return it->second.sum / static_cast<double>(it->second.count);
+    }
+
+    /** Number of samples recorded into an averaging stat. */
+    std::uint64_t
+    sampleCount(const std::string &name) const
+    {
+        auto it = averages.find(name);
+        return it == averages.end() ? 0 : it->second.count;
+    }
+
+    /** Merge all stats from @p other into this set. */
+    void merge(const StatSet &other);
+
+    /** Render all stats as "name.stat value" lines. */
+    std::string dump() const;
+
+    const std::string &name() const { return setName; }
+
+    /** Drop all recorded values. */
+    void
+    clear()
+    {
+        counters.clear();
+        maxima.clear();
+        averages.clear();
+    }
+
+  private:
+    struct Average
+    {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    std::string setName;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::uint64_t> maxima;
+    std::map<std::string, Average> averages;
+};
+
+} // namespace getm
+
+#endif // GETM_COMMON_STATS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the simulator.
+ */
+
+#ifndef GETM_COMMON_TYPES_HH
+#define GETM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace getm {
+
+/** A byte address in the simulated global address space. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count (core clock domain unless noted otherwise). */
+using Cycle = std::uint64_t;
+
+/** A GETM logical timestamp (warpts / wts / rts; see paper Table I). */
+using LogicalTs = std::uint64_t;
+
+/** Identifier of a SIMT core. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a memory partition (LLC slice + validation/commit unit). */
+using PartitionId = std::uint32_t;
+
+/**
+ * Globally unique warp identifier. Because transactions are coalesced per
+ * warp, this also uniquely identifies a running transaction (paper
+ * Sec. IV-A, "owner" field).
+ */
+using GlobalWarpId = std::uint32_t;
+
+/** Lane (thread) index inside a warp. */
+using LaneId = std::uint32_t;
+
+/** A 32-lane active mask. */
+using LaneMask = std::uint32_t;
+
+/** Lanes per warp (Table II: 32-wide warps). */
+constexpr unsigned warpSize = 32;
+
+/** All-lanes mask. */
+constexpr LaneMask fullMask = 0xffffffffu;
+
+/** Sentinel for "no owner" in metadata entries. */
+constexpr GlobalWarpId invalidWarp = ~0u;
+
+/** Sentinel address. */
+constexpr Addr invalidAddr = ~0ull;
+
+} // namespace getm
+
+#endif // GETM_COMMON_TYPES_HH

@@ -1,0 +1,192 @@
+#include "core/getm_core_tm.hh"
+
+#include <bit>
+#include <map>
+
+#include "common/debug.hh"
+#include "common/log.hh"
+
+namespace getm {
+
+void
+GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
+                     const LaneVals &vals, LaneMask lanes, std::uint8_t rd)
+{
+    (void)rd;
+    LaneMask intra_aborts = 0;
+    LaneMask remote = 0;
+
+    for (LaneId lane = 0; lane < warpSize; ++lane) {
+        if (!(lanes & (1u << lane)))
+            continue;
+        const Addr addr = addrs[lane];
+        // Eager intra-warp conflict detection against sibling lanes.
+        // The aborting lane's own claims are released immediately so a
+        // surviving lane always exists (otherwise two lanes with
+        // symmetric access patterns would abort each other forever).
+        if (warp.iwcd.checkAndRecord(lane, addr, is_store)) {
+            intra_aborts |= 1u << lane;
+            warp.iwcd.dropLane(lane);
+            core.stats().inc("getm_intra_warp_aborts");
+            continue;
+        }
+        if (is_store) {
+            warp.logs[lane].addWrite(addr, vals[lane]);
+            remote |= 1u << lane;
+        } else {
+            if (auto own = warp.logs[lane].findWrite(addr)) {
+                // Read-own-write: satisfied from the local redo log; the
+                // granule is already reserved by this warp.
+                core.writebackLane(warp, lane, *own);
+                warp.logs[lane].addRead(addr, *own);
+            } else {
+                warp.logs[lane].addRead(addr, 0);
+                remote |= 1u << lane;
+            }
+        }
+    }
+
+    if (intra_aborts)
+        core.abortTxLanes(warp, intra_aborts, warp.warpts);
+
+    // Group remote accesses by metadata granule; one VU request each.
+    LaneMask pending = remote;
+    while (pending) {
+        const LaneId lead = static_cast<LaneId>(std::countr_zero(pending));
+        const Addr granule = core.granuleOf(addrs[lead]);
+        MemMsg msg;
+        msg.kind = is_store ? MsgKind::GetmTxStore : MsgKind::GetmTxLoad;
+        msg.addr = granule;
+        msg.wid = warp.gwid;
+        msg.warpSlot = warp.slot;
+        msg.ts = warp.warpts;
+        for (LaneId lane = lead; lane < warpSize; ++lane) {
+            if (!(pending & (1u << lane)) ||
+                core.granuleOf(addrs[lane]) != granule)
+                continue;
+            if (is_store)
+                msg.ops.push_back({static_cast<std::uint8_t>(lane), granule,
+                                   0, 1});
+            else
+                msg.ops.push_back({static_cast<std::uint8_t>(lane),
+                                   addrs[lane], 0, 0});
+            pending &= ~(1u << lane);
+        }
+        msg.bytes = 12; // address + warpts + warp id
+        core.sendToPartition(std::move(msg));
+        if (is_store) {
+            ++warp.outstandingTxStores;
+            core.stats().inc("getm_store_reqs");
+        } else {
+            ++warp.outstanding;
+            core.stats().inc("getm_load_reqs");
+        }
+    }
+}
+
+void
+GetmCoreTm::onResponse(Warp &warp, const MemMsg &msg)
+{
+    if (msg.ts > warp.maxObservedTs)
+        warp.maxObservedTs = msg.ts;
+
+    LaneMask lanes = 0;
+    for (const LaneOp &op : msg.ops)
+        lanes |= 1u << op.lane;
+
+    switch (msg.kind) {
+      case MsgKind::GetmLoadResp:
+        if (msg.outcome == GetmOutcome::Success) {
+            for (const LaneOp &op : msg.ops)
+                if (!(warp.abortedMask & (1u << op.lane)))
+                    core.writebackLane(warp, op.lane, op.value);
+        } else {
+            core.abortTxLanes(warp, lanes, msg.ts);
+        }
+        core.completeBlockingResponse(warp);
+        break;
+      case MsgKind::GetmStoreResp:
+        if (msg.outcome == GetmOutcome::Success) {
+            for (const LaneOp &op : msg.ops)
+                warp.granted[op.lane][msg.addr] += op.aux;
+        } else {
+            core.abortTxLanes(warp, lanes, msg.ts);
+        }
+        core.completeTxStoreAck(warp);
+        break;
+      default:
+        panic("GETM core engine received unexpected message kind %u",
+              static_cast<unsigned>(msg.kind));
+    }
+}
+
+void
+GetmCoreTm::txCommitPoint(Warp &warp)
+{
+    const int txi = warp.transactionIndex();
+    if (txi < 0)
+        panic("GETM commit point without a transaction");
+    const LaneMask committers = warp.stack[txi].mask;
+
+    DTRACE(Core,
+           "[core] commitpoint wid=%u ts=%llu committers=%08x "
+           "aborted=%08x",
+           warp.gwid, static_cast<unsigned long long>(warp.warpts),
+           committers, warp.abortedMask);
+
+    // Serialize the write log (committing lanes) and the cleanup log
+    // (aborted lanes' granted reservations), grouped per partition.
+    std::map<PartitionId, MemMsg> commit_msgs;
+    std::map<PartitionId, MemMsg> abort_msgs;
+
+    for (LaneId lane = 0; lane < warpSize; ++lane) {
+        const LaneMask bit = 1u << lane;
+        if (committers & bit) {
+            for (const LogEntry &entry : warp.logs[lane].writeLog()) {
+                const PartitionId part =
+                    core.addressMap().partitionOf(entry.addr);
+                MemMsg &msg = commit_msgs[part];
+                msg.ops.push_back({static_cast<std::uint8_t>(lane),
+                                   entry.addr, entry.value, entry.count});
+            }
+        } else if (warp.abortedMask & bit) {
+            for (const auto &[granule, count] : warp.granted[lane]) {
+                const PartitionId part =
+                    core.addressMap().partitionOf(granule);
+                MemMsg &msg = abort_msgs[part];
+                msg.ops.push_back({static_cast<std::uint8_t>(lane), granule,
+                                   0, count});
+            }
+        }
+    }
+
+    auto finalize = [&](std::map<PartitionId, MemMsg> &msgs, bool commit) {
+        for (auto &[part, msg] : msgs) {
+            msg.kind = MsgKind::GetmCommit;
+            msg.wid = warp.gwid;
+            msg.warpSlot = warp.slot;
+            msg.flag = commit;
+            msg.addr = 0;
+            // Commit entries carry <addr, data, count>; abort entries
+            // carry <addr, count> only (paper Sec. IV-A).
+            msg.bytes = 8 + static_cast<unsigned>(msg.ops.size()) *
+                                (commit ? 12 : 8);
+            msg.partition = part;
+            msg.core = core.id();
+            // Route explicitly: addr field is not meaningful here.
+            MemMsg out = std::move(msg);
+            out.addr = out.ops.front().addr;
+            core.sendToPartition(std::move(out));
+            core.stats().inc(commit ? "getm_commit_msgs"
+                                    : "getm_cleanup_msgs");
+        }
+    };
+    finalize(commit_msgs, true);
+    finalize(abort_msgs, false);
+
+    // Eager conflict detection guarantees success: the commit is off the
+    // critical path and the warp retires (or retries aborted lanes) now.
+    core.retireTxAttempt(warp, committers);
+}
+
+} // namespace getm

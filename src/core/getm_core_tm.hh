@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Core-side GETM protocol engine.
+ *
+ * Every transactional access is checked eagerly: first against the
+ * warp's own logs (intra-warp conflict detection), then -- for accesses
+ * that need it -- at the LLC validation unit. Loads block the warp;
+ * store reservations are fire-and-forget (the commit point waits for
+ * their acks). A transaction reaching its commit point is guaranteed to
+ * succeed, so the commit itself is off the critical path: the core
+ * transmits the write log and immediately continues (paper Sec. IV).
+ */
+
+#ifndef GETM_CORE_GETM_CORE_TM_HH
+#define GETM_CORE_GETM_CORE_TM_HH
+
+#include "simt/simt_core.hh"
+#include "simt/tm_iface.hh"
+
+namespace getm {
+
+/** GETM TmCoreProtocol implementation. */
+class GetmCoreTm : public TmCoreProtocol
+{
+  public:
+    explicit GetmCoreTm(SimtCore &core_) : core(core_) {}
+
+    void txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
+                  const LaneVals &vals, LaneMask lanes,
+                  std::uint8_t rd) override;
+    void txCommitPoint(Warp &warp) override;
+    void onResponse(Warp &warp, const MemMsg &msg) override;
+
+  private:
+    SimtCore &core;
+};
+
+} // namespace getm
+
+#endif // GETM_CORE_GETM_CORE_TM_HH

@@ -1,0 +1,239 @@
+#include "core/getm_partition.hh"
+
+#include <algorithm>
+
+#include "common/debug.hh"
+#include "common/log.hh"
+
+namespace getm {
+
+GetmPartitionUnit::GetmPartitionUnit(PartitionContext &context,
+                                     const GetmPartitionConfig &config,
+                                     std::string name)
+    : ctx(context), cfg(config), meta(name + ".meta", config.meta),
+      stall(name + ".stall", config.stall)
+{
+}
+
+Cycle
+GetmPartitionUnit::handleRequest(MemMsg &&msg, Cycle now)
+{
+    switch (msg.kind) {
+      case MsgKind::GetmTxLoad:
+      case MsgKind::GetmTxStore:
+        return processAccess(std::move(msg), now);
+      case MsgKind::GetmCommit:
+        return processCommit(msg, now);
+      default:
+        panic("GETM partition received unexpected message kind %u",
+              static_cast<unsigned>(msg.kind));
+    }
+}
+
+void
+GetmPartitionUnit::respondLoad(const MemMsg &msg, Cycle ready, Cycle now)
+{
+    MemMsg resp;
+    resp.kind = MsgKind::GetmLoadResp;
+    resp.core = msg.core;
+    resp.partition = ctx.partitionId();
+    resp.wid = msg.wid;
+    resp.warpSlot = msg.warpSlot;
+    resp.addr = msg.addr;
+    resp.outcome = GetmOutcome::Success;
+    Cycle extra = 0;
+    for (const LaneOp &op : msg.ops) {
+        // Data is bound at the serialization point (now), not delivery.
+        resp.ops.push_back(
+            {op.lane, op.addr, ctx.memory().read(op.addr), 0});
+        extra = std::max(
+            extra, ctx.accessLlc(op.addr, /*is_write=*/false, now));
+    }
+    resp.bytes = 8 + 4 * static_cast<unsigned>(resp.ops.size());
+    ctx.scheduleToCore(std::move(resp), ready + extra);
+}
+
+void
+GetmPartitionUnit::respondStoreAck(const MemMsg &msg, Cycle ready)
+{
+    MemMsg resp;
+    resp.kind = MsgKind::GetmStoreResp;
+    resp.core = msg.core;
+    resp.partition = ctx.partitionId();
+    resp.wid = msg.wid;
+    resp.warpSlot = msg.warpSlot;
+    resp.addr = msg.addr;
+    resp.outcome = GetmOutcome::Success;
+    resp.ops = msg.ops; // echoes (lane, granule, -, count) for bookkeeping
+    resp.bytes = 8;
+    ctx.scheduleToCore(std::move(resp), ready);
+}
+
+void
+GetmPartitionUnit::respondAbort(const MemMsg &msg, LogicalTs observed,
+                                Cycle ready)
+{
+    MemMsg resp;
+    resp.kind = msg.kind == MsgKind::GetmTxLoad ? MsgKind::GetmLoadResp
+                                                : MsgKind::GetmStoreResp;
+    resp.core = msg.core;
+    resp.partition = ctx.partitionId();
+    resp.wid = msg.wid;
+    resp.warpSlot = msg.warpSlot;
+    resp.addr = msg.addr;
+    resp.outcome = GetmOutcome::Abort;
+    resp.ts = observed; // the abort cause; the core restarts later than it
+    resp.ops = msg.ops;
+    resp.bytes = 12;
+    ctx.stats().inc("getm_vu_aborts");
+    ctx.scheduleToCore(std::move(resp), ready);
+}
+
+Cycle
+GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
+{
+    const bool is_load = msg.kind == MsgKind::GetmTxLoad;
+    const Addr granule = granuleOf(msg.addr);
+    const LogicalTs warpts = msg.ts;
+
+    MetaAccess ma = meta.access(granule);
+    TxMetadata &entry = *ma.entry;
+    Cycle busy = ma.cycles;
+    const Cycle ready = now + busy + ctx.llcLatency();
+    const LogicalTs observed = std::max(entry.wts, entry.rts);
+    meta.noteTimestamp(warpts);
+
+    DTRACE(Getm,
+           "[%8llu] P%u %s wid=%u ts=%llu g=%#llx "
+           "(wts=%llu rts=%llu nw=%u own=%d)",
+           static_cast<unsigned long long>(now), ctx.partitionId(),
+           is_load ? "LD" : "ST", msg.wid,
+           static_cast<unsigned long long>(warpts),
+           static_cast<unsigned long long>(granule),
+           static_cast<unsigned long long>(entry.wts),
+           static_cast<unsigned long long>(entry.rts), entry.numWrites,
+           static_cast<int>(entry.owner));
+
+    std::uint32_t count = 0;
+    for (const LaneOp &op : msg.ops)
+        count += op.aux;
+
+    if (entry.locked() && entry.owner == msg.wid) {
+        // Owner hit: the warp already holds the reservation.
+        if (is_load) {
+            entry.rts = std::max(entry.rts, warpts);
+            meta.noteTimestamp(entry.rts);
+            respondLoad(msg, ready, now);
+        } else {
+            entry.numWrites += count;
+            respondStoreAck(msg, ready);
+        }
+        ctx.stats().inc("getm_owner_hits");
+        return busy;
+    }
+
+    const LogicalTs limit =
+        is_load ? entry.wts : std::max(entry.wts, entry.rts);
+    if (warpts < limit) {
+        // Conflict with a logically later transaction: abort.
+        respondAbort(msg, observed, ready);
+        return busy;
+    }
+
+    if (entry.locked()) {
+        // Reserved by a logically older transaction: queue until it
+        // commits (or abort if the stall buffer is full).
+        MemMsg queued = std::move(msg);
+        const MemMsg probe = queued; // copy for potential abort response
+        if (!stall.enqueue(granule, std::move(queued))) {
+            respondAbort(probe, observed, ready);
+        } else {
+            ctx.stats().inc("getm_stalled_requests");
+        }
+        return busy;
+    }
+
+    // Conflict-free access.
+    if (is_load) {
+        entry.rts = std::max(entry.rts, warpts);
+        meta.noteTimestamp(entry.rts);
+        respondLoad(msg, ready, now);
+    } else {
+        entry.wts = warpts + 1;
+        entry.owner = msg.wid;
+        entry.numWrites += count;
+        meta.noteTimestamp(entry.wts);
+        respondStoreAck(msg, ready);
+    }
+    return busy;
+}
+
+Cycle
+GetmPartitionUnit::processCommit(const MemMsg &msg, Cycle now)
+{
+    // The commit unit coalesces writes and streams them into the LLC at
+    // cfg.commitBytesPerCycle; its occupancy gates the partition port.
+    const bool committing = msg.flag;
+    Cycle busy = std::max<Cycle>(
+        1, (msg.bytes + cfg.commitBytesPerCycle - 1) /
+               cfg.commitBytesPerCycle);
+
+    for (const LaneOp &op : msg.ops) {
+        Addr granule;
+        DTRACE(Getm, "[%8llu] P%u %s wid=%u addr=%#llx val=%u cnt=%u",
+               static_cast<unsigned long long>(now), ctx.partitionId(),
+               committing ? "COMMIT" : "CLEAN", msg.wid,
+               static_cast<unsigned long long>(op.addr), op.value,
+               op.aux);
+        if (committing) {
+            ctx.memory().write(op.addr, op.value);
+            ctx.accessLlc(op.addr, /*is_write=*/true, now);
+            granule = granuleOf(op.addr);
+        } else {
+            granule = op.addr;
+        }
+        TxMetadata *entry = meta.findPrecise(granule);
+        if (!entry)
+            panic("commit for unknown granule %#llx",
+                  static_cast<unsigned long long>(granule));
+        if (entry->owner != msg.wid)
+            panic("commit by non-owner warp %u (owner %u)", msg.wid,
+                  entry->owner);
+        if (entry->numWrites < op.aux)
+            panic("#writes underflow on granule %#llx",
+                  static_cast<unsigned long long>(granule));
+        entry->numWrites -= op.aux;
+        if (entry->numWrites == 0) {
+            entry->owner = invalidWarp;
+            busy += releaseWaiters(granule, now + busy);
+        }
+    }
+    ctx.stats().inc(committing ? "getm_commit_msgs" : "getm_abort_msgs");
+    return busy;
+}
+
+Cycle
+GetmPartitionUnit::releaseWaiters(Addr granule, Cycle now)
+{
+    Cycle busy = 0;
+    // Grant stalled requests in warpts order until the granule is locked
+    // again (a granted store re-reserves it) or no waiters remain.
+    while (stall.hasWaiters(granule)) {
+        TxMetadata *entry = meta.findPrecise(granule);
+        if (entry && entry->locked())
+            break;
+        MemMsg queued = stall.popOldest(granule);
+        busy += processAccess(std::move(queued), now + busy);
+        ctx.stats().inc("getm_stall_grants");
+    }
+    return busy;
+}
+
+void
+GetmPartitionUnit::flushForRollover()
+{
+    stall.flush();
+    meta.flush();
+}
+
+} // namespace getm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GETM validation and commit units, colocated with each LLC partition
+ * (paper Sec. IV-A, Fig. 6 and Sec. V-B).
+ *
+ * The validation unit performs eager conflict detection on every
+ * transactional access: owner check, timestamp check, write-lock check,
+ * and queueing in the stall buffer. The commit unit receives write/abort
+ * logs, coalesces writes, stores data in the LLC, and releases write
+ * reservations -- all off the critical path (no messages back to the
+ * core).
+ */
+
+#ifndef GETM_CORE_GETM_PARTITION_HH
+#define GETM_CORE_GETM_PARTITION_HH
+
+#include <string>
+
+#include "core/metadata_table.hh"
+#include "core/stall_buffer.hh"
+#include "tm/partition_iface.hh"
+
+namespace getm {
+
+/** Configuration of one partition's GETM units. */
+struct GetmPartitionConfig
+{
+    MetadataTable::Config meta;
+    StallBuffer::Config stall;
+    /** Metadata granularity in bytes (paper: 32). */
+    unsigned granule = 32;
+    /** Commit-unit write bandwidth (Table II: 32 B/cycle). */
+    unsigned commitBytesPerCycle = 32;
+};
+
+/** GETM protocol engine at one memory partition. */
+class GetmPartitionUnit : public TmPartitionProtocol
+{
+  public:
+    GetmPartitionUnit(PartitionContext &context,
+                      const GetmPartitionConfig &config, std::string name);
+
+    Cycle handleRequest(MemMsg &&msg, Cycle now) override;
+
+    /** Highest logical timestamp seen (rollover detection). */
+    LogicalTs maxTimestamp() const { return meta.maxTimestamp(); }
+
+    /** Reset all metadata (timestamp rollover). */
+    void flushForRollover();
+
+    MetadataTable &metadata() { return meta; }
+    StallBuffer &stallBuffer() { return stall; }
+
+  private:
+    Addr granuleOf(Addr addr) const { return addr - addr % cfg.granule; }
+
+    /**
+     * Run the Fig. 6 access flow for a load/store request.
+     * @return busy cycles consumed.
+     */
+    Cycle processAccess(MemMsg &&msg, Cycle now);
+
+    /** Process commit/abort log entries. */
+    Cycle processCommit(const MemMsg &msg, Cycle now);
+
+    /** Grant stalled requests after #writes reached zero. */
+    Cycle releaseWaiters(Addr granule, Cycle now);
+
+    void respondLoad(const MemMsg &msg, Cycle ready, Cycle now);
+    void respondStoreAck(const MemMsg &msg, Cycle ready);
+    void respondAbort(const MemMsg &msg, LogicalTs observed, Cycle ready);
+
+    PartitionContext &ctx;
+    GetmPartitionConfig cfg;
+    MetadataTable meta;
+    StallBuffer stall;
+};
+
+} // namespace getm
+
+#endif // GETM_CORE_GETM_PARTITION_HH

@@ -1,0 +1,292 @@
+#include "core/metadata_table.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace getm {
+
+// --------------------------------------------------------------------------
+// RecencyBloom
+// --------------------------------------------------------------------------
+
+RecencyBloom::RecencyBloom(unsigned entries_per_way, std::uint64_t seed)
+    : wayEntries(entries_per_way ? entries_per_way : 1),
+      hashes(numWays, seed ^ 0xb100f11eull),
+      buckets(static_cast<std::size_t>(numWays) * wayEntries)
+{
+}
+
+void
+RecencyBloom::insert(Addr key, LogicalTs wts, LogicalTs rts)
+{
+    for (unsigned way = 0; way < numWays; ++way) {
+        Bucket &bucket =
+            buckets[way * wayEntries + hashes.hash(way, key) % wayEntries];
+        // Only ever raise the stored values: collisions may already have
+        // contributed a higher timestamp, which must not be lowered.
+        bucket.wts = std::max(bucket.wts, wts);
+        bucket.rts = std::max(bucket.rts, rts);
+    }
+}
+
+std::pair<LogicalTs, LogicalTs>
+RecencyBloom::lookup(Addr key) const
+{
+    LogicalTs wts = ~static_cast<LogicalTs>(0);
+    LogicalTs rts = ~static_cast<LogicalTs>(0);
+    for (unsigned way = 0; way < numWays; ++way) {
+        const Bucket &bucket =
+            buckets[way * wayEntries + hashes.hash(way, key) % wayEntries];
+        wts = std::min(wts, bucket.wts);
+        rts = std::min(rts, bucket.rts);
+    }
+    return {wts, rts};
+}
+
+void
+RecencyBloom::flush()
+{
+    std::fill(buckets.begin(), buckets.end(), Bucket{});
+}
+
+// --------------------------------------------------------------------------
+// MetadataTable
+// --------------------------------------------------------------------------
+
+MetadataTable::MetadataTable(std::string name, const Config &config)
+    : cfg(config),
+      wayEntries(std::max(1u, cfg.preciseEntries / numWays)),
+      hashes(numWays, cfg.seed),
+      table(static_cast<std::size_t>(numWays) * wayEntries),
+      bloom(std::max(1u, cfg.bloomEntries / RecencyBloom::numWays),
+            cfg.seed),
+      kickRng(cfg.seed ^ 0x6b69636bull),
+      statSet(std::move(name))
+{
+    stash.reserve(cfg.stashEntries);
+}
+
+void
+MetadataTable::approxInsert(Addr key, LogicalTs wts, LogicalTs rts)
+{
+    if (cfg.useMaxRegisters) {
+        maxRegWts = std::max(maxRegWts, wts);
+        maxRegRts = std::max(maxRegRts, rts);
+        return;
+    }
+    bloom.insert(key, wts, rts);
+}
+
+std::pair<LogicalTs, LogicalTs>
+MetadataTable::approxLookup(Addr key) const
+{
+    if (cfg.useMaxRegisters)
+        return {maxRegWts, maxRegRts};
+    return bloom.lookup(key);
+}
+
+unsigned
+MetadataTable::wayIndex(unsigned way, Addr key) const
+{
+    return static_cast<unsigned>(hashes.hash(way, key) % wayEntries);
+}
+
+TxMetadata *
+MetadataTable::slot(unsigned way, unsigned index)
+{
+    return &table[way * wayEntries + index];
+}
+
+TxMetadata *
+MetadataTable::findPrecise(Addr key)
+{
+    for (unsigned way = 0; way < numWays; ++way) {
+        TxMetadata *entry = slot(way, wayIndex(way, key));
+        if (entry->valid() && entry->key == key)
+            return entry;
+    }
+    for (TxMetadata &entry : stash)
+        if (entry.valid() && entry.key == key)
+            return &entry;
+    for (TxMetadata &entry : overflow)
+        if (entry.key == key)
+            return &entry;
+    return nullptr;
+}
+
+MetaAccess
+MetadataTable::access(Addr key)
+{
+    MetaAccess result;
+    if (TxMetadata *hit = findPrecise(key)) {
+        result.entry = hit;
+        result.cycles = 1; // Ways and stash are probed in parallel.
+        statSet.inc("lookups");
+        statSet.sample("access_cycles", 1.0);
+        return result;
+    }
+
+    // Miss: materialize a precise entry seeded from the approximate
+    // table's (safe, overestimated) timestamps.
+    const auto [wts, rts] = approxLookup(key);
+    TxMetadata fresh;
+    fresh.key = key;
+    fresh.wts = wts;
+    fresh.rts = rts;
+    fresh.numWrites = 0;
+    fresh.owner = invalidWarp;
+
+    bool overflowed = false;
+    Cycle cycles = 0;
+    // The displacement walk may itself evict the freshly materialized
+    // (still unlocked) entry back into the Bloom filter while placing a
+    // displaced victim; its timestamps stay safely overestimated there,
+    // so simply re-materialize and retry.
+    for (unsigned attempt = 0; attempt < 8 && !result.entry; ++attempt) {
+        cycles += insert(fresh, overflowed);
+        result.entry = findPrecise(key);
+        if (!result.entry) {
+            const auto [wts2, rts2] = approxLookup(key);
+            fresh.wts = wts2;
+            fresh.rts = rts2;
+        }
+    }
+    if (!result.entry) {
+        unsigned linear_hits = 0;
+        for (const TxMetadata &probe : table)
+            if (probe.valid() && probe.key == key)
+                ++linear_hits;
+        panic("metadata entry vanished after insert (key %#llx, "
+              "linear hits %u, occupancy %u/%zu, stash %zu, overflow %zu, "
+              "locked %u)",
+              static_cast<unsigned long long>(key), linear_hits,
+              occupancy(), table.size(), stash.size(), overflow.size(),
+              lockedCount());
+    }
+    result.cycles = cycles;
+    result.overflowed = overflowed;
+    statSet.inc("lookups");
+    statSet.inc("misses");
+    statSet.sample("access_cycles", static_cast<double>(cycles));
+    return result;
+}
+
+Cycle
+MetadataTable::insert(TxMetadata incoming, bool &overflowed)
+{
+    Cycle cycles = 1;
+    TxMetadata carry = incoming;
+    // Deterministic kick order, randomized per insertion.
+    unsigned start_way =
+        static_cast<unsigned>(kickRng.below(numWays));
+
+    for (unsigned kick = 0; kick <= cfg.maxKicks; ++kick) {
+        // 1. Any empty slot among the carry's candidate ways?
+        for (unsigned w = 0; w < numWays; ++w) {
+            TxMetadata *candidate = slot(w, wayIndex(w, carry.key));
+            if (!candidate->valid()) {
+                *candidate = carry;
+                return cycles;
+            }
+        }
+        // 2. Any unlocked (evictable) candidate? Evict it to the Bloom
+        //    filter; its precise timestamps degrade to approximations.
+        //    The key being inserted is protected: a displaced victim's
+        //    walk would otherwise immediately bounce it back out.
+        for (unsigned w = 0; w < numWays; ++w) {
+            TxMetadata *candidate = slot(w, wayIndex(w, carry.key));
+            if (!candidate->locked() && candidate->key != incoming.key) {
+                approxInsert(candidate->key, candidate->wts,
+                             candidate->rts);
+                statSet.inc("evictions_to_bloom");
+                *candidate = carry;
+                return cycles;
+            }
+        }
+        // 3. All candidates are locked: displace one and continue the
+        //    cuckoo walk (each swap costs a cycle).
+        const unsigned w = (start_way + kick) % numWays;
+        TxMetadata *victim = slot(w, wayIndex(w, carry.key));
+        std::swap(*victim, carry);
+        ++cycles;
+        statSet.inc("cuckoo_kicks");
+    }
+
+    // The walk failed: fall back to the stash.
+    if (stash.size() < cfg.stashEntries) {
+        stash.push_back(carry);
+        statSet.inc("stash_inserts");
+        return cycles;
+    }
+    // Try to evict an unlocked stash entry.
+    for (TxMetadata &entry : stash) {
+        if (!entry.locked() && entry.key != incoming.key) {
+            approxInsert(entry.key, entry.wts, entry.rts);
+            statSet.inc("evictions_to_bloom");
+            entry = carry;
+            statSet.inc("stash_inserts");
+            return cycles;
+        }
+    }
+    // Everything is locked: spill to the overflow area in main memory.
+    overflow.push_back(carry);
+    overflowed = true;
+    cycles += cfg.overflowPenalty;
+    statSet.inc("overflow_inserts");
+    return cycles;
+}
+
+void
+MetadataTable::flush()
+{
+    for (TxMetadata &entry : table) {
+        if (entry.locked())
+            panic("flushing a locked metadata entry (%#llx)",
+                  static_cast<unsigned long long>(entry.key));
+        entry = TxMetadata{};
+    }
+    for (TxMetadata &entry : stash)
+        if (entry.locked())
+            panic("flushing a locked stash entry");
+    stash.clear();
+    for (TxMetadata &entry : overflow)
+        if (entry.locked())
+            panic("flushing a locked overflow entry");
+    overflow.clear();
+    bloom.flush();
+    maxRegWts = 0;
+    maxRegRts = 0;
+    maxTs = 0;
+    statSet.inc("flushes");
+}
+
+unsigned
+MetadataTable::lockedCount() const
+{
+    unsigned count = 0;
+    for (const TxMetadata &entry : table)
+        if (entry.valid() && entry.locked())
+            ++count;
+    for (const TxMetadata &entry : stash)
+        if (entry.valid() && entry.locked())
+            ++count;
+    for (const TxMetadata &entry : overflow)
+        if (entry.locked())
+            ++count;
+    return count;
+}
+
+unsigned
+MetadataTable::occupancy() const
+{
+    unsigned count = 0;
+    for (const TxMetadata &entry : table)
+        if (entry.valid())
+            ++count;
+    count += static_cast<unsigned>(stash.size());
+    count += static_cast<unsigned>(overflow.size());
+    return count;
+}
+
+} // namespace getm

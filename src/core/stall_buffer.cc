@@ -1,0 +1,110 @@
+#include "core/stall_buffer.hh"
+
+#include "common/log.hh"
+
+namespace getm {
+
+StallBuffer::StallBuffer(std::string name, const Config &config)
+    : cfg(config), lines(config.lines), statSet(std::move(name))
+{
+    for (Line &line : lines)
+        line.entries.reserve(cfg.entriesPerLine);
+}
+
+StallBuffer::Line *
+StallBuffer::findLine(Addr key)
+{
+    for (Line &line : lines)
+        if (line.key == key && !line.entries.empty())
+            return &line;
+    return nullptr;
+}
+
+const StallBuffer::Line *
+StallBuffer::findLine(Addr key) const
+{
+    for (const Line &line : lines)
+        if (line.key == key && !line.entries.empty())
+            return &line;
+    return nullptr;
+}
+
+bool
+StallBuffer::enqueue(Addr key, MemMsg &&msg)
+{
+    Line *line = findLine(key);
+    if (!line) {
+        for (Line &candidate : lines) {
+            if (candidate.entries.empty()) {
+                line = &candidate;
+                line->key = key;
+                break;
+            }
+        }
+    }
+    if (!line || line->entries.size() >= cfg.entriesPerLine) {
+        statSet.inc("full_rejections");
+        return false;
+    }
+    line->entries.push_back(std::move(msg));
+    if (tracker)
+        tracker->add();
+    statSet.inc("enqueues");
+    statSet.trackMax("occupancy", occupancy());
+    statSet.sample("waiters_per_addr",
+                   static_cast<double>(line->entries.size()));
+    return true;
+}
+
+bool
+StallBuffer::hasWaiters(Addr key) const
+{
+    return findLine(key) != nullptr;
+}
+
+MemMsg
+StallBuffer::popOldest(Addr key)
+{
+    Line *line = findLine(key);
+    if (!line)
+        panic("popOldest on empty stall-buffer line");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < line->entries.size(); ++i)
+        if (line->entries[i].ts < line->entries[best].ts)
+            best = i;
+    MemMsg msg = std::move(line->entries[best]);
+    line->entries.erase(line->entries.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+    if (tracker)
+        tracker->remove();
+    return msg;
+}
+
+unsigned
+StallBuffer::occupancy() const
+{
+    unsigned total = 0;
+    for (const Line &line : lines)
+        total += static_cast<unsigned>(line.entries.size());
+    return total;
+}
+
+unsigned
+StallBuffer::waitersOn(Addr key) const
+{
+    const Line *line = findLine(key);
+    return line ? static_cast<unsigned>(line->entries.size()) : 0;
+}
+
+void
+StallBuffer::flush()
+{
+    for (Line &line : lines) {
+        if (tracker)
+            for (std::size_t i = 0; i < line.entries.size(); ++i)
+                tracker->remove();
+        line.entries.clear();
+    }
+}
+
+} // namespace getm

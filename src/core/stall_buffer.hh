@@ -1,0 +1,107 @@
+/**
+ * @file
+ * GETM stall buffer (paper Fig. 9, Sec. V-B2).
+ *
+ * Requests that pass the timestamp check but find their target granule
+ * reserved by a logically older transaction are queued here instead of
+ * aborting. The structure resembles an MSHR: a small number of address
+ * lines, each holding a few requests from different warps contending for
+ * the same location. When a committing (or aborting) transaction drops a
+ * granule's #writes to zero, the queued request with the minimum warpts
+ * re-enters the validation unit. A full buffer aborts the requester.
+ */
+
+#ifndef GETM_CORE_STALL_BUFFER_HH
+#define GETM_CORE_STALL_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "tm/messages.hh"
+
+namespace getm {
+
+/** GPU-wide stall-buffer occupancy tracker (Fig. 15 measures the total
+ *  across all partitions at any instant). */
+struct StallOccupancyTracker
+{
+    unsigned current = 0;
+    unsigned peak = 0;
+
+    void
+    add()
+    {
+        if (++current > peak)
+            peak = current;
+    }
+
+    void
+    remove()
+    {
+        --current;
+    }
+};
+
+/** Per-partition stall buffer. */
+class StallBuffer
+{
+  public:
+    struct Config
+    {
+        unsigned lines = 4;          ///< Distinct addresses tracked.
+        unsigned entriesPerLine = 4; ///< Requests per address.
+    };
+
+    StallBuffer(std::string name, const Config &config);
+
+    /**
+     * Try to queue @p msg (a request whose granule is @p key).
+     * @return false if the buffer is full (the caller must abort the
+     *         requester).
+     */
+    bool enqueue(Addr key, MemMsg &&msg);
+
+    /** Any requests waiting on @p key? */
+    bool hasWaiters(Addr key) const;
+
+    /**
+     * Remove and return the minimum-warpts request waiting on @p key.
+     * Must only be called when hasWaiters(key).
+     */
+    MemMsg popOldest(Addr key);
+
+    /** Total queued requests (Fig. 15 metric). */
+    unsigned occupancy() const;
+
+    /** Queued requests for @p key (Fig. 16 metric). */
+    unsigned waitersOn(Addr key) const;
+
+    /** Drop everything (timestamp rollover). */
+    void flush();
+
+    StatSet &stats() { return statSet; }
+
+    /** Attach a GPU-wide occupancy tracker (may be null). */
+    void setTracker(StallOccupancyTracker *t) { tracker = t; }
+
+  private:
+    struct Line
+    {
+        Addr key = invalidAddr;
+        std::vector<MemMsg> entries;
+    };
+
+    Line *findLine(Addr key);
+    const Line *findLine(Addr key) const;
+
+    Config cfg;
+    std::vector<Line> lines;
+    StallOccupancyTracker *tracker = nullptr;
+    StatSet statSet;
+};
+
+} // namespace getm
+
+#endif // GETM_CORE_STALL_BUFFER_HH

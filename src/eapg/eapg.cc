@@ -1,0 +1,129 @@
+#include "eapg/eapg.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace getm {
+
+void
+EapgPartitionUnit::onValidationStart(const MemMsg &slice, Cycle now)
+{
+    // Broadcast the writer's conflict set to every core. The message is
+    // charged as an idealized 64-bit flit (paper Sec. VI-A); the core's
+    // conflict check against it is precise and instantaneous.
+    MemMsg proto;
+    proto.kind = MsgKind::EapgSignature;
+    proto.partition = ctx.partitionId();
+    proto.txId = slice.txId;
+    for (const LaneOp &op : slice.ops)
+        if (op.aux)
+            proto.ops.push_back({0, op.addr, 0, 0});
+    if (proto.ops.empty())
+        return;
+    proto.bytes = 8; // idealized 64-bit message
+    for (CoreId core = 0; core < ctx.numCores(); ++core) {
+        MemMsg bcast = proto;
+        bcast.core = core;
+        ctx.scheduleToCore(std::move(bcast), now + 1);
+    }
+    ctx.stats().inc("eapg_signature_broadcasts", ctx.numCores());
+}
+
+void
+EapgPartitionUnit::onDecisionApplied(std::uint64_t tx_id, Cycle now)
+{
+    for (CoreId core = 0; core < ctx.numCores(); ++core) {
+        MemMsg bcast;
+        bcast.kind = MsgKind::EapgCommitDone;
+        bcast.core = core;
+        bcast.partition = ctx.partitionId();
+        bcast.txId = tx_id;
+        bcast.bytes = 8;
+        ctx.scheduleToCore(std::move(bcast), now + 1);
+    }
+    ctx.stats().inc("eapg_done_broadcasts", ctx.numCores());
+}
+
+void
+EapgCoreTm::onBroadcast(const MemMsg &msg)
+{
+    if (msg.kind == MsgKind::EapgCommitDone) {
+        remote.erase(msg.txId);
+        // Retry paused commits whose conflicts may have cleared.
+        std::vector<std::uint32_t> retry;
+        retry.swap(paused);
+        for (std::uint32_t slot : retry) {
+            Warp &warp = core.allWarps()[slot];
+            if (!warp.inTx || warp.commitIssued)
+                continue;
+            if (maybePause(warp))
+                continue; // still conflicting; re-queued
+            startValidation(warp);
+        }
+        return;
+    }
+
+    // Conflict-set broadcast: early-abort running (not yet committing)
+    // transactions that read a location the writer is committing.
+    auto &write_set = remote[msg.txId];
+    for (const LaneOp &op : msg.ops)
+        write_set.insert(op.addr);
+    for (Warp &warp : core.allWarps()) {
+        if (!warp.inTx || warp.commitPointFired)
+            continue;
+        const int txi = warp.transactionIndex();
+        if (txi < 0)
+            continue;
+        LaneMask hit = 0;
+        for (LaneId lane = 0; lane < warpSize; ++lane) {
+            if (!(warp.stack[txi].mask & (1u << lane)))
+                continue;
+            for (const LogEntry &entry : warp.logs[lane].readLog()) {
+                if (write_set.count(entry.addr)) {
+                    hit |= 1u << lane;
+                    break;
+                }
+            }
+        }
+        if (hit) {
+            core.stats().inc("eapg_early_aborts", std::popcount(hit));
+            core.abortTxLanes(warp, hit, warp.warpts);
+        }
+    }
+}
+
+bool
+EapgCoreTm::maybePause(Warp &warp)
+{
+    bool conflict = false;
+    for (LaneId lane = 0; lane < warpSize && !conflict; ++lane) {
+        const LaneMask bit = 1u << lane;
+        if (!((warp.wtmValidating | warp.wtmSilent) & bit))
+            continue;
+        for (const auto &[tx_id, write_set] : remote) {
+            for (const LogEntry &entry : warp.logs[lane].readLog())
+                if (write_set.count(entry.addr)) {
+                    conflict = true;
+                    break;
+                }
+            if (conflict)
+                break;
+            for (const LogEntry &entry : warp.logs[lane].writeLog())
+                if (write_set.count(entry.addr)) {
+                    conflict = true;
+                    break;
+                }
+            if (conflict)
+                break;
+        }
+    }
+    if (!conflict)
+        return false;
+    if (std::find(paused.begin(), paused.end(), warp.slot) == paused.end())
+        paused.push_back(warp.slot);
+    core.stats().inc("eapg_pauses");
+    core.changeState(warp, WarpState::CommitWait);
+    return true;
+}
+
+} // namespace getm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Idealized EarlyAbort/Pause-n-Go baseline (paper Sec. VI-A; proposal of
+ * Chen & Peng [26]).
+ *
+ * EAPG extends WarpTM with broadcast updates about currently committing
+ * transactions: when a validation with writes begins at an LLC partition,
+ * the writer's conflict set is broadcast to every SIMT core. Cores
+ * early-abort running transactions whose read sets intersect it, and
+ * pause transactions about to enter validation until the conflicting
+ * commit finishes.
+ *
+ * Following the paper's idealization: broadcasts are charged as 64-bit
+ * messages on the crossbar regardless of content, the conflict check at
+ * the core is instantaneous and precise, and reference-count table
+ * updates cost one cycle for the whole log. The broadcasts still
+ * traverse the down crossbar, whose congestion is the mechanism's real
+ * cost (Sec. VI-B).
+ */
+
+#ifndef GETM_EAPG_EAPG_HH
+#define GETM_EAPG_EAPG_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "warptm/wtm_core_tm.hh"
+#include "warptm/wtm_partition.hh"
+
+namespace getm {
+
+/** EAPG partition unit: WarpTM plus conflict-set/done broadcasts. */
+class EapgPartitionUnit : public WtmPartitionUnit
+{
+  public:
+    using WtmPartitionUnit::WtmPartitionUnit;
+
+  protected:
+    void onValidationStart(const MemMsg &slice, Cycle now) override;
+    void onDecisionApplied(std::uint64_t tx_id, Cycle now) override;
+};
+
+/** EAPG core engine: WarpTM plus early abort and pause-n-go. */
+class EapgCoreTm : public WtmCoreTm
+{
+  public:
+    EapgCoreTm(SimtCore &core_, std::shared_ptr<WtmShared> shared_)
+        : WtmCoreTm(core_, std::move(shared_), WtmMode::LazyLazy)
+    {
+    }
+
+    void onBroadcast(const MemMsg &msg) override;
+
+  protected:
+    bool maybePause(Warp &warp) override;
+
+  private:
+    /** Write sets of remote commits currently in progress. */
+    std::unordered_map<std::uint64_t, std::unordered_set<Addr>> remote;
+
+    /** Warp slots paused at their commit point. */
+    std::vector<std::uint32_t> paused;
+};
+
+} // namespace getm
+
+#endif // GETM_EAPG_EAPG_HH

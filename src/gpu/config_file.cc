@@ -1,0 +1,133 @@
+#include "gpu/config_file.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace getm {
+
+namespace {
+
+std::string
+trim(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+bool
+applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
+{
+    if (key == "cores")
+        cfg.numCores = static_cast<unsigned>(value);
+    else if (key == "partitions")
+        cfg.numPartitions = static_cast<unsigned>(value);
+    else if (key == "warps_per_core")
+        cfg.core.maxWarps = static_cast<unsigned>(value);
+    else if (key == "tx_warp_limit")
+        cfg.core.txWarpLimit =
+            value == 0 ? 0xffffffffu : static_cast<unsigned>(value);
+    else if (key == "issue_width")
+        cfg.core.issueWidth = static_cast<unsigned>(value);
+    else if (key == "l1_kb")
+        cfg.core.l1Bytes = value * 1024;
+    else if (key == "llc_kb_per_partition")
+        cfg.llcBytesPerPartition = value * 1024;
+    else if (key == "llc_latency")
+        cfg.llcLatency = value;
+    else if (key == "line_bytes")
+        cfg.lineBytes = static_cast<unsigned>(value);
+    else if (key == "xbar_latency")
+        cfg.xbar.latency = value;
+    else if (key == "xbar_flit_bytes")
+        cfg.xbar.flitBytes = static_cast<unsigned>(value);
+    else if (key == "dram_latency")
+        cfg.dram.accessLatency = value;
+    else if (key == "dram_row_hit_latency")
+        cfg.dram.rowHitLatency = value;
+    else if (key == "dram_banks")
+        cfg.dram.numBanks = static_cast<unsigned>(value);
+    else if (key == "getm_granule")
+        cfg.getmGranule = static_cast<unsigned>(value);
+    else if (key == "getm_precise_entries")
+        cfg.getmPreciseEntriesTotal = static_cast<unsigned>(value);
+    else if (key == "getm_bloom_entries")
+        cfg.getmBloomEntriesTotal = static_cast<unsigned>(value);
+    else if (key == "getm_max_registers")
+        cfg.getmUseMaxRegisters = value != 0;
+    else if (key == "getm_stall_lines")
+        cfg.getmStall.lines = static_cast<unsigned>(value);
+    else if (key == "getm_stall_entries")
+        cfg.getmStall.entriesPerLine = static_cast<unsigned>(value);
+    else if (key == "wtm_tcd_entries")
+        cfg.wtm.tcdEntries = static_cast<unsigned>(value);
+    else if (key == "rollover_threshold")
+        cfg.rolloverThreshold =
+            value == 0 ? ~static_cast<LogicalTs>(0) : value;
+    else if (key == "seed")
+        cfg.seed = value;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+applyConfigText(const std::string &text, GpuConfig &cfg,
+                std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto comment = line.find('#');
+        if (comment != std::string::npos)
+            line.erase(comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            error = "line " + std::to_string(line_no) + ": expected "
+                    "'key = value'";
+            return false;
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value_text = trim(line.substr(eq + 1));
+        char *end = nullptr;
+        const std::uint64_t value =
+            std::strtoull(value_text.c_str(), &end, 0);
+        if (value_text.empty() || (end && *end != '\0')) {
+            error = "line " + std::to_string(line_no) +
+                    ": bad value for '" + key + "'";
+            return false;
+        }
+        if (!applyKey(cfg, key, value)) {
+            error = "line " + std::to_string(line_no) +
+                    ": unknown key '" + key + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadConfigFile(const std::string &path, GpuConfig &cfg,
+               std::string &error)
+{
+    std::ifstream file(path);
+    if (!file) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    return applyConfigText(buffer.str(), cfg, error);
+}
+
+} // namespace getm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text configuration files for GpuConfig.
+ *
+ * A config file is a list of `key = value` lines (with `#` comments),
+ * mirroring how GPGPU-Sim experiments are driven by gpgpusim.config
+ * files. Unknown keys are an error -- silently ignored typos are how
+ * simulation studies go wrong. Supported keys cover everything the
+ * evaluation sweeps:
+ *
+ *     # Table II baseline, GETM at 64 B granularity
+ *     cores = 15
+ *     partitions = 6
+ *     warps_per_core = 48
+ *     tx_warp_limit = 8
+ *     llc_kb_per_partition = 128
+ *     llc_latency = 330
+ *     getm_granule = 64
+ *     getm_precise_entries = 4096
+ *     getm_bloom_entries = 1024
+ *     getm_max_registers = 0
+ *     wtm_tcd_entries = 2048
+ *     rollover_threshold = 0        # 0 = disabled
+ *     seed = 7
+ */
+
+#ifndef GETM_GPU_CONFIG_FILE_HH
+#define GETM_GPU_CONFIG_FILE_HH
+
+#include <string>
+
+#include "gpu/gpu_config.hh"
+
+namespace getm {
+
+/**
+ * Apply `key = value` lines from @p text onto @p cfg.
+ * @param error Filled with a diagnostic on failure.
+ * @return false on parse error or unknown key.
+ */
+bool applyConfigText(const std::string &text, GpuConfig &cfg,
+                     std::string &error);
+
+/** Load @p path and apply it onto @p cfg. */
+bool loadConfigFile(const std::string &path, GpuConfig &cfg,
+                    std::string &error);
+
+} // namespace getm
+
+#endif // GETM_GPU_CONFIG_FILE_HH

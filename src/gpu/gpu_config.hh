@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Whole-GPU configuration (paper Table II) and protocol selection.
+ */
+
+#ifndef GETM_GPU_GPU_CONFIG_HH
+#define GETM_GPU_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/getm_partition.hh"
+#include "mem/dram_model.hh"
+#include "noc/crossbar.hh"
+#include "simt/simt_core.hh"
+#include "warptm/wtm_partition.hh"
+
+namespace getm {
+
+/** Which TM system (or the lock baseline) the GPU runs. */
+enum class ProtocolKind : std::uint8_t
+{
+    FgLock,   ///< Fine-grained locks; no TM hardware at all.
+    Getm,     ///< This paper's proposal (eager conflict detection).
+    WarpTmLL, ///< WarpTM baseline (lazy-lazy).
+    WarpTmEL, ///< Idealized eager-lazy WarpTM variant (Sec. III).
+    Eapg,     ///< Idealized EarlyAbort/Pause-n-Go (Sec. VI-A).
+};
+
+/** Human-readable protocol name. */
+const char *protocolName(ProtocolKind kind);
+
+/** Full simulated-GPU configuration. */
+struct GpuConfig
+{
+    unsigned numCores = 15;
+    unsigned numPartitions = 6;
+
+    CoreConfig core;
+
+    // LLC slice per partition (Table II: 128 KB, 8-way, 128 B lines).
+    std::uint64_t llcBytesPerPartition = 128 * 1024;
+    unsigned llcAssoc = 8;
+    unsigned lineBytes = 128;
+    /** LLC memory scheduling latency (Table II: 330 cycles). */
+    Cycle llcLatency = 330;
+
+    CrossbarTiming::Config xbar;
+    DramModel::Config dram;
+
+    ProtocolKind protocol = ProtocolKind::Getm;
+
+    // GETM structures (GPU-wide totals; divided across partitions).
+    unsigned getmPreciseEntriesTotal = 4096;
+    unsigned getmBloomEntriesTotal = 1024;
+    unsigned getmGranule = 32;
+    /** Ablation: max-registers approximate metadata (paper Sec. V-B1). */
+    bool getmUseMaxRegisters = false;
+    StallBuffer::Config getmStall;
+    /** Force a timestamp rollover past this logical time (tests). */
+    LogicalTs rolloverThreshold = ~static_cast<LogicalTs>(0);
+    /** Modelled VU stall for one rollover (ring + core acks). */
+    Cycle rolloverPenalty = 100;
+
+    WtmPartitionConfig wtm;
+
+    /** Write a Chrome-trace transaction timeline here (empty: off). */
+    std::string timelinePath;
+
+    std::uint64_t seed = 12345;
+
+    /** GTX480-like baseline of Table II. */
+    static GpuConfig gtx480();
+
+    /** Scaled 56-core / 4 MB LLC configuration (Fig. 17). */
+    static GpuConfig scaled56();
+
+    /**
+     * A reduced configuration for unit tests: fewer cores/warps so
+     * simulations finish in milliseconds.
+     */
+    static GpuConfig testRig();
+};
+
+} // namespace getm
+
+#endif // GETM_GPU_GPU_CONFIG_HH

@@ -1,0 +1,352 @@
+#include "gpu/gpu_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/getm_core_tm.hh"
+#include "eapg/eapg.hh"
+#include "warptm/wtm_core_tm.hh"
+#include "warptm/wtm_partition.hh"
+
+namespace getm {
+
+const char *
+protocolName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::FgLock: return "FGLock";
+      case ProtocolKind::Getm: return "GETM";
+      case ProtocolKind::WarpTmLL: return "WarpTM-LL";
+      case ProtocolKind::WarpTmEL: return "WarpTM-EL";
+      case ProtocolKind::Eapg: return "EAPG";
+    }
+    return "?";
+}
+
+GpuConfig
+GpuConfig::gtx480()
+{
+    GpuConfig cfg;
+    cfg.numCores = 15;
+    cfg.numPartitions = 6;
+    cfg.core.maxWarps = 48;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::scaled56()
+{
+    GpuConfig cfg;
+    cfg.numCores = 56;
+    cfg.numPartitions = 8;
+    cfg.core.maxWarps = 48;
+    cfg.llcBytesPerPartition = 512 * 1024; // 4 MB total, 8 banks
+    // Paper: for WarpTM the recency filter (TCD) doubles; for GETM only
+    // the precise metadata table is doubled.
+    cfg.wtm.tcdEntries = 4096;
+    cfg.getmPreciseEntriesTotal = 8192;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::testRig()
+{
+    GpuConfig cfg;
+    cfg.numCores = 2;
+    cfg.numPartitions = 2;
+    cfg.core.maxWarps = 4;
+    cfg.llcBytesPerPartition = 32 * 1024;
+    cfg.llcLatency = 20;
+    cfg.dram.accessLatency = 40;
+    cfg.getmPreciseEntriesTotal = 512;
+    cfg.getmBloomEntriesTotal = 128;
+    return cfg;
+}
+
+GpuSystem::GpuSystem(const GpuConfig &config)
+    : cfg(config), addrMap(cfg.numPartitions, cfg.lineBytes),
+      xbarUp("xbar.up", cfg.numCores, cfg.numPartitions, cfg.xbar),
+      xbarDown("xbar.down", cfg.numPartitions, cfg.numCores, cfg.xbar)
+{
+    CoreConfig core_cfg = cfg.core;
+    core_cfg.lineBytes = cfg.lineBytes;
+    core_cfg.txGranule = cfg.getmGranule;
+    core_cfg.seed = cfg.seed;
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        coreArray.push_back(std::make_unique<SimtCore>(
+            c, core_cfg, addrMap, store, [this, c](MemMsg &&msg) {
+                const PartitionId part = msg.partition;
+                const unsigned bytes = msg.bytes;
+                xbarUp.send(c, part, bytes, coreArray[c]->now(),
+                            std::move(msg));
+            }));
+    }
+    for (PartitionId p = 0; p < cfg.numPartitions; ++p) {
+        partArray.push_back(std::make_unique<MemPartition>(
+            p, cfg, addrMap, store, xbarUp, xbarDown, cfg.numCores));
+    }
+    if (!cfg.timelinePath.empty())
+        for (auto &core : coreArray)
+            core->setTimeline(&timeline);
+    wireProtocol();
+}
+
+GpuSystem::~GpuSystem() = default;
+
+void
+GpuSystem::wireProtocol()
+{
+    switch (cfg.protocol) {
+      case ProtocolKind::FgLock:
+        break; // no TM hardware
+
+      case ProtocolKind::Getm: {
+        GetmPartitionConfig part_cfg;
+        part_cfg.meta.preciseEntries =
+            std::max(16u, cfg.getmPreciseEntriesTotal / cfg.numPartitions);
+        part_cfg.meta.bloomEntries =
+            std::max(16u, cfg.getmBloomEntriesTotal / cfg.numPartitions);
+        part_cfg.meta.seed = cfg.seed ^ 0x9e7a;
+        part_cfg.meta.useMaxRegisters = cfg.getmUseMaxRegisters;
+        part_cfg.stall = cfg.getmStall;
+        part_cfg.granule = cfg.getmGranule;
+        for (auto &core : coreArray)
+            core->setProtocol(std::make_unique<GetmCoreTm>(*core));
+        for (auto &part : partArray) {
+            auto unit = std::make_unique<GetmPartitionUnit>(
+                *part, part_cfg,
+                "part" + std::to_string(part->partitionId()) + ".getm");
+            unit->stallBuffer().setTracker(&stallTracker);
+            getmUnits.push_back(unit.get());
+            part->setProtocol(std::move(unit));
+        }
+        break;
+      }
+
+      case ProtocolKind::WarpTmLL:
+      case ProtocolKind::WarpTmEL: {
+        wtmShared = std::make_shared<WtmShared>();
+        const WtmMode mode = cfg.protocol == ProtocolKind::WarpTmLL
+                                 ? WtmMode::LazyLazy
+                                 : WtmMode::EagerLazy;
+        for (auto &core : coreArray)
+            core->setProtocol(
+                std::make_unique<WtmCoreTm>(*core, wtmShared, mode));
+        for (auto &part : partArray)
+            part->setProtocol(std::make_unique<WtmPartitionUnit>(
+                *part, cfg.wtm,
+                "part" + std::to_string(part->partitionId()) + ".wtm"));
+        break;
+      }
+
+      case ProtocolKind::Eapg: {
+        wtmShared = std::make_shared<WtmShared>();
+        for (auto &core : coreArray)
+            core->setProtocol(std::make_unique<EapgCoreTm>(*core,
+                                                           wtmShared));
+        for (auto &part : partArray)
+            part->setProtocol(std::make_unique<EapgPartitionUnit>(
+                *part, cfg.wtm,
+                "part" + std::to_string(part->partitionId()) + ".eapg"));
+        break;
+      }
+    }
+}
+
+bool
+GpuSystem::allDone() const
+{
+    for (const auto &core : coreArray)
+        if (!core->done())
+            return false;
+    return true;
+}
+
+bool
+GpuSystem::drained(Cycle now) const
+{
+    // GETM commits are fire-and-forget: after the last warp retires, its
+    // write log may still be crossing the interconnect. The run only
+    // ends once every message has been delivered and processed.
+    if (!xbarUp.idle() || !xbarDown.idle())
+        return false;
+    for (const auto &part : partArray)
+        if (!part->idle(now))
+            return false;
+    return true;
+}
+
+Cycle
+GpuSystem::computeNextCycle(Cycle now) const
+{
+    Cycle best = ~static_cast<Cycle>(0);
+    for (const auto &core : coreArray)
+        best = std::min(best, core->nextEventCycle(now + 1));
+    for (const auto &part : partArray)
+        best = std::min(best, part->nextEventCycle(now));
+    best = std::min(best, xbarUp.nextArrival());
+    best = std::min(best, xbarDown.nextArrival());
+    if (best == ~static_cast<Cycle>(0))
+        return best;
+    return std::max(best, now + 1);
+}
+
+void
+GpuSystem::maybeRollover(Cycle now)
+{
+    if (!rolloverPending) {
+        LogicalTs max_ts = 0;
+        for (GetmPartitionUnit *unit : getmUnits)
+            max_ts = std::max(max_ts, unit->maxTimestamp());
+        if (max_ts < cfg.rolloverThreshold)
+            return;
+        // Begin rollover: freeze transactional progress and force all
+        // in-flight attempts to abort and release their reservations.
+        rolloverPending = true;
+        for (auto &core : coreArray) {
+            core->setTxFrozen(true);
+            for (Warp &warp : core->allWarps()) {
+                if (!warp.inTx)
+                    continue;
+                const int txi = warp.transactionIndex();
+                if (txi >= 0 && warp.stack[txi].mask)
+                    core->abortTxLanes(warp, warp.stack[txi].mask, 0);
+            }
+        }
+        inform("GETM timestamp rollover initiated at cycle %llu",
+               static_cast<unsigned long long>(now));
+        return;
+    }
+
+    // Mid-rollover: wait for quiescence, then flush and resume.
+    for (const auto &core : coreArray)
+        if (!core->quiescent())
+            return;
+    for (GetmPartitionUnit *unit : getmUnits)
+        if (unit->metadata().lockedCount() ||
+            unit->stallBuffer().occupancy())
+            return;
+
+    for (GetmPartitionUnit *unit : getmUnits)
+        unit->flushForRollover();
+    for (auto &part : partArray)
+        part->addPipelineStall(now, cfg.rolloverPenalty);
+    for (auto &core : coreArray) {
+        for (Warp &warp : core->allWarps()) {
+            warp.warpts = 0;
+            warp.maxObservedTs = 0;
+        }
+        core->setTxFrozen(false);
+    }
+    rolloverPending = false;
+    ++rollovers;
+    inform("GETM timestamp rollover completed at cycle %llu",
+           static_cast<unsigned long long>(now));
+}
+
+RunResult
+GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
+               Cycle max_cycles)
+{
+    const std::uint64_t total_warps = (num_threads + warpSize - 1) /
+                                      warpSize;
+    auto next_warp = std::make_shared<std::uint64_t>(0);
+    auto work = [next_warp, total_warps,
+                 num_threads](WarpAssignment &assign) -> bool {
+        if (*next_warp >= total_warps)
+            return false;
+        const std::uint64_t w = (*next_warp)++;
+        assign.firstTid = static_cast<std::uint32_t>(w * warpSize);
+        const std::uint64_t remaining = num_threads - w * warpSize;
+        assign.validLanes =
+            remaining >= warpSize
+                ? fullMask
+                : ((1u << remaining) - 1);
+        assign.gwid = 0; // assigned by the core from its slot
+        return true;
+    };
+
+    for (auto &core : coreArray)
+        core->startKernel(&kernel, num_threads, work, 0);
+
+    Cycle now = 0;
+    const bool getm_rollover =
+        cfg.protocol == ProtocolKind::Getm &&
+        cfg.rolloverThreshold != ~static_cast<LogicalTs>(0);
+
+    while (!allDone() || !drained(now)) {
+        if (now >= max_cycles)
+            panic("kernel %s exceeded max cycles (%llu)",
+                  kernel.name().c_str(),
+                  static_cast<unsigned long long>(max_cycles));
+
+        for (auto &part : partArray)
+            part->tick(now);
+        for (auto &core : coreArray) {
+            const CoreId c = core->id();
+            while (xbarDown.hasReady(c, now))
+                core->deliver(xbarDown.popReady(c), now);
+        }
+        for (auto &core : coreArray)
+            core->tick(now);
+
+        if (getm_rollover || rolloverPending)
+            maybeRollover(now);
+
+        const Cycle next = computeNextCycle(now);
+        if (next == ~static_cast<Cycle>(0)) {
+            if (allDone() && drained(now))
+                break;
+            if (rolloverPending) {
+                now = now + 1; // draining towards quiescence
+                continue;
+            }
+            panic("deadlock: no future events at cycle %llu",
+                  static_cast<unsigned long long>(now));
+        }
+        now = next;
+    }
+
+    // Gather results.
+    RunResult result;
+    result.cycles = now;
+    result.rollovers = rollovers;
+    for (GetmPartitionUnit *unit : getmUnits)
+        result.maxLogicalTs =
+            std::max(result.maxLogicalTs, unit->maxTimestamp());
+    for (auto &core : coreArray) {
+        core->foldWarpStats();
+        result.stats.merge(core->stats());
+    }
+    for (auto &part : partArray) {
+        result.stats.merge(part->stats());
+        result.stats.merge(part->llc().stats());
+    }
+    result.stats.merge(xbarUp.stats());
+    result.stats.merge(xbarDown.stats());
+    for (GetmPartitionUnit *unit : getmUnits) {
+        result.stats.merge(unit->metadata().stats());
+        result.stats.merge(unit->stallBuffer().stats());
+    }
+
+    result.commits = result.stats.counter("commits");
+    result.aborts = result.stats.counter("aborts");
+    result.txExecCycles = result.stats.counter("tx_exec_cycles");
+    result.txWaitCycles = result.stats.counter("tx_wait_cycles");
+    result.xbarFlits = xbarUp.totalFlits() + xbarDown.totalFlits();
+    result.metaAccessCycles = result.stats.mean("access_cycles");
+    result.stallPeakOccupancy = stallTracker.peak;
+    result.stallWaitersPerAddr = result.stats.mean("waiters_per_addr");
+    if (!cfg.timelinePath.empty()) {
+        if (timeline.writeJson(cfg.timelinePath))
+            inform("wrote transaction timeline to %s",
+                   cfg.timelinePath.c_str());
+        else
+            warn("failed to write timeline to %s",
+                 cfg.timelinePath.c_str());
+    }
+    return result;
+}
+
+} // namespace getm

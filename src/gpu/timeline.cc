@@ -1,0 +1,48 @@
+#include "gpu/timeline.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace getm {
+
+std::string
+Timeline::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event &event : events) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n{\"pid\":" << event.core << ",\"tid\":" << event.slot
+            << ",\"ts\":" << event.ts;
+        switch (event.kind) {
+          case Kind::Begin:
+            out << ",\"ph\":\"B\",\"name\":\"" << event.name << "\"";
+            break;
+          case Kind::End:
+            out << ",\"ph\":\"E\"";
+            break;
+          case Kind::Instant:
+            out << ",\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << event.name
+                << "\"";
+            break;
+        }
+        out << "}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+bool
+Timeline::writeJson(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    file << toJson();
+    return static_cast<bool>(file);
+}
+
+} // namespace getm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Transaction-lifecycle timeline recorder.
+ *
+ * Records per-warp transactional spans (attempt begin -> commit/retire)
+ * and instant events (aborts, retries, rollovers) and serializes them in
+ * the Chrome trace-event JSON format, viewable in chrome://tracing or
+ * Perfetto. Cores map to "processes" and warp slots to "threads", so a
+ * loaded GPU renders as a familiar Gantt chart of transactions.
+ *
+ * Enable via GpuConfig::timelinePath (or `getm-sim --timeline out.json`).
+ */
+
+#ifndef GETM_GPU_TIMELINE_HH
+#define GETM_GPU_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace getm {
+
+/** Collects trace events for one run. */
+class Timeline
+{
+  public:
+    /** Open a span (Chrome "B" event). */
+    void
+    begin(CoreId core, std::uint32_t slot, const char *name, Cycle ts)
+    {
+        events.push_back({Kind::Begin, core, slot, name, ts});
+    }
+
+    /** Close the innermost span (Chrome "E" event). */
+    void
+    end(CoreId core, std::uint32_t slot, Cycle ts)
+    {
+        events.push_back({Kind::End, core, slot, "", ts});
+    }
+
+    /** Record an instant event (Chrome "i"). */
+    void
+    instant(CoreId core, std::uint32_t slot, const char *name, Cycle ts)
+    {
+        events.push_back({Kind::Instant, core, slot, name, ts});
+    }
+
+    std::size_t size() const { return events.size(); }
+
+    /** Serialize as Chrome trace-event JSON. */
+    std::string toJson() const;
+
+    /** Write to @p path; returns false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Begin,
+        End,
+        Instant,
+    };
+
+    struct Event
+    {
+        Kind kind;
+        CoreId core;
+        std::uint32_t slot;
+        std::string name;
+        Cycle ts;
+    };
+
+    std::vector<Event> events;
+};
+
+} // namespace getm
+
+#endif // GETM_GPU_TIMELINE_HH

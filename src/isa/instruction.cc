@@ -1,0 +1,117 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "isa/kernel.hh"
+
+namespace getm {
+
+namespace {
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::DivU: return "divu";
+      case Opcode::RemU: return "remu";
+      case Opcode::MinS: return "mins";
+      case Opcode::MaxS: return "maxs";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::ShrL: return "shrl";
+      case Opcode::ShrA: return "shra";
+      case Opcode::SetLtS: return "slts";
+      case Opcode::SetLtU: return "sltu";
+      case Opcode::SetEq: return "seq";
+      case Opcode::SetNe: return "sne";
+      case Opcode::SetLeS: return "sles";
+      case Opcode::LoadImm: return "li";
+      case Opcode::ReadSpecial: return "rdsr";
+      case Opcode::Hash: return "hash";
+      case Opcode::BranchEqz: return "beqz";
+      case Opcode::BranchNez: return "bnez";
+      case Opcode::Jump: return "jmp";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::AtomCas: return "atom.cas";
+      case Opcode::AtomExch: return "atom.exch";
+      case Opcode::AtomAdd: return "atom.add";
+      case Opcode::TxBegin: return "txbegin";
+      case Opcode::TxCommit: return "txcommit";
+      case Opcode::Fence: return "fence";
+      case Opcode::Nop: return "nop";
+      case Opcode::Exit: return "exit";
+    }
+    return "???";
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream out;
+    out << mnemonic(op);
+    switch (op) {
+      case Opcode::LoadImm:
+        out << " r" << +rd << ", " << imm;
+        break;
+      case Opcode::ReadSpecial:
+        out << " r" << +rd << ", sr" << imm;
+        break;
+      case Opcode::BranchEqz:
+      case Opcode::BranchNez:
+        out << " r" << +ra << ", @" << target << " (rpc @" << rpc << ")";
+        break;
+      case Opcode::Jump:
+        out << " @" << target;
+        break;
+      case Opcode::Load:
+        out << " r" << +rd << ", [r" << +ra << (imm >= 0 ? "+" : "") << imm
+            << "]" << ((memFlags & MemBypassL1) ? " .vol" : "");
+        break;
+      case Opcode::Store:
+        out << " [r" << +ra << (imm >= 0 ? "+" : "") << imm << "], r" << +rb
+            << ((memFlags & MemBypassL1) ? " .vol" : "");
+        break;
+      case Opcode::AtomCas:
+        out << " r" << +rd << ", [r" << +ra << "], r" << +rb << ", r" << +rc;
+        break;
+      case Opcode::AtomExch:
+      case Opcode::AtomAdd:
+        out << " r" << +rd << ", [r" << +ra << "], r" << +rb;
+        break;
+      case Opcode::TxBegin:
+      case Opcode::TxCommit:
+      case Opcode::Fence:
+      case Opcode::Nop:
+      case Opcode::Exit:
+        break;
+      default:
+        out << " r" << +rd << ", r" << +ra << ", ";
+        if (bImm)
+            out << imm;
+        else
+            out << "r" << +rb;
+        break;
+    }
+    return out.str();
+}
+
+std::string
+Kernel::disassemble() const
+{
+    std::ostringstream out;
+    out << "; kernel " << kernelName << " (" << instructions.size()
+        << " insts)\n";
+    for (Pc pc = 0; pc < size(); ++pc)
+        out << pc << ":\t" << instructions[pc].toString() << '\n';
+    return out.str();
+}
+
+} // namespace getm

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A compiled kernel: the unit of work launched onto the simulated GPU.
+ */
+
+#ifndef GETM_ISA_KERNEL_HH
+#define GETM_ISA_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace getm {
+
+/** An immutable instruction sequence plus launch metadata. */
+class Kernel
+{
+  public:
+    Kernel() = default;
+
+    Kernel(std::string name_, std::vector<Instruction> code_)
+        : kernelName(std::move(name_)), instructions(std::move(code_))
+    {
+    }
+
+    const Instruction &
+    at(Pc pc) const
+    {
+        return instructions[pc];
+    }
+
+    Pc size() const { return static_cast<Pc>(instructions.size()); }
+    bool empty() const { return instructions.empty(); }
+    const std::string &name() const { return kernelName; }
+
+    /** Full disassembly listing. */
+    std::string disassemble() const;
+
+  private:
+    std::string kernelName;
+    std::vector<Instruction> instructions;
+};
+
+} // namespace getm
+
+#endif // GETM_ISA_KERNEL_HH

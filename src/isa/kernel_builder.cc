@@ -1,0 +1,210 @@
+#include "isa/kernel_builder.hh"
+
+#include "common/log.hh"
+
+namespace getm {
+
+KernelBuilder::Label
+KernelBuilder::newLabel()
+{
+    labelPcs.push_back(-1);
+    return Label{static_cast<std::uint32_t>(labelPcs.size() - 1)};
+}
+
+void
+KernelBuilder::bind(Label label)
+{
+    if (labelPcs[label.id] != -1)
+        panic("label %u bound twice in kernel %s", label.id,
+              kernelName.c_str());
+    labelPcs[label.id] = static_cast<std::int64_t>(code.size());
+}
+
+Instruction &
+KernelBuilder::emit(Opcode op)
+{
+    code.emplace_back();
+    code.back().op = op;
+    return code.back();
+}
+
+void
+KernelBuilder::alu(Opcode op, Reg rd, Reg ra, Reg rb)
+{
+    Instruction &inst = emit(op);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.rb = rb.index;
+}
+
+void
+KernelBuilder::alui(Opcode op, Reg rd, Reg ra, std::int64_t imm)
+{
+    Instruction &inst = emit(op);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.bImm = true;
+    inst.imm = imm;
+}
+
+void
+KernelBuilder::li(Reg rd, std::int64_t imm)
+{
+    Instruction &inst = emit(Opcode::LoadImm);
+    inst.rd = rd.index;
+    inst.imm = imm;
+}
+
+void
+KernelBuilder::readSpecial(Reg rd, SpecialReg which)
+{
+    Instruction &inst = emit(Opcode::ReadSpecial);
+    inst.rd = rd.index;
+    inst.imm = static_cast<std::int64_t>(which);
+}
+
+void
+KernelBuilder::hash(Reg rd, Reg ra, Reg rb)
+{
+    Instruction &inst = emit(Opcode::Hash);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.rb = rb.index;
+}
+
+void
+KernelBuilder::hashi(Reg rd, Reg ra, std::int64_t seed)
+{
+    Instruction &inst = emit(Opcode::Hash);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.bImm = true;
+    inst.imm = seed;
+}
+
+void
+KernelBuilder::beqz(Reg ra, Label target, Label rpc)
+{
+    Instruction &inst = emit(Opcode::BranchEqz);
+    inst.ra = ra.index;
+    fixups.push_back({here() - 1, target.id, false});
+    fixups.push_back({here() - 1, rpc.id, true});
+}
+
+void
+KernelBuilder::bnez(Reg ra, Label target, Label rpc)
+{
+    Instruction &inst = emit(Opcode::BranchNez);
+    inst.ra = ra.index;
+    fixups.push_back({here() - 1, target.id, false});
+    fixups.push_back({here() - 1, rpc.id, true});
+}
+
+void
+KernelBuilder::jump(Label target)
+{
+    emit(Opcode::Jump);
+    fixups.push_back({here() - 1, target.id, false});
+}
+
+void
+KernelBuilder::load(Reg rd, Reg ra, std::int64_t offset, std::uint8_t flags)
+{
+    Instruction &inst = emit(Opcode::Load);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.imm = offset;
+    inst.memFlags = flags;
+}
+
+void
+KernelBuilder::store(Reg ra, Reg rb, std::int64_t offset, std::uint8_t flags)
+{
+    Instruction &inst = emit(Opcode::Store);
+    inst.ra = ra.index;
+    inst.rb = rb.index;
+    inst.imm = offset;
+    inst.memFlags = flags;
+}
+
+void
+KernelBuilder::atomCas(Reg rd, Reg ra, Reg rb, Reg rc)
+{
+    Instruction &inst = emit(Opcode::AtomCas);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.rb = rb.index;
+    inst.rc = rc.index;
+    inst.memFlags = MemBypassL1;
+}
+
+void
+KernelBuilder::atomExch(Reg rd, Reg ra, Reg rb)
+{
+    Instruction &inst = emit(Opcode::AtomExch);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.rb = rb.index;
+    inst.memFlags = MemBypassL1;
+}
+
+void
+KernelBuilder::atomAdd(Reg rd, Reg ra, Reg rb)
+{
+    Instruction &inst = emit(Opcode::AtomAdd);
+    inst.rd = rd.index;
+    inst.ra = ra.index;
+    inst.rb = rb.index;
+    inst.memFlags = MemBypassL1;
+}
+
+void
+KernelBuilder::txBegin()
+{
+    emit(Opcode::TxBegin);
+}
+
+void
+KernelBuilder::txCommit()
+{
+    emit(Opcode::TxCommit);
+}
+
+void
+KernelBuilder::fence()
+{
+    emit(Opcode::Fence);
+}
+
+void
+KernelBuilder::nop()
+{
+    emit(Opcode::Nop);
+}
+
+void
+KernelBuilder::exit()
+{
+    emit(Opcode::Exit);
+}
+
+Kernel
+KernelBuilder::build()
+{
+    for (const Fixup &fixup : fixups) {
+        const std::int64_t pc = labelPcs[fixup.targetLabel];
+        if (pc < 0)
+            panic("unbound label %u in kernel %s", fixup.targetLabel,
+                  kernelName.c_str());
+        if (fixup.isRpc)
+            code[fixup.at].rpc = static_cast<Pc>(pc);
+        else
+            code[fixup.at].target = static_cast<Pc>(pc);
+    }
+    // Guarantee termination even if the author forgot an Exit.
+    if (code.empty() || code.back().op != Opcode::Exit)
+        emit(Opcode::Exit);
+    return Kernel(kernelName, std::move(code));
+}
+
+} // namespace getm

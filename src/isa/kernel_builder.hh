@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Small assembler for micro-ISA kernels.
+ *
+ * Provides labels with backpatching and mnemonic-style emit helpers so
+ * workloads read like assembly listings. Divergent branches must name an
+ * explicit reconvergence label (the immediate post-dominator), which the
+ * SIMT stack uses for PDOM reconvergence.
+ */
+
+#ifndef GETM_ISA_KERNEL_BUILDER_HH
+#define GETM_ISA_KERNEL_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace getm {
+
+/** Register name wrapper for emit-helper readability. */
+struct Reg
+{
+    std::uint8_t index;
+    explicit constexpr Reg(unsigned i) : index(static_cast<uint8_t>(i)) {}
+};
+
+/** Kernel assembler with label backpatching. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name_) : kernelName(std::move(name_))
+    {
+    }
+
+    /** Opaque label handle. */
+    struct Label
+    {
+        std::uint32_t id;
+    };
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    // --- ALU -------------------------------------------------------------
+    void alu(Opcode op, Reg rd, Reg ra, Reg rb);
+    void alui(Opcode op, Reg rd, Reg ra, std::int64_t imm);
+
+    void add(Reg rd, Reg ra, Reg rb) { alu(Opcode::Add, rd, ra, rb); }
+    void addi(Reg rd, Reg ra, std::int64_t i) { alui(Opcode::Add, rd, ra, i); }
+    void sub(Reg rd, Reg ra, Reg rb) { alu(Opcode::Sub, rd, ra, rb); }
+    void mul(Reg rd, Reg ra, Reg rb) { alu(Opcode::Mul, rd, ra, rb); }
+    void muli(Reg rd, Reg ra, std::int64_t i) { alui(Opcode::Mul, rd, ra, i); }
+    void divu(Reg rd, Reg ra, Reg rb) { alu(Opcode::DivU, rd, ra, rb); }
+    void remu(Reg rd, Reg ra, Reg rb) { alu(Opcode::RemU, rd, ra, rb); }
+    void remui(Reg rd, Reg ra, std::int64_t i)
+    {
+        alui(Opcode::RemU, rd, ra, i);
+    }
+    void andi(Reg rd, Reg ra, std::int64_t i) { alui(Opcode::And, rd, ra, i); }
+    void ori(Reg rd, Reg ra, std::int64_t i) { alui(Opcode::Or, rd, ra, i); }
+    void xori(Reg rd, Reg ra, std::int64_t i) { alui(Opcode::Xor, rd, ra, i); }
+    void shli(Reg rd, Reg ra, std::int64_t i) { alui(Opcode::Shl, rd, ra, i); }
+    void shri(Reg rd, Reg ra, std::int64_t i)
+    {
+        alui(Opcode::ShrL, rd, ra, i);
+    }
+    void sltu(Reg rd, Reg ra, Reg rb) { alu(Opcode::SetLtU, rd, ra, rb); }
+    void slts(Reg rd, Reg ra, Reg rb) { alu(Opcode::SetLtS, rd, ra, rb); }
+    void sltsi(Reg rd, Reg ra, std::int64_t i)
+    {
+        alui(Opcode::SetLtS, rd, ra, i);
+    }
+    void seq(Reg rd, Reg ra, Reg rb) { alu(Opcode::SetEq, rd, ra, rb); }
+    void seqi(Reg rd, Reg ra, std::int64_t i)
+    {
+        alui(Opcode::SetEq, rd, ra, i);
+    }
+    void sne(Reg rd, Reg ra, Reg rb) { alu(Opcode::SetNe, rd, ra, rb); }
+    void snei(Reg rd, Reg ra, std::int64_t i)
+    {
+        alui(Opcode::SetNe, rd, ra, i);
+    }
+    void mins(Reg rd, Reg ra, Reg rb) { alu(Opcode::MinS, rd, ra, rb); }
+    void maxs(Reg rd, Reg ra, Reg rb) { alu(Opcode::MaxS, rd, ra, rb); }
+
+    /** rd = imm (full 64-bit immediate). */
+    void li(Reg rd, std::int64_t imm);
+    /** rd = ra (pseudo-op). */
+    void mov(Reg rd, Reg ra) { alui(Opcode::Add, rd, ra, 0); }
+    /** rd = special register. */
+    void readSpecial(Reg rd, SpecialReg which);
+    /** rd = hashMix(ra, rb). */
+    void hash(Reg rd, Reg ra, Reg rb);
+    /** rd = hashMix(ra, seed). */
+    void hashi(Reg rd, Reg ra, std::int64_t seed);
+
+    // --- Control flow ----------------------------------------------------
+    /** Branch to @p target if ra == 0; reconverge at @p rpc. */
+    void beqz(Reg ra, Label target, Label rpc);
+    /** Branch to @p target if ra != 0; reconverge at @p rpc. */
+    void bnez(Reg ra, Label target, Label rpc);
+    /** Unconditional jump (no divergence). */
+    void jump(Label target);
+
+    // --- Memory ----------------------------------------------------------
+    /** rd = mem[ra + offset]. */
+    void load(Reg rd, Reg ra, std::int64_t offset = 0,
+              std::uint8_t flags = MemNone);
+    /** mem[ra + offset] = rb. */
+    void store(Reg ra, Reg rb, std::int64_t offset = 0,
+               std::uint8_t flags = MemNone);
+    /** rd = CAS(mem[ra], compare=rb, swap=rc). */
+    void atomCas(Reg rd, Reg ra, Reg rb, Reg rc);
+    /** rd = Exch(mem[ra], rb). */
+    void atomExch(Reg rd, Reg ra, Reg rb);
+    /** rd = FetchAdd(mem[ra], rb). */
+    void atomAdd(Reg rd, Reg ra, Reg rb);
+
+    // --- Transactions / misc ----------------------------------------------
+    void txBegin();
+    void txCommit();
+    /** Wait until all prior (volatile) stores are globally visible. */
+    void fence();
+    void nop();
+    void exit();
+
+    /** Current instruction count (next emitted PC). */
+    Pc here() const { return static_cast<Pc>(code.size()); }
+
+    /** Resolve labels and produce the kernel. */
+    Kernel build();
+
+  private:
+    Instruction &emit(Opcode op);
+
+    struct Fixup
+    {
+        Pc at;
+        std::uint32_t targetLabel;
+        bool isRpc; ///< Patch rpc field instead of target.
+    };
+
+    std::string kernelName;
+    std::vector<Instruction> code;
+    std::vector<std::int64_t> labelPcs; // -1 when unbound
+    std::vector<Fixup> fixups;
+};
+
+} // namespace getm
+
+#endif // GETM_ISA_KERNEL_BUILDER_HH

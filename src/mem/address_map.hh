@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Address-to-memory-partition mapping.
+ *
+ * Mirrors GPGPU-Sim's line-interleaved partition hashing: consecutive
+ * LLC lines map to consecutive partitions so that traffic spreads evenly.
+ */
+
+#ifndef GETM_MEM_ADDRESS_MAP_HH
+#define GETM_MEM_ADDRESS_MAP_HH
+
+#include "common/types.hh"
+
+namespace getm {
+
+/** Line-interleaved partition map. */
+class AddressMap
+{
+  public:
+    AddressMap(unsigned num_partitions, unsigned line_bytes)
+        : partitions(num_partitions), lineSize(line_bytes)
+    {
+    }
+
+    /** Partition owning byte address @p addr. */
+    PartitionId
+    partitionOf(Addr addr) const
+    {
+        // XOR-fold a few upper index bits in so power-of-two strides do
+        // not pathologically hit a single partition.
+        const Addr line = addr / lineSize;
+        return static_cast<PartitionId>((line ^ (line / partitions)) %
+                                        partitions);
+    }
+
+    /** Base address of the line containing @p addr. */
+    Addr lineOf(Addr addr) const { return addr - addr % lineSize; }
+
+    unsigned numPartitions() const { return partitions; }
+    unsigned lineBytes() const { return lineSize; }
+
+  private:
+    unsigned partitions;
+    unsigned lineSize;
+};
+
+} // namespace getm
+
+#endif // GETM_MEM_ADDRESS_MAP_HH

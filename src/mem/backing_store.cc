@@ -1,0 +1,80 @@
+#include "mem/backing_store.hh"
+
+#include "common/log.hh"
+
+namespace getm {
+
+BackingStore::Page &
+BackingStore::pageFor(Addr addr)
+{
+    const std::uint64_t page_no = addr / pageBytes;
+    auto &slot = pages[page_no];
+    if (!slot)
+        slot = std::make_unique<Page>(pageBytes / wordBytes, 0u);
+    return *slot;
+}
+
+const BackingStore::Page *
+BackingStore::pageForConst(Addr addr) const
+{
+    const std::uint64_t page_no = addr / pageBytes;
+    auto it = pages.find(page_no);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+std::uint32_t
+BackingStore::read(Addr addr) const
+{
+    if (addr % wordBytes != 0)
+        panic("unaligned read at %#lx", static_cast<unsigned long>(addr));
+    const Page *page = pageForConst(addr);
+    if (!page)
+        return 0;
+    return (*page)[(addr % pageBytes) / wordBytes];
+}
+
+void
+BackingStore::write(Addr addr, std::uint32_t value)
+{
+    if (addr % wordBytes != 0)
+        panic("unaligned write at %#lx", static_cast<unsigned long>(addr));
+    pageFor(addr)[(addr % pageBytes) / wordBytes] = value;
+}
+
+std::uint32_t
+BackingStore::atomicCas(Addr addr, std::uint32_t compare, std::uint32_t swap)
+{
+    const std::uint32_t old = read(addr);
+    if (old == compare)
+        write(addr, swap);
+    return old;
+}
+
+std::uint32_t
+BackingStore::atomicExch(Addr addr, std::uint32_t value)
+{
+    const std::uint32_t old = read(addr);
+    write(addr, value);
+    return old;
+}
+
+std::uint32_t
+BackingStore::atomicAdd(Addr addr, std::uint32_t value)
+{
+    const std::uint32_t old = read(addr);
+    write(addr, old + value);
+    return old;
+}
+
+Addr
+BackingStore::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        panic("allocation alignment must be a power of two");
+    allocTop = (allocTop + align - 1) & ~(align - 1);
+    const Addr base = allocTop;
+    allocTop += bytes;
+    return base;
+}
+
+} // namespace getm

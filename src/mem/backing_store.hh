@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional model of the simulated global address space.
+ *
+ * Timing is modelled elsewhere (CacheModel / DramModel); this class only
+ * holds data. Storage is paged so sparse address spaces stay cheap. All
+ * workloads operate on 32-bit words, which is also the granularity of
+ * value-based validation in WarpTM.
+ */
+
+#ifndef GETM_MEM_BACKING_STORE_HH
+#define GETM_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace getm {
+
+/** Byte-addressed, word-accessed sparse memory. */
+class BackingStore
+{
+  public:
+    static constexpr unsigned wordBytes = 4;
+
+    /** Read the 32-bit word at byte address @p addr (must be aligned). */
+    std::uint32_t read(Addr addr) const;
+
+    /** Write the 32-bit word at byte address @p addr (must be aligned). */
+    void write(Addr addr, std::uint32_t value);
+
+    /** Atomically compare-and-swap; returns the old value. */
+    std::uint32_t atomicCas(Addr addr, std::uint32_t compare,
+                            std::uint32_t swap);
+
+    /** Atomically exchange; returns the old value. */
+    std::uint32_t atomicExch(Addr addr, std::uint32_t value);
+
+    /** Atomically add; returns the old value. */
+    std::uint32_t atomicAdd(Addr addr, std::uint32_t value);
+
+    /**
+     * Bump-allocate a region of @p bytes, aligned to @p align.
+     * Used by workloads to lay out their data structures.
+     */
+    Addr allocate(std::uint64_t bytes, std::uint64_t align = 128);
+
+    /** Total bytes allocated so far. */
+    std::uint64_t allocated() const { return allocTop - baseAddr; }
+
+  private:
+    static constexpr std::uint64_t pageBytes = 1ull << 16;
+
+    using Page = std::vector<std::uint32_t>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    // Reserve page 0 so that address 0 is never handed out (null-like).
+    static constexpr Addr baseAddr = pageBytes;
+    Addr allocTop = baseAddr;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace getm
+
+#endif // GETM_MEM_BACKING_STORE_HH

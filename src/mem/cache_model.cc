@@ -1,0 +1,126 @@
+#include "mem/cache_model.hh"
+
+#include "common/log.hh"
+
+namespace getm {
+
+namespace {
+bool
+isPow2(std::uint64_t x)
+{
+    return x && (x & (x - 1)) == 0;
+}
+} // namespace
+
+CacheModel::CacheModel(std::string name_, std::uint64_t size_bytes,
+                       unsigned assoc, unsigned line_bytes)
+    : lineSize(line_bytes), ways(assoc), statSet(std::move(name_))
+{
+    if (!isPow2(line_bytes))
+        fatal("cache line size must be a power of two");
+    if (assoc == 0 || size_bytes % (static_cast<std::uint64_t>(assoc) *
+                                    line_bytes) != 0) {
+        fatal("cache size %llu not divisible by assoc*line",
+              static_cast<unsigned long long>(size_bytes));
+    }
+    sets = size_bytes / (static_cast<std::uint64_t>(assoc) * line_bytes);
+    lines.resize(sets * ways);
+}
+
+std::uint64_t
+CacheModel::setIndex(Addr addr) const
+{
+    return (addr / lineSize) % sets;
+}
+
+Addr
+CacheModel::tagOf(Addr addr) const
+{
+    return (addr / lineSize) / sets;
+}
+
+Addr
+CacheModel::lineAddr(Addr tag, std::uint64_t set) const
+{
+    return (tag * sets + set) * lineSize;
+}
+
+CacheAccessResult
+CacheModel::access(Addr addr, bool is_write)
+{
+    CacheAccessResult result;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[set * ways];
+
+    ++useClock;
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            line.dirty = line.dirty || is_write;
+            statSet.inc(is_write ? "write_hits" : "read_hits");
+            result.hit = true;
+            return result;
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lastUse < victim->lastUse)) {
+            if (!victim || victim->valid)
+                victim = &line;
+        }
+    }
+
+    statSet.inc(is_write ? "write_misses" : "read_misses");
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimAddr = lineAddr(victim->tag, set);
+        statSet.inc("writebacks");
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return result;
+}
+
+bool
+CacheModel::contains(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines[set * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+CacheModel::invalidate(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[set * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            const bool was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace getm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Miss-status holding registers for the per-core L1.
+ *
+ * Multiple warps missing on the same line while a fill is outstanding
+ * merge into one memory request, as in real GPU L1s -- without MSHRs the
+ * lockstep access patterns of SIMT code would multiply miss traffic
+ * several-fold. Capacity is bounded; when full, requests fall back to
+ * unmerged fetches (modelling replay without extra machinery).
+ */
+
+#ifndef GETM_MEM_MSHR_HH
+#define GETM_MEM_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace getm {
+
+/** One merged requester: a lane group of some warp's load. */
+struct MshrTarget
+{
+    std::uint32_t warpSlot = 0;
+    std::uint8_t reg = 0;  ///< Destination register of the load.
+    LaneMask lanes = 0;    ///< Lanes of the group.
+    Addr addrs[warpSize] = {}; ///< Per-lane word addresses.
+};
+
+/** L1 MSHR file. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned capacity = 32) : cap(capacity) {}
+
+    /** A fill for @p line is already outstanding. */
+    bool
+    pending(Addr line) const
+    {
+        return entries.count(line) != 0;
+    }
+
+    /** Room to track another line? */
+    bool hasRoom() const { return entries.size() < cap; }
+
+    /**
+     * Register a requester for @p line; returns true if this allocated a
+     * new entry (i.e., a memory request must be sent).
+     */
+    bool
+    add(Addr line, MshrTarget &&target)
+    {
+        auto [it, inserted] = entries.try_emplace(line);
+        it->second.push_back(std::move(target));
+        return inserted;
+    }
+
+    /** Remove and return all requesters merged on @p line. */
+    std::vector<MshrTarget>
+    take(Addr line)
+    {
+        auto it = entries.find(line);
+        std::vector<MshrTarget> result = std::move(it->second);
+        entries.erase(it);
+        return result;
+    }
+
+    std::size_t occupancy() const { return entries.size(); }
+
+  private:
+    unsigned cap;
+    std::unordered_map<Addr, std::vector<MshrTarget>> entries;
+};
+
+} // namespace getm
+
+#endif // GETM_MEM_MSHR_HH

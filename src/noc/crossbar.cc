@@ -1,0 +1,45 @@
+#include "noc/crossbar.hh"
+
+#include "common/log.hh"
+
+namespace getm {
+
+CrossbarTiming::CrossbarTiming(std::string name_, unsigned num_src,
+                               unsigned num_dst, const Config &config)
+    : cfg(config), srcFree(num_src, 0), dstFree(num_dst, 0),
+      statSet(std::move(name_))
+{
+    if (cfg.flitBytes == 0)
+        fatal("crossbar flit size must be non-zero");
+}
+
+Cycle
+CrossbarTiming::route(unsigned src, unsigned dst, unsigned bytes, Cycle now)
+{
+    if (src >= srcFree.size() || dst >= dstFree.size())
+        panic("crossbar port out of range (src %u, dst %u)", src, dst);
+
+    const Cycle nflits = (bytes + cfg.flitBytes - 1) / cfg.flitBytes;
+
+    // Serialize at the injection port...
+    const Cycle inj_start = now > srcFree[src] ? now : srcFree[src];
+    srcFree[src] = inj_start + nflits;
+
+    // ...traverse the pipeline, then serialize at the ejection port,
+    // overlapping ejection with flight when the port is free.
+    const Cycle head_arrival = inj_start + cfg.latency;
+    const Cycle eject_start =
+        head_arrival > dstFree[dst] ? head_arrival : dstFree[dst];
+    const Cycle delivered = eject_start + nflits;
+    dstFree[dst] = delivered;
+
+    flits += nflits;
+    statSet.inc("messages");
+    statSet.inc("flits", nflits);
+    statSet.inc("bytes", bytes);
+    statSet.sample("queueing", static_cast<double>(
+        (inj_start - now) + (eject_start - head_arrival)));
+    return delivered;
+}
+
+} // namespace getm

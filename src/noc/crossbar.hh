@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Crossbar interconnect timing model.
+ *
+ * The simulated GPU (Table II) uses two crossbars: one "up" network from
+ * SIMT cores to memory partitions and one "down" network back. Each
+ * message occupies its injection and ejection ports for one cycle per
+ * flit, plus a fixed pipeline latency, which captures the serialization
+ * and contention effects that make WarpTM's two-round-trip commits
+ * expensive without simulating individual flits.
+ *
+ * Timing is computed analytically at send time; delivery ordering per
+ * destination is by computed arrival cycle (ties broken FIFO).
+ */
+
+#ifndef GETM_NOC_CROSSBAR_HH
+#define GETM_NOC_CROSSBAR_HH
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace getm {
+
+/** Port-occupancy bookkeeping shared by all crossbar instantiations. */
+class CrossbarTiming
+{
+  public:
+    struct Config
+    {
+        /** Pipeline traversal latency in cycles (Table II: 5). */
+        Cycle latency = 5;
+        /** Bytes per flit (one flit crosses a port per cycle). */
+        unsigned flitBytes = 32;
+    };
+
+    CrossbarTiming(std::string name_, unsigned num_src, unsigned num_dst,
+                   const Config &config);
+
+    /**
+     * Compute the delivery cycle for a message of @p bytes sent from
+     * @p src to @p dst at time @p now, updating port occupancy and
+     * traffic statistics.
+     */
+    Cycle route(unsigned src, unsigned dst, unsigned bytes, Cycle now);
+
+    /** Total flits that have crossed this crossbar (Fig. 12 metric). */
+    std::uint64_t totalFlits() const { return flits; }
+
+    StatSet &stats() { return statSet; }
+    const StatSet &stats() const { return statSet; }
+
+  private:
+    Config cfg;
+    std::vector<Cycle> srcFree;
+    std::vector<Cycle> dstFree;
+    std::uint64_t flits = 0;
+    StatSet statSet;
+};
+
+/**
+ * A crossbar carrying messages of payload type @p MsgT.
+ *
+ * Messages are enqueued with send() and drained per destination with
+ * popReady(); nextArrival() supports idle-cycle skipping in the top-level
+ * simulation loop.
+ */
+template <typename MsgT>
+class Crossbar
+{
+  public:
+    Crossbar(std::string name_, unsigned num_src, unsigned num_dst,
+             const CrossbarTiming::Config &config)
+        : timing(std::move(name_), num_src, num_dst, config),
+          inbox(num_dst)
+    {
+    }
+
+    /** Send @p msg; returns its delivery cycle. */
+    Cycle
+    send(unsigned src, unsigned dst, unsigned bytes, Cycle now, MsgT msg)
+    {
+        const Cycle when = timing.route(src, dst, bytes, now);
+        inbox[dst].push(Entry{when, seq++, std::move(msg)});
+        return when;
+    }
+
+    /** True if a message for @p dst has arrived by @p now. */
+    bool
+    hasReady(unsigned dst, Cycle now) const
+    {
+        return !inbox[dst].empty() && inbox[dst].top().when <= now;
+    }
+
+    /** Pop the oldest arrived message for @p dst (must be hasReady()). */
+    MsgT
+    popReady(unsigned dst)
+    {
+        Entry top = inbox[dst].top();
+        inbox[dst].pop();
+        return std::move(top.msg);
+    }
+
+    /** Earliest pending arrival across all destinations (or ~0). */
+    Cycle
+    nextArrival() const
+    {
+        Cycle best = ~static_cast<Cycle>(0);
+        for (const auto &queue : inbox)
+            if (!queue.empty() && queue.top().when < best)
+                best = queue.top().when;
+        return best;
+    }
+
+    /** True if no messages are in flight anywhere. */
+    bool
+    idle() const
+    {
+        for (const auto &queue : inbox)
+            if (!queue.empty())
+                return false;
+        return true;
+    }
+
+    std::uint64_t totalFlits() const { return timing.totalFlits(); }
+    StatSet &stats() { return timing.stats(); }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        MsgT msg;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    CrossbarTiming timing;
+    std::uint64_t seq = 0;
+    std::vector<std::priority_queue<Entry, std::vector<Entry>,
+                                    std::greater<Entry>>>
+        inbox;
+};
+
+} // namespace getm
+
+#endif // GETM_NOC_CROSSBAR_HH

@@ -1,0 +1,34 @@
+#include "power/cacti_lite.hh"
+
+#include <cmath>
+
+namespace getm {
+
+SramEstimate
+CactiLite::estimate(double bits_per_instance, unsigned instances,
+                    double ports, double freq_ghz)
+{
+    SramEstimate result;
+    const double total_bits = bits_per_instance * instances;
+
+    const double cell_area =
+        bitcellAreaUm2 * std::pow(ports, 1.5) * total_bits;
+    result.areaMm2 = (cell_area + peripheryUm2 * instances) * 1e-6;
+
+    const double leakage = leakMwPerKbit * total_bits / 1000.0;
+    // Access energy grows with wordline/bitline length ~ sqrt(bits) and
+    // with port loading; one access per cycle per instance (conservative,
+    // as in the paper).
+    const double dynamic = dynMwCoeff * std::sqrt(bits_per_instance) *
+                           ports * freq_ghz * instances /
+                           std::sqrt(static_cast<double>(instances));
+    result.powerMw = leakage + dynamic;
+    // Small structures are periphery-dominated; charge a floor per
+    // instance.
+    const double floor = instanceMw * instances;
+    if (result.powerMw < floor)
+        result.powerMw = floor;
+    return result;
+}
+
+} // namespace getm

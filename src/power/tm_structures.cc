@@ -1,0 +1,113 @@
+#include "power/tm_structures.hh"
+
+#include "common/log.hh"
+
+namespace getm {
+
+namespace {
+
+constexpr double vuGhz = 1.4; ///< Validation-unit clock (Table II).
+constexpr double cuGhz = 0.7; ///< Commit-unit clock (Table II).
+
+void
+addRow(OverheadReport &report, const std::string &name, double kilobytes,
+       unsigned instances, double ports, double freq_ghz)
+{
+    StructureRow row;
+    row.name = name;
+    row.kilobytesPerInstance = kilobytes;
+    row.instances = instances;
+    row.estimate = CactiLite::estimate(kilobytes * 8192.0, instances,
+                                       ports, freq_ghz);
+    report.totalAreaMm2 += row.estimate.areaMm2;
+    report.totalPowerMw += row.estimate.powerMw;
+    report.rows.push_back(std::move(row));
+}
+
+void
+addWarpTmRows(OverheadReport &report, const GpuConfig &cfg)
+{
+    const unsigned parts = cfg.numPartitions;
+    const unsigned cores = cfg.numCores;
+    // Commit-unit structures, one set per memory partition (sizes from
+    // paper Table V at the 15-core / 6-partition baseline, scaled with
+    // the partition count).
+    addRow(report, "CU: LWHR tables", 3.0, parts, 3.0, cuGhz);
+    addRow(report, "CU: LWHR filters", 2.0, parts, 1.3, cuGhz);
+    addRow(report, "CU: entry arrays", 19.0, parts, 2.0, cuGhz);
+    addRow(report, "CU: read-write buffers", 32.0, parts, 3.0, cuGhz);
+    // Temporal conflict detection: first-read tables per core, one
+    // last-write buffer total.
+    addRow(report, "TCD: first-read tables", 12.0, cores, 1.0, vuGhz);
+    addRow(report, "TCD: last-write buffer", 16.0, 1, 1.0, vuGhz);
+}
+
+void
+addEapgRows(OverheadReport &report, const GpuConfig &cfg)
+{
+    // Conflict-address table per core; reference-count table per
+    // partition (Chen & Peng [26], sizes from Table V).
+    addRow(report, "CAT: conflict address table", 12.0, cfg.numCores, 2.0,
+           vuGhz);
+    addRow(report, "RCT: reference count table", 15.0, cfg.numPartitions,
+           1.7, cuGhz);
+}
+
+void
+addGetmRows(OverheadReport &report, const GpuConfig &cfg)
+{
+    const unsigned parts = cfg.numPartitions;
+    const unsigned cores = cfg.numCores;
+
+    // Write-only commit buffers: half of WarpTM's read-write buffers
+    // (Sec. V-C).
+    addRow(report, "CU: write buffers", 16.0, parts, 3.0, cuGhz);
+
+    // Precise metadata: tag + wts + rts + #writes + owner = 16 B/entry
+    // (48-bit timestamps), giving the paper's 64 KB total at 4K entries.
+    const double precise_kb =
+        cfg.getmPreciseEntriesTotal * 16.0 / 1024.0 / parts;
+    addRow(report, "VU: precise tables", precise_kb, parts, 1.5, vuGhz);
+
+    // Approximate (recency Bloom) tables: 2 x 32-bit timestamps per
+    // bucket, 4 ways.
+    const double approx_kb =
+        cfg.getmBloomEntriesTotal * 8.0 / 1024.0 / parts;
+    addRow(report, "VU: approximate tables", approx_kb, parts, 1.0,
+           vuGhz);
+
+    // Per-core warpts tables: 48 warps x 32-bit timestamps.
+    addRow(report, "warpts tables",
+           cfg.core.maxWarps * 4.0 / 1024.0, cores, 1.0, vuGhz);
+
+    // Stall buffers: 4 lines x 4 entries x ~7.5 B each per partition.
+    const double stall_kb = cfg.getmStall.lines *
+                            cfg.getmStall.entriesPerLine * 7.5 / 1024.0;
+    addRow(report, "stall buffers", stall_kb, parts, 1.0, vuGhz);
+}
+
+} // namespace
+
+OverheadReport
+tmOverheads(ProtocolKind protocol, const GpuConfig &cfg)
+{
+    OverheadReport report;
+    switch (protocol) {
+      case ProtocolKind::WarpTmLL:
+      case ProtocolKind::WarpTmEL:
+        addWarpTmRows(report, cfg);
+        break;
+      case ProtocolKind::Eapg:
+        addWarpTmRows(report, cfg);
+        addEapgRows(report, cfg);
+        break;
+      case ProtocolKind::Getm:
+        addGetmRows(report, cfg);
+        break;
+      case ProtocolKind::FgLock:
+        break; // no TM hardware at all
+    }
+    return report;
+}
+
+} // namespace getm

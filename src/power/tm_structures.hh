@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hardware-structure inventories of the three TM systems (paper
+ * Table V) and the estimator that regenerates the table.
+ *
+ * WarpTM needs per-partition commit units with last-written-hazard
+ * (LWHR) tables/filters, entry arrays and read-write buffers, plus the
+ * temporal-conflict-detection tables. EAPG adds conflict-address and
+ * reference-count tables on top. GETM replaces all of it with halved
+ * write-only commit buffers, the precise + approximate metadata tables,
+ * per-core warpts tables and tiny stall buffers -- which is where the
+ * paper's 3.6x area / 2.2x power advantage comes from.
+ */
+
+#ifndef GETM_POWER_TM_STRUCTURES_HH
+#define GETM_POWER_TM_STRUCTURES_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+#include "power/cacti_lite.hh"
+
+namespace getm {
+
+/** One row of the Table V breakdown. */
+struct StructureRow
+{
+    std::string name;
+    double kilobytesPerInstance = 0.0;
+    unsigned instances = 1;
+    SramEstimate estimate;
+};
+
+/** A protocol's overhead breakdown. */
+struct OverheadReport
+{
+    std::vector<StructureRow> rows;
+    double totalAreaMm2 = 0.0;
+    double totalPowerMw = 0.0;
+};
+
+/**
+ * Build the Table V inventory for @p protocol under @p cfg. EAPG's
+ * report includes the WarpTM structures it builds on (as in the paper's
+ * total).
+ */
+OverheadReport tmOverheads(ProtocolKind protocol, const GpuConfig &cfg);
+
+} // namespace getm
+
+#endif // GETM_POWER_TM_STRUCTURES_HH

@@ -1,0 +1,2 @@
+// Backoff is header-only; see backoff.hh.
+#include "tm/backoff.hh"

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Probabilistically increasing backoff for aborted transactions.
+ *
+ * Paper Sec. V-A, "Forward progress": aborted transactions restart with a
+ * randomized delay drawn from a window that doubles with each consecutive
+ * abort (classic binary exponential backoff [36]), capped to bound the
+ * worst case.
+ */
+
+#ifndef GETM_TM_BACKOFF_HH
+#define GETM_TM_BACKOFF_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace getm {
+
+/** Per-warp exponential backoff state. */
+class Backoff
+{
+  public:
+    struct Config
+    {
+        Cycle baseWindow = 16;
+        Cycle maxWindow = 1024;
+    };
+
+    Backoff() = default;
+    explicit Backoff(const Config &config) : cfg(config) {}
+
+    /** Delay for the next retry after another abort. */
+    Cycle
+    nextDelay(Rng &rng)
+    {
+        const Cycle window = currentWindow();
+        if (attempts < 63)
+            ++attempts;
+        return rng.below(window);
+    }
+
+    /** A successful commit resets the window. */
+    void reset() { attempts = 0; }
+
+    unsigned consecutiveAborts() const { return attempts; }
+
+    Cycle
+    currentWindow() const
+    {
+        Cycle window = cfg.baseWindow;
+        for (unsigned i = 0; i < attempts && window < cfg.maxWindow; ++i)
+            window *= 2;
+        return window < cfg.maxWindow ? window : cfg.maxWindow;
+    }
+
+  private:
+    Config cfg{};
+    unsigned attempts = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_TM_BACKOFF_HH

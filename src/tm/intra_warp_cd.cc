@@ -1,0 +1,48 @@
+#include "tm/intra_warp_cd.hh"
+
+namespace getm {
+
+LaneMask
+IntraWarpCd::resolveAtCommit(const ThreadTxLog *logs, unsigned warp_size,
+                             LaneMask candidates)
+{
+    // Two-phase parallel resolution modelled functionally: accept lanes in
+    // index order; a lane survives if none of its accesses conflict with
+    // a previously accepted lane's accesses.
+    std::unordered_map<Addr, Owners> accepted;
+    LaneMask survivors = 0;
+
+    for (LaneId lane = 0; lane < warp_size; ++lane) {
+        if (!(candidates & (1u << lane)))
+            continue;
+        const ThreadTxLog &log = logs[lane];
+        bool conflict = false;
+        for (const LogEntry &entry : log.readLog()) {
+            auto it = accepted.find(entry.addr);
+            if (it != accepted.end() && it->second.writers) {
+                conflict = true;
+                break;
+            }
+        }
+        if (!conflict) {
+            for (const LogEntry &entry : log.writeLog()) {
+                auto it = accepted.find(entry.addr);
+                if (it != accepted.end() &&
+                    (it->second.readers || it->second.writers)) {
+                    conflict = true;
+                    break;
+                }
+            }
+        }
+        if (conflict)
+            continue;
+        survivors |= 1u << lane;
+        for (const LogEntry &entry : log.readLog())
+            accepted[entry.addr].readers |= 1u << lane;
+        for (const LogEntry &entry : log.writeLog())
+            accepted[entry.addr].writers |= 1u << lane;
+    }
+    return survivors;
+}
+
+} // namespace getm

@@ -1,0 +1,4 @@
+// ThreadTxLog is header-only; this translation unit exists so the library
+// has a stable archive member for the class and a place for future
+// out-of-line growth.
+#include "tm/tx_log.hh"

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-warp transaction redo logs.
+ *
+ * As in KiloTM/WarpTM (paper Sec. V-A), each warp keeps per-thread read
+ * and write logs in the SIMT core's local memory. GETM strictly needs
+ * only the write log, but the read log is kept as well to support
+ * intra-warp conflict detection. Log storage timing is assumed L1
+ * resident (a one-cycle append), which both the paper's proposals share,
+ * so it cancels out of all comparisons.
+ */
+
+#ifndef GETM_TM_TX_LOG_HH
+#define GETM_TM_TX_LOG_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace getm {
+
+/** One logged access. */
+struct LogEntry
+{
+    Addr addr = 0;           ///< Word address.
+    std::uint32_t value = 0; ///< Observed value (reads) / data (writes).
+    std::uint32_t count = 1; ///< Number of coalesced writes (writes only).
+};
+
+/** The redo log of a single thread's transaction attempt. */
+class ThreadTxLog
+{
+  public:
+    /** Record a read of @p addr observing @p value (first read only). */
+    void
+    addRead(Addr addr, std::uint32_t value)
+    {
+        for (const LogEntry &entry : reads)
+            if (entry.addr == addr)
+                return;
+        reads.push_back({addr, value, 1});
+    }
+
+    /** Record a write; repeated writes coalesce and bump the count. */
+    void
+    addWrite(Addr addr, std::uint32_t value)
+    {
+        for (LogEntry &entry : writes) {
+            if (entry.addr == addr) {
+                entry.value = value;
+                ++entry.count;
+                return;
+            }
+        }
+        writes.push_back({addr, value, 1});
+    }
+
+    /** Read-own-write lookup. */
+    std::optional<std::uint32_t>
+    findWrite(Addr addr) const
+    {
+        for (const LogEntry &entry : writes)
+            if (entry.addr == addr)
+                return entry.value;
+        return std::nullopt;
+    }
+
+    bool hasRead(Addr addr) const
+    {
+        for (const LogEntry &entry : reads)
+            if (entry.addr == addr)
+                return true;
+        return false;
+    }
+
+    void
+    clear()
+    {
+        reads.clear();
+        writes.clear();
+    }
+
+    const std::vector<LogEntry> &readLog() const { return reads; }
+    const std::vector<LogEntry> &writeLog() const { return writes; }
+    bool readOnly() const { return writes.empty(); }
+
+  private:
+    std::vector<LogEntry> reads;
+    std::vector<LogEntry> writes;
+};
+
+} // namespace getm
+
+#endif // GETM_TM_TX_LOG_HH

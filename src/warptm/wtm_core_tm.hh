@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Core-side WarpTM engine (paper Sec. II-B).
+ *
+ * Transactional loads fetch data from the LLC (recording observed values
+ * in the read log and probing the TCD last-write table); stores buffer
+ * in the redo log. At the commit point the warp resolves intra-warp
+ * conflicts, commits read-only TCD-clean lanes silently, and otherwise
+ * runs the two-round-trip value-based validation/commit sequence against
+ * the validation/commit units at each LLC partition.
+ *
+ * The EagerLazy mode emulates eager conflict detection by re-validating
+ * the read log instantly (zero latency/traffic) on every transactional
+ * access, as in the paper's Sec. III study.
+ */
+
+#ifndef GETM_WARPTM_WTM_CORE_TM_HH
+#define GETM_WARPTM_WTM_CORE_TM_HH
+
+#include <memory>
+#include <vector>
+
+#include "simt/simt_core.hh"
+#include "simt/tm_iface.hh"
+#include "warptm/wtm_common.hh"
+
+namespace getm {
+
+/** WarpTM TmCoreProtocol implementation (LL and EL modes). */
+class WtmCoreTm : public TmCoreProtocol
+{
+  public:
+    WtmCoreTm(SimtCore &core_, std::shared_ptr<WtmShared> shared_,
+              WtmMode mode_);
+
+    void txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
+                  const LaneVals &vals, LaneMask lanes,
+                  std::uint8_t rd) override;
+    void txCommitPoint(Warp &warp) override;
+    void onResponse(Warp &warp, const MemMsg &msg) override;
+
+  protected:
+    /**
+     * EAPG hook: return true to pause the commit (the subclass must
+     * later call startValidation() when the conflict clears).
+     */
+    virtual bool maybePause(Warp &warp)
+    {
+        (void)warp;
+        return false;
+    }
+
+    /** Allocate a commit id and send validation slices / skips. */
+    void startValidation(Warp &warp);
+
+    /**
+     * Instantly value-validate the read logs of @p lanes; returns the
+     * lanes whose logged values no longer match memory.
+     */
+    LaneMask instantValidate(const Warp &warp, LaneMask lanes) const;
+
+    SimtCore &core;
+    std::shared_ptr<WtmShared> shared;
+    WtmMode mode;
+    /** Partitions holding a validation slice, per warp slot. */
+    std::vector<std::vector<PartitionId>> sliceParts;
+};
+
+} // namespace getm
+
+#endif // GETM_WARPTM_WTM_CORE_TM_HH

@@ -1,0 +1,240 @@
+#include "warptm/wtm_partition.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace getm {
+
+WtmPartitionUnit::WtmPartitionUnit(PartitionContext &context,
+                                   const WtmPartitionConfig &config,
+                                   std::string name)
+    : ctx(context), cfg(config), unitName(std::move(name)),
+      tcd(std::max(1u, config.tcdEntries / RecencyBloom::numWays),
+          config.seed)
+{
+}
+
+void
+WtmPartitionUnit::noteDataWrite(Addr addr, Cycle now)
+{
+    tcd.insert(addr, now, 0);
+}
+
+Cycle
+WtmPartitionUnit::handleRequest(MemMsg &&msg, Cycle now)
+{
+    switch (msg.kind) {
+      case MsgKind::WtmTxLoad: {
+        MemMsg resp;
+        resp.kind = MsgKind::WtmLoadResp;
+        resp.core = msg.core;
+        resp.partition = ctx.partitionId();
+        resp.wid = msg.wid;
+        resp.warpSlot = msg.warpSlot;
+        resp.addr = msg.addr;
+        Cycle extra = 0;
+        for (const LaneOp &op : msg.ops) {
+            const Cycle last = tcd.lookup(op.addr).first;
+            resp.ops.push_back({op.lane, op.addr,
+                                ctx.memory().read(op.addr),
+                                static_cast<std::uint32_t>(std::min<Cycle>(
+                                    last, 0xffffffffu))});
+            extra = std::max(extra, ctx.accessLlc(op.addr, false, now));
+        }
+        resp.bytes = 8 + 8 * static_cast<unsigned>(resp.ops.size());
+        ctx.scheduleToCore(std::move(resp), now + 1 + ctx.llcLatency() +
+                                                extra);
+        return 1;
+      }
+
+      case MsgKind::WtmValidate:
+        if (msg.flag)
+            return applyElSlice(msg, now); // EagerLazy: apply + ack now
+        reorder.emplace(msg.txId, std::move(msg));
+        tryAdvance(now);
+        return 1;
+
+      case MsgKind::WtmSkip:
+        reorder.emplace(msg.txId, std::move(msg));
+        tryAdvance(now);
+        return 1;
+
+      case MsgKind::WtmDecision:
+        decisions.emplace(msg.txId, std::move(msg));
+        tryAdvance(now);
+        return 1;
+
+      default:
+        panic("WarpTM partition received unexpected message kind %u",
+              static_cast<unsigned>(msg.kind));
+    }
+}
+
+Cycle
+WtmPartitionUnit::applyElSlice(const MemMsg &slice, Cycle now)
+{
+    const Cycle start = std::max(now, vuFree);
+    const Cycle busy = std::max<Cycle>(
+        1, (slice.bytes + cfg.commitBytesPerCycle - 1) /
+               cfg.commitBytesPerCycle);
+    vuFree = start + busy;
+    for (const LaneOp &op : slice.ops) {
+        // Data was applied atomically with the core's instant validation
+        // (see WtmCoreTm::startValidation); only timing and the TCD
+        // last-write table are updated here.
+        tcd.insert(op.addr, start, 0);
+        ctx.accessLlc(op.addr, true, now);
+    }
+    MemMsg ack;
+    ack.kind = MsgKind::WtmCommitAck;
+    ack.core = slice.core;
+    ack.partition = ctx.partitionId();
+    ack.wid = slice.wid;
+    ack.warpSlot = slice.warpSlot;
+    ack.bytes = 8;
+    ctx.scheduleToCore(std::move(ack), start + busy);
+    ctx.stats().inc("wtm_el_commits");
+    return busy;
+}
+
+bool
+WtmPartitionUnit::hazardsWithPending(const MemMsg &slice) const
+{
+    for (const LaneOp &op : slice.ops)
+        if (pendingWrites.count(op.addr))
+            return true;
+    return false;
+}
+
+void
+WtmPartitionUnit::tryAdvance(Cycle now)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        // 1. Apply any arrived decisions for validated slices. Hazard
+        //    checking guarantees undecided slices never overlap, so the
+        //    apply order between them is immaterial.
+        for (auto it = decisions.begin(); it != decisions.end();) {
+            auto slice_it = awaiting.find(it->first);
+            if (slice_it == awaiting.end()) {
+                ++it;
+                continue;
+            }
+            applyDecision(it->second, now);
+            awaiting.erase(slice_it);
+            it = decisions.erase(it);
+            progress = true;
+        }
+
+        // 2. Admit the next commit id in order, when it has arrived, the
+        //    pipeline has room, and it does not hazard with undecided
+        //    writes.
+        auto it = reorder.find(nextId);
+        if (it == reorder.end())
+            continue;
+        if (it->second.kind == MsgKind::WtmSkip) {
+            reorder.erase(it);
+            ++nextId;
+            progress = true;
+            continue;
+        }
+        if (awaiting.size() >= cfg.pipelineDepth ||
+            hazardsWithPending(it->second))
+            continue;
+        MemMsg slice = std::move(it->second);
+        reorder.erase(it);
+        ++nextId;
+        validateSlice(std::move(slice), now);
+        progress = true;
+    }
+}
+
+void
+WtmPartitionUnit::validateSlice(MemMsg &&slice, Cycle now)
+{
+    const Cycle start = std::max(now, vuFree);
+    // Value-based validation streams one log entry per cycle through the
+    // LLC port.
+    const Cycle busy = std::max<Cycle>(1, slice.ops.size());
+    vuFree = start + busy;
+
+    bool has_writes = false;
+    Cycle extra = 0;
+    MemMsg resp;
+    resp.kind = MsgKind::WtmValidateResp;
+    resp.core = slice.core;
+    resp.partition = ctx.partitionId();
+    resp.wid = slice.wid;
+    resp.warpSlot = slice.warpSlot;
+    resp.txId = slice.txId;
+
+    LaneMask failed = 0;
+    for (const LaneOp &op : slice.ops) {
+        if (op.aux) { // write entry: nothing to validate
+            has_writes = true;
+            continue;
+        }
+        extra = std::max(extra, ctx.accessLlc(op.addr, false, now));
+        if (ctx.memory().read(op.addr) != op.value)
+            failed |= 1u << op.lane;
+    }
+    for (LaneId lane = 0; lane < warpSize; ++lane)
+        if (failed & (1u << lane))
+            resp.ops.push_back({static_cast<std::uint8_t>(lane), 0, 0, 0});
+    resp.bytes = 8;
+    ctx.scheduleToCore(std::move(resp), start + busy + ctx.llcLatency() +
+                                            extra);
+    ctx.stats().inc("wtm_validations");
+    if (failed)
+        ctx.stats().inc("wtm_validation_fails");
+
+    if (has_writes)
+        onValidationStart(slice, start);
+    for (const LaneOp &op : slice.ops)
+        if (op.aux)
+            ++pendingWrites[op.addr];
+    const std::uint64_t id = slice.txId;
+    awaiting.emplace(id, std::move(slice));
+}
+
+void
+WtmPartitionUnit::applyDecision(const MemMsg &decision, Cycle now)
+{
+    const MemMsg &slice = awaiting.at(decision.txId);
+    const LaneMask pass = static_cast<LaneMask>(decision.ts);
+    const Cycle start = std::max(now, vuFree);
+    Cycle bytes = 0;
+
+    for (const LaneOp &op : slice.ops) {
+        if (!op.aux)
+            continue;
+        auto it = pendingWrites.find(op.addr);
+        if (it != pendingWrites.end() && --it->second == 0)
+            pendingWrites.erase(it);
+        if (!(pass & (1u << op.lane)))
+            continue;
+        ctx.memory().write(op.addr, op.value);
+        tcd.insert(op.addr, start, 0);
+        ctx.accessLlc(op.addr, true, now);
+        bytes += 12;
+    }
+    const Cycle busy = std::max<Cycle>(
+        1, (bytes + cfg.commitBytesPerCycle - 1) / cfg.commitBytesPerCycle);
+    vuFree = start + busy;
+
+    MemMsg ack;
+    ack.kind = MsgKind::WtmCommitAck;
+    ack.core = slice.core;
+    ack.partition = ctx.partitionId();
+    ack.wid = slice.wid;
+    ack.warpSlot = slice.warpSlot;
+    ack.bytes = 8;
+    ctx.scheduleToCore(std::move(ack), start + busy);
+    ctx.stats().inc("wtm_decisions");
+    onDecisionApplied(decision.txId, start + busy);
+}
+
+} // namespace getm

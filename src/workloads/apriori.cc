@@ -1,0 +1,119 @@
+#include "workloads/apriori.hh"
+
+#include <algorithm>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/lock_utils.hh"
+
+namespace getm {
+
+AprioriWorkload::AprioriWorkload(double scale, std::uint64_t seed_)
+    : counters(64), seed(seed_)
+{
+    // 4000 records at scale 1.0, 4 records per thread.
+    records = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(4000.0 * scale));
+    recordsPerThread = 4;
+    threads = std::max<std::uint64_t>(
+        warpSize,
+        (records / recordsPerThread + warpSize - 1) / warpSize * warpSize);
+    records = threads * recordsPerThread;
+}
+
+void
+AprioriWorkload::setup(GpuSystem &gpu, bool lock_variant)
+{
+    countersBase = gpu.memory().allocate(4 * counters);
+    locksBase = lock_variant ? gpu.memory().allocate(4 * counters) : 0;
+    itemsBase = gpu.memory().allocate(8 * records);
+
+    for (std::uint64_t r = 0; r < records; ++r) {
+        // Skewed candidate selection: low-numbered counters are hot.
+        const std::uint64_t h = hashMix(r, seed);
+        const std::uint32_t c1 =
+            static_cast<std::uint32_t>((h & 0xffff) % (counters / 4));
+        std::uint32_t c2 = static_cast<std::uint32_t>(
+            ((h >> 16) & 0xffff) % counters);
+        if (c2 == c1)
+            c2 = (c2 + 1) % counters; // two distinct itemset counters
+        gpu.memory().write(itemsBase + 8 * r, c1);
+        gpu.memory().write(itemsBase + 8 * r + 4, c2);
+    }
+
+    KernelBuilder kb(std::string("AP") + (lock_variant ? ".lock" : ".tm"));
+    const Reg tid(1), rec(2), i(3), addr(4), c1(5), c2(6), a1(7), a2(8);
+    const Reg v(9), one(10), cond(11), old(12);
+
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.muli(rec, tid, recordsPerThread);
+    kb.li(i, 0);
+    kb.li(one, 1);
+
+    auto head = kb.newLabel();
+    auto exit_label = kb.newLabel();
+    kb.bind(head);
+    kb.add(addr, rec, i);
+    kb.shli(addr, addr, 3);
+    kb.addi(addr, addr, static_cast<std::int64_t>(itemsBase));
+    kb.load(c1, addr);
+    kb.load(c2, addr, 4);
+    kb.shli(a1, c1, 2);
+    kb.addi(a1, a1, static_cast<std::int64_t>(countersBase));
+    kb.shli(a2, c2, 2);
+    kb.addi(a2, a2, static_cast<std::int64_t>(countersBase));
+
+    if (lock_variant) {
+        // RMS-TM-style fine-grained locking: one lock per candidate
+        // counter, acquired in address order.
+        const Reg l1(14), l2(15), t0(16), t1(17), t2(18), v2(19);
+        (void)old;
+        kb.addi(l1, a1, static_cast<std::int64_t>(locksBase) -
+                            static_cast<std::int64_t>(countersBase));
+        kb.addi(l2, a2, static_cast<std::int64_t>(locksBase) -
+                            static_cast<std::int64_t>(countersBase));
+        emitTwoLockCritical(kb, l1, l2, t0, t1, t2, [&] {
+            kb.load(v, a1, 0, MemBypassL1);
+            kb.load(v2, a2, 0, MemBypassL1);
+            kb.addi(v, v, 1);
+            kb.addi(v2, v2, 1);
+            kb.store(a1, v, 0, MemBypassL1);
+            kb.store(a2, v2, 0, MemBypassL1);
+        });
+    } else {
+        const Reg v2(13);
+        kb.txBegin();
+        // Loads first, stores last: keeps the encounter-time write
+        // reservations (GETM) as short as possible, as a compiler would.
+        kb.load(v, a1);
+        kb.load(v2, a2);
+        kb.addi(v, v, 1);
+        kb.addi(v2, v2, 1);
+        kb.store(a1, v);
+        kb.store(a2, v2);
+        kb.txCommit();
+    }
+
+    kb.addi(i, i, 1);
+    kb.sltsi(cond, i, recordsPerThread);
+    kb.bnez(cond, head, exit_label);
+    kb.bind(exit_label);
+    kb.exit();
+    builtKernel = kb.build();
+}
+
+bool
+AprioriWorkload::verify(GpuSystem &gpu, std::string &why) const
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < counters; ++c)
+        total += gpu.memory().read(countersBase + 4 * c);
+    const std::uint64_t expect = 2 * records;
+    if (total != expect) {
+        why = "counter total " + std::to_string(total) + " != " +
+              std::to_string(expect);
+        return false;
+    }
+    return true;
+}
+
+} // namespace getm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AP: Apriori-style data mining (paper Table III, from RMS-TM [48]).
+ *
+ * Threads scan records and bump support counters for the candidate
+ * itemsets each record contains. The candidate table is tiny, so a few
+ * counters are extremely contended -- the paper reports this benchmark's
+ * abort rate at thousands per 1 K commits under GETM, while commits stay
+ * cheap enough that GETM still wins. The hand-optimized baseline uses
+ * plain atomic adds (no locks needed for counters).
+ */
+
+#ifndef GETM_WORKLOADS_APRIORI_HH
+#define GETM_WORKLOADS_APRIORI_HH
+
+#include "workloads/workload.hh"
+
+namespace getm {
+
+/** Candidate-counter update benchmark. */
+class AprioriWorkload : public Workload
+{
+  public:
+    AprioriWorkload(double scale, std::uint64_t seed);
+
+    BenchId id() const override { return BenchId::Ap; }
+    void setup(GpuSystem &gpu, bool lock_variant) override;
+    std::uint64_t numThreads() const override { return threads; }
+    bool verify(GpuSystem &gpu, std::string &why) const override;
+
+  private:
+    std::uint64_t threads;
+    std::uint64_t records;
+    unsigned recordsPerThread;
+    unsigned counters;
+    std::uint64_t seed;
+    Addr countersBase = 0;
+    Addr locksBase = 0;
+    Addr itemsBase = 0; ///< Two candidate indices per record.
+};
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_APRIORI_HH

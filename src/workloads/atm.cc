@@ -1,0 +1,102 @@
+#include "workloads/atm.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "workloads/lock_utils.hh"
+
+namespace getm {
+
+AtmWorkload::AtmWorkload(double scale, std::uint64_t seed_)
+    : threads(std::max<std::uint64_t>(
+          warpSize,
+          static_cast<std::uint64_t>(23040.0 * scale) / warpSize *
+              warpSize)),
+      accounts(std::max<std::uint64_t>(
+          64, static_cast<std::uint64_t>(1000000.0 * scale))),
+      seed(seed_)
+{
+}
+
+void
+AtmWorkload::setup(GpuSystem &gpu, bool lock_variant)
+{
+    accountsBase = gpu.memory().allocate(4 * accounts);
+    locksBase = lock_variant ? gpu.memory().allocate(4 * accounts) : 0;
+    srcBase = gpu.memory().allocate(4 * threads);
+    dstBase = gpu.memory().allocate(4 * threads);
+
+    Rng rng(seed);
+    initialTotal = 0;
+    for (std::uint64_t i = 0; i < accounts; ++i) {
+        gpu.memory().write(accountsBase + 4 * i, 1000);
+        initialTotal += 1000;
+    }
+    for (std::uint64_t t = 0; t < threads; ++t) {
+        const std::uint64_t src = rng.below(accounts);
+        std::uint64_t dst = rng.below(accounts);
+        if (dst == src)
+            dst = (dst + 1) % accounts;
+        gpu.memory().write(srcBase + 4 * t,
+                           static_cast<std::uint32_t>(src));
+        gpu.memory().write(dstBase + 4 * t,
+                           static_cast<std::uint32_t>(dst));
+    }
+
+    KernelBuilder kb(std::string("ATM") + (lock_variant ? ".lock" : ".tm"));
+    const Reg tid(1), tmp(2), src(3), dst(4), sa(5), da(6), sv(7), dv(8);
+    const Reg lockS(9), lockD(10), t0(11), t1(12), t2(13);
+
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.shli(tmp, tid, 2);
+    kb.addi(src, tmp, static_cast<std::int64_t>(srcBase));
+    kb.load(src, src);
+    kb.addi(dst, tmp, static_cast<std::int64_t>(dstBase));
+    kb.load(dst, dst);
+    kb.shli(sa, src, 2);
+    kb.addi(sa, sa, static_cast<std::int64_t>(accountsBase));
+    kb.shli(da, dst, 2);
+    kb.addi(da, da, static_cast<std::int64_t>(accountsBase));
+
+    if (lock_variant) {
+        kb.shli(lockS, src, 2);
+        kb.addi(lockS, lockS, static_cast<std::int64_t>(locksBase));
+        kb.shli(lockD, dst, 2);
+        kb.addi(lockD, lockD, static_cast<std::int64_t>(locksBase));
+        emitTwoLockCritical(kb, lockS, lockD, t0, t1, t2, [&] {
+            kb.load(sv, sa, 0, MemBypassL1);
+            kb.load(dv, da, 0, MemBypassL1);
+            kb.addi(sv, sv, -5);
+            kb.addi(dv, dv, 5);
+            kb.store(sa, sv, 0, MemBypassL1);
+            kb.store(da, dv, 0, MemBypassL1);
+        });
+    } else {
+        kb.txBegin();
+        kb.load(sv, sa);
+        kb.load(dv, da);
+        kb.addi(sv, sv, -5);
+        kb.addi(dv, dv, 5);
+        kb.store(sa, sv);
+        kb.store(da, dv);
+        kb.txCommit();
+    }
+    kb.exit();
+    builtKernel = kb.build();
+}
+
+bool
+AtmWorkload::verify(GpuSystem &gpu, std::string &why) const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < accounts; ++i)
+        total += gpu.memory().read(accountsBase + 4 * i);
+    if (total != initialTotal) {
+        why = "balance not conserved: " + std::to_string(total) +
+              " != " + std::to_string(initialTotal);
+        return false;
+    }
+    return true;
+}
+
+} // namespace getm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ATM: parallel bank-account transfers (paper Fig. 1 and Table III).
+ *
+ * Each thread moves a fixed amount between two randomly chosen accounts.
+ * The transactional kernel is the right-hand side of Fig. 1; the lock
+ * kernel is the left-hand side (address-ordered per-account spin locks
+ * with a done-flag loop against SIMT deadlock).
+ */
+
+#ifndef GETM_WORKLOADS_ATM_HH
+#define GETM_WORKLOADS_ATM_HH
+
+#include "workloads/workload.hh"
+
+namespace getm {
+
+/** Bank-transfer benchmark. */
+class AtmWorkload : public Workload
+{
+  public:
+    AtmWorkload(double scale, std::uint64_t seed);
+
+    BenchId id() const override { return BenchId::Atm; }
+    void setup(GpuSystem &gpu, bool lock_variant) override;
+    std::uint64_t numThreads() const override { return threads; }
+    bool verify(GpuSystem &gpu, std::string &why) const override;
+
+  private:
+    std::uint64_t threads;
+    std::uint64_t accounts;
+    std::uint64_t seed;
+    Addr accountsBase = 0;
+    Addr locksBase = 0;
+    Addr srcBase = 0;
+    Addr dstBase = 0;
+    std::uint64_t initialTotal = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_ATM_HH

@@ -1,0 +1,140 @@
+#include "workloads/barnes_hut.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "isa/kernel_builder.hh"
+
+namespace getm {
+
+BarnesHutWorkload::BarnesHutWorkload(double scale, std::uint64_t seed_)
+    : bodies(std::max<std::uint64_t>(
+          warpSize,
+          static_cast<std::uint64_t>(30000.0 * scale) / warpSize *
+              warpSize)),
+      seed(seed_)
+{
+    // Complete 4-ary tree with at least 4x as many nodes as bodies.
+    nodes = 1;
+    std::uint64_t level = 1;
+    while (nodes < 4 * bodies) {
+        level *= 4;
+        nodes += level;
+    }
+}
+
+void
+BarnesHutWorkload::setup(GpuSystem &gpu, bool lock_variant)
+{
+    treeBase = gpu.memory().allocate(4 * nodes);
+
+    // Pre-build the internal skeleton: in the real benchmark the upper
+    // octree levels already exist when the bulk of the bodies insert
+    // (the tree is grown level by level over prior launches), so bodies
+    // contend at the leaf frontier, not at the root. Internal nodes are
+    // marked with a sentinel the walk treats as "occupied".
+    std::uint64_t frontier = 1;
+    std::uint64_t internal_nodes = 0;
+    while (frontier < bodies) {
+        internal_nodes = internal_nodes * 4 + 1;
+        frontier *= 4;
+    }
+    for (std::uint64_t n = 0; n < internal_nodes; ++n)
+        gpu.memory().write(treeBase + 4 * n, internalMark);
+
+    KernelBuilder kb(std::string("BH") + (lock_variant ? ".lock" : ".tm"));
+    const Reg tid(1), node(2), depth(3), addr(4), val(5), claimed(6);
+    const Reg child(7), tmp(8), bodyval(9), zero(10);
+
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.addi(bodyval, tid, 1); // stored body id; non-zero
+    kb.li(zero, 0);
+
+    // Each body's insertion is one logical operation: walk down from the
+    // root along a per-body path and claim the first empty node. The
+    // transactional variant wraps the whole walk in a single transaction
+    // (path reads + one claiming write), as in the KiloTM/WarpTM port of
+    // the benchmark; the hand-optimized variant claims with bare CAS.
+    auto emit_walk = [&](bool transactional) {
+        // Registers are re-initialized inside the transaction: aborted
+        // lanes re-execute from after TxBegin without register rollback.
+        kb.li(node, 0);
+        kb.li(depth, 0);
+        kb.li(claimed, 0);
+        auto head = kb.newLabel();
+        auto done = kb.newLabel();
+        auto descend = kb.newLabel();
+        kb.bind(head);
+        kb.shli(addr, node, 2);
+        kb.addi(addr, addr, static_cast<std::int64_t>(treeBase));
+        if (transactional) {
+            kb.load(val, addr);
+            auto occupied = kb.newLabel();
+            kb.bnez(val, occupied, occupied);
+            kb.store(addr, bodyval); // claim the empty node
+            kb.li(claimed, 1);
+            kb.bind(occupied);
+        } else {
+            kb.atomCas(val, addr, zero, bodyval);
+            kb.seqi(claimed, val, 0);
+        }
+        kb.bnez(claimed, done, done);
+        kb.bind(descend);
+        // Descend: node = 4*node + 1 + h(tid, depth) & 3.
+        kb.hash(child, tid, depth);
+        kb.andi(child, child, 3);
+        kb.shli(tmp, node, 2);
+        kb.addi(tmp, tmp, 1);
+        kb.add(node, tmp, child);
+        kb.addi(depth, depth, 1);
+        // Fallback: wrap into linear probing if the path leaves the tree.
+        kb.sltsi(tmp, node, static_cast<std::int64_t>(nodes));
+        auto in_range = kb.newLabel();
+        kb.bnez(tmp, in_range, in_range);
+        kb.remui(node, node, static_cast<std::int64_t>(nodes));
+        kb.bind(in_range);
+        kb.jump(head);
+        kb.bind(done);
+    };
+
+    if (lock_variant) {
+        emit_walk(false);
+    } else {
+        kb.txBegin();
+        emit_walk(true);
+        kb.txCommit();
+    }
+    kb.exit();
+    builtKernel = kb.build();
+}
+
+bool
+BarnesHutWorkload::verify(GpuSystem &gpu, std::string &why) const
+{
+    std::vector<bool> placed(bodies, false);
+    std::uint64_t count = 0;
+    for (std::uint64_t n = 0; n < nodes; ++n) {
+        const std::uint32_t val = gpu.memory().read(treeBase + 4 * n);
+        if (val == 0 || val == internalMark)
+            continue;
+        if (val > bodies) {
+            why = "node " + std::to_string(n) + " holds invalid body " +
+                  std::to_string(val);
+            return false;
+        }
+        if (placed[val - 1]) {
+            why = "body " + std::to_string(val - 1) + " placed twice";
+            return false;
+        }
+        placed[val - 1] = true;
+        ++count;
+    }
+    if (count != bodies) {
+        why = "placed " + std::to_string(count) + " of " +
+              std::to_string(bodies) + " bodies";
+        return false;
+    }
+    return true;
+}
+
+} // namespace getm

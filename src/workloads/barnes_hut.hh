@@ -1,0 +1,44 @@
+/**
+ * @file
+ * BH: Barnes-Hut tree build (paper Table III, from Burtscher &
+ * Pingali [46]).
+ *
+ * The tree-build phase's sharing pattern is what matters for TM: every
+ * body walks from the root down a (deterministic, per-body) path through
+ * a 4-ary tree and claims the first empty node it encounters. Contention
+ * is extreme near the root early on and spreads down the tree as it
+ * fills, exactly like octree insertion. A linear-probe fallback
+ * guarantees placement if a path is exhausted.
+ */
+
+#ifndef GETM_WORKLOADS_BARNES_HUT_HH
+#define GETM_WORKLOADS_BARNES_HUT_HH
+
+#include "workloads/workload.hh"
+
+namespace getm {
+
+/** Tree-build benchmark. */
+class BarnesHutWorkload : public Workload
+{
+  public:
+    BarnesHutWorkload(double scale, std::uint64_t seed);
+
+    BenchId id() const override { return BenchId::Bh; }
+    void setup(GpuSystem &gpu, bool lock_variant) override;
+    std::uint64_t numThreads() const override { return bodies; }
+    bool verify(GpuSystem &gpu, std::string &why) const override;
+
+  private:
+    /** Sentinel marking pre-built internal (non-claimable) nodes. */
+    static constexpr std::uint32_t internalMark = 0x7fffffffu;
+
+    std::uint64_t bodies;
+    std::uint64_t nodes;
+    std::uint64_t seed;
+    Addr treeBase = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_BARNES_HUT_HH

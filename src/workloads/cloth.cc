@@ -1,0 +1,135 @@
+#include "workloads/cloth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/lock_utils.hh"
+
+namespace getm {
+
+ClothWorkload::ClothWorkload(BenchId id, double scale, std::uint64_t seed_)
+    : benchId(id), seed(seed_)
+{
+    // 60 K edges at scale 1.0: a grid with 2*W*H - W - H edges; a
+    // 175x87 grid gives ~30 K vertices and ~60 K edges.
+    const double target_edges = std::max(64.0, 60000.0 * scale);
+    width = std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(std::sqrt(target_edges / 2.0)));
+    height = width;
+    vertices = width * height;
+    edges = 2 * width * height - width - height;
+}
+
+void
+ClothWorkload::setup(GpuSystem &gpu, bool lock_variant)
+{
+    posBase = gpu.memory().allocate(4 * vertices);
+    locksBase = lock_variant ? gpu.memory().allocate(4 * vertices) : 0;
+    eaBase = gpu.memory().allocate(4 * edges);
+    ebBase = gpu.memory().allocate(4 * edges);
+
+    initialSum = 0;
+    for (std::uint64_t v = 0; v < vertices; ++v) {
+        const std::uint32_t pos =
+            static_cast<std::uint32_t>(hashMix(v, seed) % 1024);
+        gpu.memory().write(posBase + 4 * v, pos);
+        initialSum += pos;
+    }
+    // Edge list: horizontal then vertical grid edges.
+    std::uint64_t e = 0;
+    for (std::uint64_t y = 0; y < height; ++y)
+        for (std::uint64_t x = 0; x + 1 < width; ++x, ++e) {
+            gpu.memory().write(eaBase + 4 * e,
+                               static_cast<std::uint32_t>(y * width + x));
+            gpu.memory().write(
+                ebBase + 4 * e,
+                static_cast<std::uint32_t>(y * width + x + 1));
+        }
+    for (std::uint64_t y = 0; y + 1 < height; ++y)
+        for (std::uint64_t x = 0; x < width; ++x, ++e) {
+            gpu.memory().write(eaBase + 4 * e,
+                               static_cast<std::uint32_t>(y * width + x));
+            gpu.memory().write(
+                ebBase + 4 * e,
+                static_cast<std::uint32_t>((y + 1) * width + x));
+        }
+
+    KernelBuilder kb(std::string(benchName(benchId)) +
+                     (lock_variant ? ".lock" : ".tm"));
+    const Reg tid(1), tmp(2), va(3), vb(4), pa(5), pb(6), xa(7), xb(8);
+    const Reg d(9), lockA(10), lockB(11), t0(12), t1(13), t2(14);
+
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.shli(tmp, tid, 2);
+    kb.addi(va, tmp, static_cast<std::int64_t>(eaBase));
+    kb.load(va, va);
+    kb.addi(vb, tmp, static_cast<std::int64_t>(ebBase));
+    kb.load(vb, vb);
+    kb.shli(pa, va, 2);
+    kb.addi(pa, pa, static_cast<std::int64_t>(posBase));
+    kb.shli(pb, vb, 2);
+    kb.addi(pb, pb, static_cast<std::int64_t>(posBase));
+
+    // Relaxation: d = (pos[b] - pos[a]) / 4; pos[a] += d; pos[b] -= d.
+    if (lock_variant) {
+        kb.shli(lockA, va, 2);
+        kb.addi(lockA, lockA, static_cast<std::int64_t>(locksBase));
+        kb.shli(lockB, vb, 2);
+        kb.addi(lockB, lockB, static_cast<std::int64_t>(locksBase));
+        emitTwoLockCritical(kb, lockA, lockB, t0, t1, t2, [&] {
+            kb.load(xa, pa, 0, MemBypassL1);
+            kb.load(xb, pb, 0, MemBypassL1);
+            kb.sub(d, xb, xa);
+            kb.alui(Opcode::ShrA, d, d, 2);
+            kb.add(xa, xa, d);
+            kb.sub(xb, xb, d);
+            kb.store(pa, xa, 0, MemBypassL1);
+            kb.store(pb, xb, 0, MemBypassL1);
+        });
+    } else if (benchId == BenchId::Cl) {
+        kb.txBegin();
+        kb.load(xa, pa);
+        kb.load(xb, pb);
+        kb.sub(d, xb, xa);
+        kb.alui(Opcode::ShrA, d, d, 2);
+        kb.add(xa, xa, d);
+        kb.sub(xb, xb, d);
+        kb.store(pa, xa);
+        kb.store(pb, xb);
+        kb.txCommit();
+    } else {
+        // CLto: split into two shorter transactions; d carries between
+        // them in a register, so the pair still conserves the sum.
+        kb.txBegin();
+        kb.load(xa, pa);
+        kb.load(xb, pb);
+        kb.sub(d, xb, xa);
+        kb.alui(Opcode::ShrA, d, d, 2);
+        kb.add(xa, xa, d);
+        kb.store(pa, xa);
+        kb.txCommit();
+        kb.txBegin();
+        kb.load(xb, pb);
+        kb.sub(xb, xb, d);
+        kb.store(pb, xb);
+        kb.txCommit();
+    }
+    kb.exit();
+    builtKernel = kb.build();
+}
+
+bool
+ClothWorkload::verify(GpuSystem &gpu, std::string &why) const
+{
+    std::int64_t sum = 0;
+    for (std::uint64_t v = 0; v < vertices; ++v)
+        sum += static_cast<std::int32_t>(gpu.memory().read(posBase + 4 * v));
+    if (sum != initialSum) {
+        why = "position sum not conserved: " + std::to_string(sum) +
+              " != " + std::to_string(initialSum);
+        return false;
+    }
+    return true;
+}
+
+} // namespace getm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CL / CLto: cloth-physics edge constraint relaxation (paper Table III,
+ * from Brownsword's OpenCL cloth demo [45]).
+ *
+ * The cloth is a W x H grid of vertices; each thread relaxes one edge by
+ * moving both endpoint positions a quarter of the way towards each
+ * other. CL wraps the whole relaxation (2 loads + 2 stores) in one
+ * transaction; CLto is the transaction-optimized version with two
+ * smaller transactions (one per endpoint), which shortens conflict
+ * windows at the cost of an extra commit.
+ */
+
+#ifndef GETM_WORKLOADS_CLOTH_HH
+#define GETM_WORKLOADS_CLOTH_HH
+
+#include "workloads/workload.hh"
+
+namespace getm {
+
+/** Cloth edge-relaxation benchmark. */
+class ClothWorkload : public Workload
+{
+  public:
+    ClothWorkload(BenchId id, double scale, std::uint64_t seed);
+
+    BenchId id() const override { return benchId; }
+    void setup(GpuSystem &gpu, bool lock_variant) override;
+    std::uint64_t numThreads() const override { return edges; }
+    bool verify(GpuSystem &gpu, std::string &why) const override;
+
+  private:
+    BenchId benchId;
+    std::uint64_t width;
+    std::uint64_t height;
+    std::uint64_t vertices;
+    std::uint64_t edges;
+    std::uint64_t seed;
+    Addr posBase = 0;
+    Addr locksBase = 0;
+    Addr eaBase = 0;
+    Addr ebBase = 0;
+    std::int64_t initialSum = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_CLOTH_HH

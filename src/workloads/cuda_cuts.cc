@@ -1,0 +1,122 @@
+#include "workloads/cuda_cuts.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/lock_utils.hh"
+
+namespace getm {
+
+CudaCutsWorkload::CudaCutsWorkload(double scale, std::uint64_t seed_)
+    : rounds(4), seed(seed_)
+{
+    // 200 x 150 pixels at scale 1.0.
+    const double target = std::max(64.0, 30000.0 * scale);
+    width = std::max<std::uint64_t>(
+        8, static_cast<std::uint64_t>(std::sqrt(target * 4.0 / 3.0)));
+    height = std::max<std::uint64_t>(
+        8, static_cast<std::uint64_t>(static_cast<double>(width) * 3 / 4));
+    pixels = width * height;
+}
+
+void
+CudaCutsWorkload::setup(GpuSystem &gpu, bool lock_variant)
+{
+    excessBase = gpu.memory().allocate(4 * pixels);
+    locksBase = lock_variant ? gpu.memory().allocate(4 * pixels) : 0;
+
+    initialTotal = 0;
+    for (std::uint64_t p = 0; p < pixels; ++p) {
+        const std::uint32_t e =
+            static_cast<std::uint32_t>(hashMix(p, seed) % 256);
+        gpu.memory().write(excessBase + 4 * p, e);
+        initialTotal += e;
+    }
+
+    KernelBuilder kb(std::string("CC") + (lock_variant ? ".lock" : ".tm"));
+    const Reg tid(1), x(2), y(3), round(4), q(5), pa(6), qa(7);
+    const Reg e(8), eq(9), m(10), dir(11), tmp(12), cond(13);
+    const Reg lockP(14), lockQ(15), t0(16), t1(17), t2(18);
+
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.shli(pa, tid, 2);
+    kb.addi(pa, pa, static_cast<std::int64_t>(excessBase));
+    kb.remui(x, tid, static_cast<std::int64_t>(width));
+    kb.alui(Opcode::DivU, y, tid, static_cast<std::int64_t>(width));
+    kb.li(round, 0);
+
+    auto head = kb.newLabel();
+    auto exit_label = kb.newLabel();
+    kb.bind(head);
+    // Neighbour index for this round (torus): 0 right, 1 down, 2 left,
+    // 3 up.
+    kb.andi(dir, round, 3);
+    // qx = x + (dir==0) - (dir==2); qy = y + (dir==1) - (dir==3)
+    kb.seqi(tmp, dir, 0);
+    kb.add(q, x, tmp);
+    kb.seqi(tmp, dir, 2);
+    kb.sub(q, q, tmp);
+    kb.addi(q, q, static_cast<std::int64_t>(width)); // keep positive
+    kb.remui(q, q, static_cast<std::int64_t>(width));
+    kb.seqi(tmp, dir, 1);
+    kb.add(tmp, y, tmp);
+    kb.seqi(cond, dir, 3);
+    kb.sub(tmp, tmp, cond);
+    kb.addi(tmp, tmp, static_cast<std::int64_t>(height));
+    kb.remui(tmp, tmp, static_cast<std::int64_t>(height));
+    kb.muli(tmp, tmp, static_cast<std::int64_t>(width));
+    kb.add(q, tmp, q); // neighbour pixel index
+    kb.shli(qa, q, 2);
+    kb.addi(qa, qa, static_cast<std::int64_t>(excessBase));
+
+    auto push_excess = [&](std::uint8_t flags) {
+        // m = excess/2 if excess > 16, else 0; move m from p to q.
+        kb.load(e, pa, 0, flags);
+        kb.load(eq, qa, 0, flags);
+        kb.alui(Opcode::ShrA, m, e, 1);
+        kb.sltsi(cond, e, 17);
+        kb.seqi(cond, cond, 0); // cond = e > 16
+        kb.mul(m, m, cond);
+        kb.sub(e, e, m);
+        kb.add(eq, eq, m);
+        kb.store(pa, e, 0, flags);
+        kb.store(qa, eq, 0, flags);
+    };
+
+    if (lock_variant) {
+        kb.shli(lockP, tid, 2);
+        kb.addi(lockP, lockP, static_cast<std::int64_t>(locksBase));
+        kb.shli(lockQ, q, 2);
+        kb.addi(lockQ, lockQ, static_cast<std::int64_t>(locksBase));
+        emitTwoLockCritical(kb, lockP, lockQ, t0, t1, t2,
+                            [&] { push_excess(MemBypassL1); });
+    } else {
+        kb.txBegin();
+        push_excess(MemNone);
+        kb.txCommit();
+    }
+
+    kb.addi(round, round, 1);
+    kb.sltsi(cond, round, rounds);
+    kb.bnez(cond, head, exit_label);
+    kb.bind(exit_label);
+    kb.exit();
+    builtKernel = kb.build();
+}
+
+bool
+CudaCutsWorkload::verify(GpuSystem &gpu, std::string &why) const
+{
+    std::int64_t total = 0;
+    for (std::uint64_t p = 0; p < pixels; ++p)
+        total +=
+            static_cast<std::int32_t>(gpu.memory().read(excessBase + 4 * p));
+    if (total != initialTotal) {
+        why = "excess not conserved: " + std::to_string(total) +
+              " != " + std::to_string(initialTotal);
+        return false;
+    }
+    return true;
+}
+
+} // namespace getm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CC: CudaCuts image segmentation (paper Table III, from Vineet &
+ * Narayanan [47]).
+ *
+ * The TM-relevant kernel of CudaCuts is push-relabel on the pixel grid:
+ * each thread owns a pixel and repeatedly pushes excess flow to a
+ * rotating neighbour. Transactions touch a pixel and one neighbour, so
+ * contention exists but is localized; transactions are a small fraction
+ * of total runtime (matching the paper's observation). The grid wraps
+ * toroidally to avoid boundary special cases.
+ */
+
+#ifndef GETM_WORKLOADS_CUDA_CUTS_HH
+#define GETM_WORKLOADS_CUDA_CUTS_HH
+
+#include "workloads/workload.hh"
+
+namespace getm {
+
+/** Push-relabel grid benchmark. */
+class CudaCutsWorkload : public Workload
+{
+  public:
+    CudaCutsWorkload(double scale, std::uint64_t seed);
+
+    BenchId id() const override { return BenchId::Cc; }
+    void setup(GpuSystem &gpu, bool lock_variant) override;
+    std::uint64_t numThreads() const override { return pixels; }
+    bool verify(GpuSystem &gpu, std::string &why) const override;
+
+  private:
+    std::uint64_t width;
+    std::uint64_t height;
+    std::uint64_t pixels;
+    unsigned rounds;
+    std::uint64_t seed;
+    Addr excessBase = 0;
+    Addr locksBase = 0;
+    std::int64_t initialTotal = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_CUDA_CUTS_HH

@@ -1,0 +1,132 @@
+#include "workloads/hashtable.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.hh"
+#include "workloads/lock_utils.hh"
+
+namespace getm {
+
+namespace {
+
+std::uint64_t
+bucketCount(BenchId id, double scale)
+{
+    std::uint64_t base;
+    switch (id) {
+      case BenchId::HtH: base = 8000; break;
+      case BenchId::HtM: base = 80000; break;
+      default: base = 800000; break;
+    }
+    return std::max<std::uint64_t>(16, static_cast<std::uint64_t>(
+        static_cast<double>(base) * scale));
+}
+
+} // namespace
+
+HashTableWorkload::HashTableWorkload(BenchId id, double scale,
+                                     std::uint64_t seed_)
+    : benchId(id),
+      threads(std::max<std::uint64_t>(
+          warpSize,
+          static_cast<std::uint64_t>(23040.0 * scale) / warpSize *
+              warpSize)),
+      buckets(bucketCount(id, scale)), seed(seed_)
+{
+}
+
+void
+HashTableWorkload::setup(GpuSystem &gpu, bool lock_variant)
+{
+    headsBase = gpu.memory().allocate(4 * buckets);
+    locksBase = lock_variant ? gpu.memory().allocate(4 * buckets) : 0;
+    nodesBase = gpu.memory().allocate(8 * threads);
+
+    KernelBuilder kb(std::string(benchName(benchId)) +
+                     (lock_variant ? ".lock" : ".tm"));
+    const Reg tid(1), key(2), bucket(3), head(4), node(5), old(6);
+    const Reg lock(7), t0(8), t1(9), t2(10), tmp(11);
+
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    // key = nonzero hash of the thread id (verify() recomputes it).
+    kb.hashi(key, tid, static_cast<std::int64_t>(seed));
+    kb.andi(key, key, 0x7ffffffe);
+    kb.ori(key, key, 1);
+    kb.remui(bucket, key, static_cast<std::int64_t>(buckets));
+    kb.shli(head, bucket, 2);
+    kb.addi(head, head, static_cast<std::int64_t>(headsBase));
+    kb.shli(node, tid, 3);
+    kb.addi(node, node, static_cast<std::int64_t>(nodesBase));
+    kb.store(node, key); // node.key (private)
+
+    if (lock_variant) {
+        kb.shli(lock, bucket, 2);
+        kb.addi(lock, lock, static_cast<std::int64_t>(locksBase));
+        emitOneLockCritical(kb, lock, t0, t1, t2, [&] {
+            kb.load(old, head, 0, MemBypassL1);
+            kb.store(node, old, 4, MemBypassL1); // node.next = old head
+            kb.mov(tmp, node);
+            kb.store(head, tmp, 0, MemBypassL1); // head = node
+        });
+    } else {
+        kb.txBegin();
+        kb.load(old, head);
+        kb.store(node, old, 4); // node.next = old head
+        kb.store(head, node);   // head = node
+        kb.txCommit();
+    }
+    kb.exit();
+    builtKernel = kb.build();
+}
+
+bool
+HashTableWorkload::verify(GpuSystem &gpu, std::string &why) const
+{
+    std::uint64_t found = 0;
+    std::unordered_set<std::uint64_t> seen;
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+        Addr node = gpu.memory().read(headsBase + 4 * b);
+        std::uint64_t chain = 0;
+        while (node != 0) {
+            if (node < nodesBase || node >= nodesBase + 8 * threads ||
+                (node - nodesBase) % 8 != 0) {
+                why = "corrupt chain pointer in bucket " +
+                      std::to_string(b);
+                return false;
+            }
+            if (!seen.insert(node).second) {
+                why = "node linked twice (lost insert) in bucket " +
+                      std::to_string(b);
+                return false;
+            }
+            const std::uint32_t key = gpu.memory().read(node);
+            const std::uint64_t tid = (node - nodesBase) / 8;
+            std::uint64_t expect = hashMix(tid, seed);
+            expect = (expect & 0x7ffffffe) | 1;
+            if (key != static_cast<std::uint32_t>(expect)) {
+                why = "node for tid " + std::to_string(tid) +
+                      " holds wrong key";
+                return false;
+            }
+            if (expect % buckets != b) {
+                why = "key in wrong bucket " + std::to_string(b);
+                return false;
+            }
+            ++found;
+            if (++chain > threads) {
+                why = "cycle in bucket " + std::to_string(b);
+                return false;
+            }
+            node = gpu.memory().read(node + 4);
+        }
+    }
+    if (found != threads) {
+        why = "expected " + std::to_string(threads) + " nodes, found " +
+              std::to_string(found);
+        return false;
+    }
+    return true;
+}
+
+} // namespace getm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * HT-H / HT-M / HT-L: populate a chained hash table (paper Table III).
+ *
+ * Each thread inserts one key at the head of its bucket's chain; the
+ * bucket count (8 K / 80 K / 800 K at scale 1.0) sets the contention
+ * level. The transactional variant wraps the three-access head insert in
+ * a transaction; the lock variant takes a per-bucket spin lock.
+ */
+
+#ifndef GETM_WORKLOADS_HASHTABLE_HH
+#define GETM_WORKLOADS_HASHTABLE_HH
+
+#include "workloads/workload.hh"
+
+namespace getm {
+
+/** Chained-hash-table population benchmark. */
+class HashTableWorkload : public Workload
+{
+  public:
+    HashTableWorkload(BenchId id, double scale, std::uint64_t seed);
+
+    BenchId id() const override { return benchId; }
+    void setup(GpuSystem &gpu, bool lock_variant) override;
+    std::uint64_t numThreads() const override { return threads; }
+    bool verify(GpuSystem &gpu, std::string &why) const override;
+
+  private:
+    BenchId benchId;
+    std::uint64_t threads;
+    std::uint64_t buckets;
+    std::uint64_t seed;
+    Addr headsBase = 0;
+    Addr locksBase = 0;
+    Addr nodesBase = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_HASHTABLE_HH

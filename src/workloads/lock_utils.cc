@@ -1,0 +1,86 @@
+#include "workloads/lock_utils.hh"
+
+namespace getm {
+
+void
+emitOneLockCritical(KernelBuilder &kb, Reg lock, Reg t0, Reg t1, Reg t2,
+                    const std::function<void()> &body)
+{
+    const Reg zero = t0, one = t1, old = t2;
+    kb.li(zero, 0);
+    kb.li(one, 1);
+    // done flag lives in `old` after the section: loop on a separate
+    // register to keep the pattern simple.
+    const Reg done = t2; // reused: set only after release
+    kb.li(done, 0);
+
+    auto head = kb.newLabel();
+    auto exit_label = kb.newLabel();
+    auto tail = kb.newLabel();
+    kb.bind(head);
+    kb.bnez(done, exit_label, exit_label);
+    {
+        kb.atomCas(old, lock, zero, one);
+        // `old` doubles as the done flag; non-zero means "retry".
+        auto fail = kb.newLabel();
+        kb.bnez(old, fail, tail);
+        body();
+        kb.fence(); // order the critical section's stores before release
+        kb.store(lock, zero, 0, MemBypassL1); // release
+        kb.li(done, 1);
+        kb.jump(tail);
+        kb.bind(fail);
+        kb.li(done, 0);
+        kb.bind(tail);
+        kb.jump(head);
+    }
+    kb.bind(exit_label);
+}
+
+void
+emitTwoLockCritical(KernelBuilder &kb, Reg lockA, Reg lockB, Reg t0,
+                    Reg t1, Reg t2, const std::function<void()> &body)
+{
+    const Reg zero = t0, one = t1, tmp = t2;
+    // Acquire in address order to avoid deadlock (Fig. 1).
+    kb.maxs(tmp, lockA, lockB);
+    kb.mins(lockB, lockA, lockB); // inner
+    kb.mov(lockA, tmp);           // outer
+    kb.li(zero, 0);
+    kb.li(one, 1);
+    const Reg done = tmp;
+    kb.li(done, 0);
+
+    auto head = kb.newLabel();
+    auto exit_label = kb.newLabel();
+    auto tail = kb.newLabel();
+    kb.bind(head);
+    kb.bnez(done, exit_label, exit_label);
+    {
+        kb.atomCas(done, lockA, zero, one);
+        auto fail_outer = kb.newLabel();
+        kb.bnez(done, fail_outer, tail);
+        kb.atomCas(done, lockB, zero, one);
+        auto fail_inner = kb.newLabel();
+        auto inner_join = kb.newLabel();
+        kb.bnez(done, fail_inner, inner_join);
+        body();
+        kb.fence(); // order the critical section's stores before release
+        kb.store(lockB, zero, 0, MemBypassL1); // release inner
+        kb.store(lockA, zero, 0, MemBypassL1); // release outer
+        kb.li(done, 1);
+        kb.jump(inner_join);
+        kb.bind(fail_inner);
+        kb.store(lockA, zero, 0, MemBypassL1); // got outer, not inner
+        kb.li(done, 0);
+        kb.bind(inner_join);
+        kb.jump(tail);
+        kb.bind(fail_outer);
+        kb.li(done, 0);
+        kb.bind(tail);
+        kb.jump(head);
+    }
+    kb.bind(exit_label);
+}
+
+} // namespace getm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Emit helpers for fine-grained-lock kernel variants.
+ *
+ * Both helpers produce the SIMT-deadlock-free pattern of paper Fig. 1:
+ * a loop on a per-thread done flag with CAS lock acquisition inside, so
+ * lanes that fail to acquire do not starve lanes that succeeded (the
+ * classic lockstep-execution pitfall the paper's introduction describes).
+ * Critical-section bodies must use L1-bypassing (volatile) accesses --
+ * the GPU has no L1 coherence.
+ */
+
+#ifndef GETM_WORKLOADS_LOCK_UTILS_HH
+#define GETM_WORKLOADS_LOCK_UTILS_HH
+
+#include <functional>
+
+#include "isa/kernel_builder.hh"
+
+namespace getm {
+
+/**
+ * Emit a critical section protected by one lock.
+ *
+ * @param kb    Builder to emit into.
+ * @param lock  Register holding the lock-word address (preserved).
+ * @param t0,t1,t2 Scratch registers (clobbered).
+ * @param body  Emits the critical section (volatile accesses).
+ */
+void emitOneLockCritical(KernelBuilder &kb, Reg lock, Reg t0, Reg t1,
+                         Reg t2, const std::function<void()> &body);
+
+/**
+ * Emit a critical section protected by two locks, acquired in address
+ * order to avoid lock-order deadlock (Fig. 1).
+ *
+ * @param lockA,lockB Registers holding the two lock-word addresses
+ *                    (clobbered: reordered into outer/inner).
+ */
+void emitTwoLockCritical(KernelBuilder &kb, Reg lockA, Reg lockB, Reg t0,
+                         Reg t1, Reg t2, const std::function<void()> &body);
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_LOCK_UTILS_HH

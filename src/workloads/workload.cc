@@ -1,0 +1,95 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "workloads/apriori.hh"
+#include "workloads/atm.hh"
+#include "workloads/barnes_hut.hh"
+#include "workloads/cloth.hh"
+#include "workloads/cuda_cuts.hh"
+#include "workloads/hashtable.hh"
+
+namespace getm {
+
+std::unique_ptr<Workload>
+makeWorkload(BenchId id, double scale, std::uint64_t seed)
+{
+    switch (id) {
+      case BenchId::HtH:
+      case BenchId::HtM:
+      case BenchId::HtL:
+        return std::make_unique<HashTableWorkload>(id, scale, seed);
+      case BenchId::Atm:
+        return std::make_unique<AtmWorkload>(scale, seed);
+      case BenchId::Cl:
+      case BenchId::ClTo:
+        return std::make_unique<ClothWorkload>(id, scale, seed);
+      case BenchId::Bh:
+        return std::make_unique<BarnesHutWorkload>(scale, seed);
+      case BenchId::Cc:
+        return std::make_unique<CudaCutsWorkload>(scale, seed);
+      case BenchId::Ap:
+        return std::make_unique<AprioriWorkload>(scale, seed);
+    }
+    panic("unknown benchmark id");
+}
+
+std::vector<BenchId>
+allBenchIds()
+{
+    return {BenchId::HtH, BenchId::HtM, BenchId::HtL, BenchId::Atm,
+            BenchId::Cl,  BenchId::ClTo, BenchId::Bh, BenchId::Cc,
+            BenchId::Ap};
+}
+
+const char *
+benchName(BenchId id)
+{
+    switch (id) {
+      case BenchId::HtH: return "HT-H";
+      case BenchId::HtM: return "HT-M";
+      case BenchId::HtL: return "HT-L";
+      case BenchId::Atm: return "ATM";
+      case BenchId::Cl: return "CL";
+      case BenchId::ClTo: return "CLto";
+      case BenchId::Bh: return "BH";
+      case BenchId::Cc: return "CC";
+      case BenchId::Ap: return "AP";
+    }
+    return "?";
+}
+
+unsigned
+optimalConcurrency(BenchId id, ProtocolKind protocol)
+{
+    // Paper Table IV. Columns: WTM, EAPG, WTM-EL, GETM.
+    const unsigned unlimited = 0xffffffffu;
+    struct Row
+    {
+        unsigned wtm, eapg, el, getm;
+    };
+    Row row{1, 1, 1, 1};
+    switch (id) {
+      case BenchId::HtH: row = {2, 2, 8, 8}; break;
+      case BenchId::HtM: row = {8, 4, 8, 8}; break;
+      case BenchId::HtL: row = {8, 4, 8, 8}; break;
+      case BenchId::Atm: row = {4, 4, 4, 4}; break;
+      case BenchId::Cl: row = {2, 2, 4, 4}; break;
+      case BenchId::ClTo: row = {4, 2, 4, 4}; break;
+      case BenchId::Bh:
+        row = {unlimited, 2, 2, 8};
+        break;
+      case BenchId::Cc:
+        row = {unlimited, unlimited, unlimited, unlimited};
+        break;
+      case BenchId::Ap: row = {1, 1, 1, 1}; break;
+    }
+    switch (protocol) {
+      case ProtocolKind::WarpTmLL: return row.wtm;
+      case ProtocolKind::Eapg: return row.eapg;
+      case ProtocolKind::WarpTmEL: return row.el;
+      case ProtocolKind::Getm: return row.getm;
+      default: return unlimited;
+    }
+}
+
+} // namespace getm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The TM benchmark suite of paper Table III.
+ *
+ * Each workload lays out its data in the GPU's functional memory, builds
+ * a micro-ISA kernel -- a transactional variant and a hand-optimized
+ * fine-grained-lock variant (used when the GPU runs ProtocolKind::FgLock)
+ * -- and verifies its invariants after the run. The verification is what
+ * makes the whole suite double as an end-to-end correctness test for
+ * every protocol engine.
+ *
+ * Sizes are scaled by a single factor so benches can trade fidelity for
+ * simulation time; scale 1.0 approximates the paper's configurations.
+ */
+
+#ifndef GETM_WORKLOADS_WORKLOAD_HH
+#define GETM_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_system.hh"
+#include "isa/kernel.hh"
+
+namespace getm {
+
+/** The nine benchmarks of Table III. */
+enum class BenchId
+{
+    HtH, ///< Populate a small (high-contention) chained hash table.
+    HtM, ///< Medium hash table.
+    HtL, ///< Large (low-contention) hash table.
+    Atm, ///< Parallel bank-account transfers (Fig. 1).
+    Cl,  ///< Cloth physics: edge constraint relaxation.
+    ClTo,///< Transaction-optimized cloth (split transactions).
+    Bh,  ///< Barnes-Hut tree build: claim nodes along root paths.
+    Cc,  ///< CudaCuts: push-relabel flow on a pixel grid.
+    Ap,  ///< Apriori data mining: few highly contended counters.
+};
+
+/** All benchmarks in paper order. */
+std::vector<BenchId> allBenchIds();
+
+/** Short paper name ("HT-H", "ATM", ...). */
+const char *benchName(BenchId id);
+
+/** A configured benchmark instance. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual BenchId id() const = 0;
+    std::string name() const { return benchName(id()); }
+
+    /**
+     * Lay out memory and build the kernel.
+     * @param lock_variant Build the fine-grained-lock kernel instead of
+     *                     the transactional one.
+     */
+    virtual void setup(GpuSystem &gpu, bool lock_variant) = 0;
+
+    /** The kernel built by setup(). */
+    const Kernel &kernel() const { return builtKernel; }
+
+    /** Number of threads to launch. */
+    virtual std::uint64_t numThreads() const = 0;
+
+    /**
+     * Check post-run invariants.
+     * @param why Filled with a diagnostic on failure.
+     */
+    virtual bool verify(GpuSystem &gpu, std::string &why) const = 0;
+
+  protected:
+    Kernel builtKernel;
+};
+
+/**
+ * Create a benchmark at the given scale.
+ *
+ * @param scale 1.0 approximates the paper's sizes (tens of thousands of
+ *              threads); benches default to smaller factors.
+ * @param seed  Workload-generation seed.
+ */
+std::unique_ptr<Workload> makeWorkload(BenchId id, double scale,
+                                       std::uint64_t seed = 7);
+
+/**
+ * Optimal transactional concurrency (warps per core allowed in
+ * transactions) per benchmark and protocol, from paper Table IV.
+ */
+unsigned optimalConcurrency(BenchId id, ProtocolKind protocol);
+
+} // namespace getm
+
+#endif // GETM_WORKLOADS_WORKLOAD_HH

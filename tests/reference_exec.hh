@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Host-side reference executor for differential testing.
+ *
+ * Runs a Kernel one thread at a time, sequentially, with no timing, no
+ * warps, and no SIMT stack -- just plain per-thread control flow. For
+ * race-free kernels (each thread touches disjoint data) the simulated
+ * GPU must produce exactly the same memory image; this pins down the
+ * PDOM reconvergence machinery against an implementation that cannot
+ * possibly have divergence bugs.
+ */
+
+#ifndef GETM_TESTS_REFERENCE_EXEC_HH
+#define GETM_TESTS_REFERENCE_EXEC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/kernel.hh"
+#include "mem/backing_store.hh"
+
+namespace getm {
+namespace testing {
+
+/** Execute @p kernel for threads [0, n) sequentially against @p mem. */
+inline void
+referenceRun(const Kernel &kernel, std::uint64_t n_threads,
+             BackingStore &mem)
+{
+    for (std::uint64_t tid = 0; tid < n_threads; ++tid) {
+        std::array<std::int64_t, numRegs> regs{};
+        Pc pc = 0;
+        for (std::uint64_t steps = 0; steps < 1'000'000; ++steps) {
+            const Instruction &inst = kernel.at(pc);
+            auto operand_b = [&]() {
+                return inst.bImm ? inst.imm : regs[inst.rb];
+            };
+            const std::uint64_t ua =
+                static_cast<std::uint64_t>(regs[inst.ra]);
+            switch (inst.op) {
+              case Opcode::Add:
+                regs[inst.rd] = regs[inst.ra] + operand_b();
+                break;
+              case Opcode::Sub:
+                regs[inst.rd] = regs[inst.ra] - operand_b();
+                break;
+              case Opcode::Mul:
+                regs[inst.rd] = regs[inst.ra] * operand_b();
+                break;
+              case Opcode::DivU: {
+                const auto ub =
+                    static_cast<std::uint64_t>(operand_b());
+                regs[inst.rd] =
+                    ub ? static_cast<std::int64_t>(ua / ub) : 0;
+                break;
+              }
+              case Opcode::RemU: {
+                const auto ub =
+                    static_cast<std::uint64_t>(operand_b());
+                regs[inst.rd] =
+                    ub ? static_cast<std::int64_t>(ua % ub) : 0;
+                break;
+              }
+              case Opcode::MinS:
+                regs[inst.rd] = std::min(regs[inst.ra], operand_b());
+                break;
+              case Opcode::MaxS:
+                regs[inst.rd] = std::max(regs[inst.ra], operand_b());
+                break;
+              case Opcode::And:
+                regs[inst.rd] = regs[inst.ra] & operand_b();
+                break;
+              case Opcode::Or:
+                regs[inst.rd] = regs[inst.ra] | operand_b();
+                break;
+              case Opcode::Xor:
+                regs[inst.rd] = regs[inst.ra] ^ operand_b();
+                break;
+              case Opcode::Shl:
+                regs[inst.rd] = static_cast<std::int64_t>(
+                    ua << (operand_b() & 63));
+                break;
+              case Opcode::ShrL:
+                regs[inst.rd] = static_cast<std::int64_t>(
+                    ua >> (operand_b() & 63));
+                break;
+              case Opcode::ShrA:
+                regs[inst.rd] = regs[inst.ra] >> (operand_b() & 63);
+                break;
+              case Opcode::SetLtS:
+                regs[inst.rd] = regs[inst.ra] < operand_b();
+                break;
+              case Opcode::SetLtU:
+                regs[inst.rd] =
+                    ua < static_cast<std::uint64_t>(operand_b());
+                break;
+              case Opcode::SetEq:
+                regs[inst.rd] = regs[inst.ra] == operand_b();
+                break;
+              case Opcode::SetNe:
+                regs[inst.rd] = regs[inst.ra] != operand_b();
+                break;
+              case Opcode::SetLeS:
+                regs[inst.rd] = regs[inst.ra] <= operand_b();
+                break;
+              case Opcode::LoadImm:
+                regs[inst.rd] = inst.imm;
+                break;
+              case Opcode::ReadSpecial:
+                switch (static_cast<SpecialReg>(inst.imm)) {
+                  case SpecialReg::ThreadId:
+                    regs[inst.rd] = static_cast<std::int64_t>(tid);
+                    break;
+                  case SpecialReg::LaneId:
+                    regs[inst.rd] =
+                        static_cast<std::int64_t>(tid % warpSize);
+                    break;
+                  case SpecialReg::WarpId:
+                    regs[inst.rd] =
+                        static_cast<std::int64_t>(tid / warpSize);
+                    break;
+                  case SpecialReg::NumThreads:
+                    regs[inst.rd] =
+                        static_cast<std::int64_t>(n_threads);
+                    break;
+                }
+                break;
+              case Opcode::Hash:
+                regs[inst.rd] = static_cast<std::int64_t>(hashMix(
+                    ua, static_cast<std::uint64_t>(operand_b())));
+                break;
+              case Opcode::BranchEqz:
+                if (regs[inst.ra] == 0) {
+                    pc = inst.target;
+                    continue;
+                }
+                break;
+              case Opcode::BranchNez:
+                if (regs[inst.ra] != 0) {
+                    pc = inst.target;
+                    continue;
+                }
+                break;
+              case Opcode::Jump:
+                pc = inst.target;
+                continue;
+              case Opcode::Load:
+                regs[inst.rd] = static_cast<std::int32_t>(mem.read(
+                    static_cast<Addr>(regs[inst.ra] + inst.imm)));
+                break;
+              case Opcode::Store:
+                mem.write(static_cast<Addr>(regs[inst.ra] + inst.imm),
+                          static_cast<std::uint32_t>(regs[inst.rb]));
+                break;
+              case Opcode::AtomCas:
+                regs[inst.rd] = static_cast<std::int32_t>(mem.atomicCas(
+                    static_cast<Addr>(regs[inst.ra]),
+                    static_cast<std::uint32_t>(regs[inst.rb]),
+                    static_cast<std::uint32_t>(regs[inst.rc])));
+                break;
+              case Opcode::AtomExch:
+                regs[inst.rd] = static_cast<std::int32_t>(mem.atomicExch(
+                    static_cast<Addr>(regs[inst.ra]),
+                    static_cast<std::uint32_t>(regs[inst.rb])));
+                break;
+              case Opcode::AtomAdd:
+                regs[inst.rd] = static_cast<std::int32_t>(mem.atomicAdd(
+                    static_cast<Addr>(regs[inst.ra]),
+                    static_cast<std::uint32_t>(regs[inst.rb])));
+                break;
+              case Opcode::TxBegin:
+              case Opcode::TxCommit:
+              case Opcode::Fence:
+              case Opcode::Nop:
+                break; // sequential execution: transactions are trivial
+              case Opcode::Exit:
+                steps = ~0ull - 1; // terminate the thread
+                break;
+            }
+            if (inst.op == Opcode::Exit)
+                break;
+            ++pc;
+        }
+    }
+}
+
+} // namespace testing
+} // namespace getm
+
+#endif // GETM_TESTS_REFERENCE_EXEC_HH

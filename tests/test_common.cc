@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, H3 hashing, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/h3.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace getm {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t value = rng.range(3, 6);
+        EXPECT_GE(value, 3u);
+        EXPECT_LE(value, 6u);
+        lo |= value == 3;
+        hi |= value == 6;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(H3, Deterministic)
+{
+    H3Hash a(5), b(5);
+    for (std::uint64_t key = 0; key < 64; ++key)
+        EXPECT_EQ(a.hash(key), b.hash(key));
+}
+
+TEST(H3, ZeroMapsToZero)
+{
+    // H3 is linear over GF(2): h(0) = 0 by construction.
+    H3Hash hash(21);
+    EXPECT_EQ(hash.hash(0), 0u);
+}
+
+TEST(H3, Linearity)
+{
+    // h(a ^ b) == h(a) ^ h(b) -- the defining property of H3.
+    H3Hash hash(33);
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = rng.next(), b = rng.next();
+        EXPECT_EQ(hash.hash(a ^ b), hash.hash(a) ^ hash.hash(b));
+    }
+}
+
+TEST(H3, FamilyMembersIndependent)
+{
+    H3Family family(4, 42);
+    ASSERT_EQ(family.size(), 4u);
+    int collisions = 0;
+    for (std::uint64_t key = 1; key < 100; ++key)
+        for (unsigned i = 0; i < 4; ++i)
+            for (unsigned j = i + 1; j < 4; ++j)
+                if (family.hash(i, key) == family.hash(j, key))
+                    ++collisions;
+    EXPECT_LT(collisions, 3);
+}
+
+TEST(H3, BucketDistribution)
+{
+    H3Hash hash(77);
+    const unsigned buckets = 16;
+    std::vector<unsigned> counts(buckets, 0);
+    const unsigned n = 16000;
+    for (std::uint64_t key = 0; key < n; ++key)
+        ++counts[hash.hash(key * 32) % buckets];
+    for (unsigned count : counts) {
+        EXPECT_GT(count, n / buckets / 2);
+        EXPECT_LT(count, n / buckets * 2);
+    }
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    StatSet stats("x");
+    stats.inc("a");
+    stats.inc("a", 4);
+    EXPECT_EQ(stats.counter("a"), 5u);
+    EXPECT_EQ(stats.counter("missing"), 0u);
+}
+
+TEST(Stats, MaximaTrackHighWater)
+{
+    StatSet stats("x");
+    stats.trackMax("m", 3);
+    stats.trackMax("m", 9);
+    stats.trackMax("m", 5);
+    EXPECT_EQ(stats.maximum("m"), 9u);
+}
+
+TEST(Stats, AveragesComputeMean)
+{
+    StatSet stats("x");
+    stats.sample("s", 1.0);
+    stats.sample("s", 3.0);
+    EXPECT_DOUBLE_EQ(stats.mean("s"), 2.0);
+    EXPECT_EQ(stats.sampleCount("s"), 2u);
+    EXPECT_DOUBLE_EQ(stats.mean("missing"), 0.0);
+}
+
+TEST(Stats, MergeCombinesAllKinds)
+{
+    StatSet a("a"), b("b");
+    a.inc("c", 2);
+    b.inc("c", 3);
+    a.trackMax("m", 7);
+    b.trackMax("m", 4);
+    a.sample("s", 2.0);
+    b.sample("s", 4.0);
+    a.merge(b);
+    EXPECT_EQ(a.counter("c"), 5u);
+    EXPECT_EQ(a.maximum("m"), 7u);
+    EXPECT_DOUBLE_EQ(a.mean("s"), 3.0);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatSet stats("unit");
+    stats.inc("events", 2);
+    const std::string dump = stats.dump();
+    EXPECT_NE(dump.find("unit.events 2"), std::string::npos);
+}
+
+TEST(Stats, ClearResets)
+{
+    StatSet stats("x");
+    stats.inc("a");
+    stats.sample("s", 1.0);
+    stats.clear();
+    EXPECT_EQ(stats.counter("a"), 0u);
+    EXPECT_EQ(stats.sampleCount("s"), 0u);
+}
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cross-protocol equivalence tests.
+ *
+ * For workloads whose final memory state is independent of execution
+ * order (ATM: each account's final balance is initial + 5*(transfers
+ * in) - 5*(transfers out); AP: each counter's total is fixed by the
+ * record set), every protocol -- including the lock baseline -- must
+ * produce bit-identical results. This catches subtle lost-update or
+ * double-apply bugs that aggregate invariants could mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/gpu_system.hh"
+#include "workloads/workload.hh"
+
+namespace getm {
+namespace {
+
+std::vector<std::uint32_t>
+runAndDump(BenchId bench, ProtocolKind protocol, Addr base,
+           std::uint64_t words)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = protocol;
+    GpuSystem gpu(cfg);
+    auto workload = makeWorkload(bench, 0.01, 123);
+    workload->setup(gpu, protocol == ProtocolKind::FgLock);
+    gpu.run(workload->kernel(), workload->numThreads(), 200'000'000);
+    std::string why;
+    EXPECT_TRUE(workload->verify(gpu, why)) << why;
+
+    std::vector<std::uint32_t> dump;
+    dump.reserve(words);
+    for (std::uint64_t w = 0; w < words; ++w)
+        dump.push_back(gpu.memory().read(base + 4 * w));
+    return dump;
+}
+
+TEST(Equivalence, AtmFinalBalancesIdenticalAcrossProtocols)
+{
+    // The accounts array is the first allocation a workload makes; the
+    // allocator is deterministic, so the base address is stable across
+    // protocol runs (the lock variant allocates its lock array after).
+    GpuConfig probe_cfg = GpuConfig::testRig();
+    GpuSystem probe(probe_cfg);
+    const Addr base = probe.memory().allocate(0); // next allocation base
+
+    auto workload = makeWorkload(BenchId::Atm, 0.01, 123);
+    const std::uint64_t accounts = 10000; // 1M * 0.01
+    (void)workload;
+
+    const auto reference =
+        runAndDump(BenchId::Atm, ProtocolKind::FgLock, base, accounts);
+    for (ProtocolKind protocol :
+         {ProtocolKind::Getm, ProtocolKind::WarpTmLL,
+          ProtocolKind::WarpTmEL, ProtocolKind::Eapg}) {
+        const auto dump =
+            runAndDump(BenchId::Atm, protocol, base, accounts);
+        EXPECT_EQ(dump, reference) << protocolName(protocol);
+    }
+}
+
+TEST(Equivalence, ApCounterTotalsIdenticalAcrossProtocols)
+{
+    GpuConfig probe_cfg = GpuConfig::testRig();
+    GpuSystem probe(probe_cfg);
+    const Addr base = probe.memory().allocate(0);
+    const std::uint64_t counters = 64;
+
+    const auto reference =
+        runAndDump(BenchId::Ap, ProtocolKind::FgLock, base, counters);
+    for (ProtocolKind protocol :
+         {ProtocolKind::Getm, ProtocolKind::WarpTmLL,
+          ProtocolKind::WarpTmEL, ProtocolKind::Eapg}) {
+        const auto dump =
+            runAndDump(BenchId::Ap, protocol, base, counters);
+        EXPECT_EQ(dump, reference) << protocolName(protocol);
+    }
+}
+
+TEST(Equivalence, SameProtocolSameSeedIsDeterministic)
+{
+    GpuConfig probe_cfg = GpuConfig::testRig();
+    GpuSystem probe(probe_cfg);
+    const Addr base = probe.memory().allocate(0);
+    const auto a =
+        runAndDump(BenchId::Cl, ProtocolKind::Getm, base, 1024);
+    const auto b =
+        runAndDump(BenchId::Cl, ProtocolKind::Getm, base, 1024);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace getm

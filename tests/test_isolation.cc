@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property tests of transactional atomicity, consistency, and isolation
+ * across all four TM protocol engines.
+ *
+ * The central trick: transactions maintain pairs of words that are
+ * always updated together (pair[0] == pair[1] at every commit point),
+ * and every transaction also records the difference it observed into a
+ * per-thread output slot -- inside the transaction, so only the
+ * *committed* attempt's observation survives. Any committed observation
+ * of a torn pair is an isolation violation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hh"
+#include "gpu/gpu_system.hh"
+#include "isa/kernel_builder.hh"
+
+namespace getm {
+namespace {
+
+struct IsolationParam
+{
+    ProtocolKind protocol;
+    unsigned pairs;   ///< Number of invariant pairs (contention knob).
+    std::uint64_t seed;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<IsolationParam> &info)
+{
+    std::string name = protocolName(info.param.protocol);
+    for (auto &ch : name)
+        if (ch == '-')
+            ch = '_';
+    return name + "_p" + std::to_string(info.param.pairs) + "_s" +
+           std::to_string(info.param.seed);
+}
+
+class IsolationTest : public ::testing::TestWithParam<IsolationParam>
+{
+};
+
+TEST_P(IsolationTest, PairsNeverObservedTorn)
+{
+    const IsolationParam param = GetParam();
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = param.protocol;
+    cfg.seed = param.seed;
+    GpuSystem gpu(cfg);
+
+    const unsigned n_threads = 192;
+    const unsigned pairs = param.pairs;
+    // Each pair: two words, always equal when no tx is mid-commit.
+    const Addr pairBase = gpu.memory().allocate(8 * pairs);
+    const Addr pickBase = gpu.memory().allocate(4 * n_threads);
+    const Addr outBase = gpu.memory().allocate(4 * n_threads);
+
+    Rng rng(param.seed);
+    for (unsigned t = 0; t < n_threads; ++t)
+        gpu.memory().write(pickBase + 4 * t,
+                           static_cast<std::uint32_t>(rng.below(pairs)));
+
+    // tx: a = pair[2i]; b = pair[2i+1]; out[tid] = a - b;
+    //     pair[2i] = a + 1; pair[2i+1] = b + 1;
+    KernelBuilder kb("isolation");
+    const Reg tid(1), tmp(2), pick(3), pa(4), pb(5), va(6), vb(7);
+    const Reg diff(8), oaddr(9);
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.shli(tmp, tid, 2);
+    kb.addi(pick, tmp, static_cast<std::int64_t>(pickBase));
+    kb.load(pick, pick);
+    kb.shli(pa, pick, 3);
+    kb.addi(pa, pa, static_cast<std::int64_t>(pairBase));
+    kb.addi(pb, pa, 4);
+    kb.addi(oaddr, tmp, static_cast<std::int64_t>(outBase));
+    kb.txBegin();
+    kb.load(va, pa);
+    kb.load(vb, pb);
+    kb.sub(diff, va, vb);
+    kb.store(oaddr, diff); // committed observation of the invariant
+    kb.addi(va, va, 1);
+    kb.addi(vb, vb, 1);
+    kb.store(pa, va);
+    kb.store(pb, vb);
+    kb.txCommit();
+    kb.exit();
+
+    const RunResult result = gpu.run(kb.build(), n_threads, 200'000'000);
+    EXPECT_EQ(result.commits, n_threads);
+
+    // Atomicity: both words of each pair incremented in lockstep.
+    std::uint64_t total = 0;
+    for (unsigned p = 0; p < pairs; ++p) {
+        const std::uint32_t a = gpu.memory().read(pairBase + 8 * p);
+        const std::uint32_t b = gpu.memory().read(pairBase + 8 * p + 4);
+        EXPECT_EQ(a, b) << "pair " << p << " torn at rest";
+        total += a;
+    }
+    EXPECT_EQ(total, n_threads);
+
+    // Isolation: no committed transaction ever saw a torn pair.
+    for (unsigned t = 0; t < n_threads; ++t)
+        EXPECT_EQ(gpu.memory().read(outBase + 4 * t), 0u)
+            << "thread " << t << " observed a torn pair";
+}
+
+std::vector<IsolationParam>
+isolationParams()
+{
+    std::vector<IsolationParam> params;
+    for (ProtocolKind protocol :
+         {ProtocolKind::Getm, ProtocolKind::WarpTmLL,
+          ProtocolKind::WarpTmEL, ProtocolKind::Eapg})
+        for (unsigned pairs : {1u, 4u, 64u})
+            for (std::uint64_t seed : {1ull, 2ull, 3ull})
+                params.push_back({protocol, pairs, seed});
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IsolationTest,
+                         ::testing::ValuesIn(isolationParams()),
+                         paramName);
+
+// ---------------------------------------------------------------------
+// Randomized read-modify-write mix: each thread performs K dependent
+// updates on random cells; the grand total must equal the number of
+// committed updates regardless of protocol or interleaving.
+// ---------------------------------------------------------------------
+
+class ConservationTest : public ::testing::TestWithParam<IsolationParam>
+{
+};
+
+TEST_P(ConservationTest, RandomIncrementsSumExactly)
+{
+    const IsolationParam param = GetParam();
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = param.protocol;
+    cfg.seed = param.seed;
+    GpuSystem gpu(cfg);
+
+    const unsigned n_threads = 160;
+    const unsigned cells = param.pairs * 4;
+    const unsigned updates = 3;
+    const Addr cellBase = gpu.memory().allocate(4 * cells);
+
+    // Each thread increments `updates` pseudo-random cells, one tx per
+    // update (addresses derived on-device via the Hash instruction).
+    KernelBuilder kb("conserve");
+    const Reg tid(1), i(2), cell(3), addr(4), v(5), cond(6);
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.li(i, 0);
+    auto head = kb.newLabel(), done = kb.newLabel();
+    kb.bind(head);
+    kb.muli(cell, tid, updates);
+    kb.add(cell, cell, i);
+    kb.hashi(cell, cell, static_cast<std::int64_t>(param.seed));
+    kb.remui(cell, cell, cells);
+    kb.shli(addr, cell, 2);
+    kb.addi(addr, addr, static_cast<std::int64_t>(cellBase));
+    kb.txBegin();
+    kb.load(v, addr);
+    kb.addi(v, v, 1);
+    kb.store(addr, v);
+    kb.txCommit();
+    kb.addi(i, i, 1);
+    kb.sltsi(cond, i, updates);
+    kb.bnez(cond, head, done);
+    kb.bind(done);
+    kb.exit();
+
+    const RunResult result = gpu.run(kb.build(), n_threads, 200'000'000);
+    EXPECT_EQ(result.commits, n_threads * updates);
+
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < cells; ++c)
+        total += gpu.memory().read(cellBase + 4 * c);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(n_threads) * updates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConservationTest,
+                         ::testing::ValuesIn(isolationParams()),
+                         paramName);
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for src/mem: backing store, cache tag model, DRAM timing,
+ * and the address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_map.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache_model.hh"
+#include "mem/dram_model.hh"
+
+namespace getm {
+namespace {
+
+TEST(BackingStore, ReadsZeroInitially)
+{
+    BackingStore store;
+    EXPECT_EQ(store.read(0x10000), 0u);
+}
+
+TEST(BackingStore, WriteThenRead)
+{
+    BackingStore store;
+    store.write(0x10000, 0xdeadbeef);
+    EXPECT_EQ(store.read(0x10000), 0xdeadbeefu);
+    EXPECT_EQ(store.read(0x10004), 0u);
+}
+
+TEST(BackingStore, SparsePagesIndependent)
+{
+    BackingStore store;
+    store.write(0x10000, 1);
+    store.write(0x10000 + (1ull << 30), 2);
+    EXPECT_EQ(store.read(0x10000), 1u);
+    EXPECT_EQ(store.read(0x10000 + (1ull << 30)), 2u);
+}
+
+TEST(BackingStore, AtomicCas)
+{
+    BackingStore store;
+    store.write(0x20000, 5);
+    EXPECT_EQ(store.atomicCas(0x20000, 5, 9), 5u);
+    EXPECT_EQ(store.read(0x20000), 9u);
+    EXPECT_EQ(store.atomicCas(0x20000, 5, 11), 9u); // fails
+    EXPECT_EQ(store.read(0x20000), 9u);
+}
+
+TEST(BackingStore, AtomicExchAndAdd)
+{
+    BackingStore store;
+    store.write(0x20000, 7);
+    EXPECT_EQ(store.atomicExch(0x20000, 3), 7u);
+    EXPECT_EQ(store.atomicAdd(0x20000, 10), 3u);
+    EXPECT_EQ(store.read(0x20000), 13u);
+}
+
+TEST(BackingStore, AllocateAlignsAndAdvances)
+{
+    BackingStore store;
+    const Addr a = store.allocate(100, 128);
+    const Addr b = store.allocate(4, 128);
+    EXPECT_EQ(a % 128, 0u);
+    EXPECT_EQ(b % 128, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_NE(a, 0u); // address 0 is never handed out
+}
+
+TEST(BackingStoreDeath, UnalignedAccessPanics)
+{
+    BackingStore store;
+    EXPECT_DEATH(store.read(0x10001), "unaligned");
+    EXPECT_DEATH(store.write(0x10002, 1), "unaligned");
+}
+
+TEST(Cache, HitAfterFill)
+{
+    CacheModel cache("c", 1024, 2, 64);
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1020, false).hit); // same line
+}
+
+TEST(Cache, DistinctLinesMissSeparately)
+{
+    CacheModel cache("c", 1024, 2, 64);
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_FALSE(cache.access(0x1040, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64 B lines, 2 sets (256 B total).
+    CacheModel cache("c", 256, 2, 64);
+    // Three lines mapping to set 0: 0x0, 0x80, 0x100.
+    cache.access(0x0, false);
+    cache.access(0x80, false);
+    cache.access(0x0, false);   // refresh LRU of 0x0
+    cache.access(0x100, false); // evicts 0x80
+    EXPECT_TRUE(cache.contains(0x0));
+    EXPECT_FALSE(cache.contains(0x80));
+    EXPECT_TRUE(cache.contains(0x100));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    CacheModel cache("c", 256, 2, 64);
+    cache.access(0x0, true); // dirty
+    cache.access(0x80, false);
+    const CacheAccessResult result = cache.access(0x100, false);
+    EXPECT_FALSE(result.hit);
+    // 0x0 was LRU and dirty...
+    if (result.writeback) {
+        EXPECT_EQ(result.victimAddr, 0x0u);
+    }
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    CacheModel cache("c", 1024, 2, 64);
+    cache.access(0x1000, true);
+    EXPECT_TRUE(cache.invalidate(0x1000)); // was dirty
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.invalidate(0x1000));
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    CacheModel cache("c", 1024, 2, 64);
+    cache.access(0x1000, false);
+    cache.access(0x2000, false);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.contains(0x2000));
+}
+
+TEST(Cache, StatsCountHitsAndMisses)
+{
+    CacheModel cache("c", 1024, 2, 64);
+    cache.access(0x1000, false);
+    cache.access(0x1000, false);
+    cache.access(0x1000, true);
+    EXPECT_EQ(cache.stats().counter("read_misses"), 1u);
+    EXPECT_EQ(cache.stats().counter("read_hits"), 1u);
+    EXPECT_EQ(cache.stats().counter("write_hits"), 1u);
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    EXPECT_DEATH(CacheModel("c", 1000, 3, 64), "");
+    EXPECT_DEATH(CacheModel("c", 1024, 2, 60), "power of two");
+}
+
+TEST(Dram, LatencyApplied)
+{
+    DramModel::Config cfg;
+    cfg.accessLatency = 100;
+    cfg.rowHitLatency = 60;
+    cfg.serviceInterval = 4;
+    DramModel dram("d", cfg);
+    EXPECT_EQ(dram.enqueue(10, 0x1000), 110u); // cold: row miss
+}
+
+TEST(Dram, RowBufferHitsAreFaster)
+{
+    DramModel::Config cfg;
+    cfg.accessLatency = 100;
+    cfg.rowHitLatency = 60;
+    cfg.serviceInterval = 4;
+    cfg.rowBytes = 2048;
+    DramModel dram("d", cfg);
+    EXPECT_EQ(dram.enqueue(0, 0x0), 100u);   // row miss
+    EXPECT_EQ(dram.enqueue(0, 0x80), 64u);   // same row: hit, queued +4
+    EXPECT_EQ(dram.enqueue(0, 0x80), 68u);
+    EXPECT_EQ(dram.stats().counter("row_hits"), 2u);
+    EXPECT_EQ(dram.stats().counter("row_misses"), 1u);
+}
+
+TEST(Dram, BanksServiceIndependently)
+{
+    DramModel::Config cfg;
+    cfg.accessLatency = 100;
+    cfg.serviceInterval = 4;
+    cfg.numBanks = 2;
+    cfg.rowBytes = 128;
+    DramModel dram("d", cfg);
+    // Rows 0 and 1 map to different banks: no serialization between.
+    EXPECT_EQ(dram.enqueue(0, 0x0), 100u);
+    EXPECT_EQ(dram.enqueue(0, 0x80), 100u);
+    // Same bank (row 2 == row 0's bank): serialized.
+    EXPECT_EQ(dram.enqueue(0, 0x100), 104u);
+}
+
+TEST(Dram, IdleGapResetsQueueing)
+{
+    DramModel::Config cfg;
+    cfg.accessLatency = 100;
+    cfg.serviceInterval = 4;
+    DramModel dram("d", cfg);
+    dram.enqueue(0, 0x0);
+    // A much later access pays no queueing (but hits the open row).
+    EXPECT_EQ(dram.enqueue(1000, 0x0), 1000u + cfg.rowHitLatency);
+}
+
+TEST(AddressMap, CoversAllPartitions)
+{
+    AddressMap map(6, 128);
+    std::set<PartitionId> seen;
+    for (Addr addr = 0; addr < 128 * 64; addr += 128)
+        seen.insert(map.partitionOf(addr));
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(AddressMap, SameLineSamePartition)
+{
+    AddressMap map(6, 128);
+    for (Addr base = 0; base < 4096; base += 128)
+        for (unsigned off = 0; off < 128; off += 4)
+            EXPECT_EQ(map.partitionOf(base), map.partitionOf(base + off));
+}
+
+TEST(AddressMap, LineOfMasksOffset)
+{
+    AddressMap map(4, 128);
+    EXPECT_EQ(map.lineOf(0x1234), 0x1200u + 0x0u);
+    EXPECT_EQ(map.lineOf(0x1280), 0x1280u);
+}
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the CACTI-lite model and the Table V structure inventories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/tm_structures.hh"
+
+namespace getm {
+namespace {
+
+TEST(CactiLite, AreaScalesWithBits)
+{
+    const SramEstimate small = CactiLite::estimate(8192, 1, 1.0, 1.0);
+    const SramEstimate large = CactiLite::estimate(8192 * 16, 1, 1.0, 1.0);
+    EXPECT_GT(large.areaMm2, small.areaMm2 * 8);
+    EXPECT_GT(large.powerMw, small.powerMw);
+}
+
+TEST(CactiLite, PortsCostArea)
+{
+    const SramEstimate one = CactiLite::estimate(65536, 1, 1.0, 1.0);
+    const SramEstimate three = CactiLite::estimate(65536, 1, 3.0, 1.0);
+    EXPECT_GT(three.areaMm2, one.areaMm2 * 2);
+}
+
+TEST(CactiLite, FrequencyCostsDynamicPower)
+{
+    const SramEstimate slow = CactiLite::estimate(65536, 1, 1.0, 0.7);
+    const SramEstimate fast = CactiLite::estimate(65536, 1, 1.0, 1.4);
+    EXPECT_GT(fast.powerMw, slow.powerMw);
+}
+
+TEST(CactiLite, CalibrationAnchorRwBuffers)
+{
+    // Paper Table V: 32 KB x 6 commit-unit read-write buffers at the
+    // 0.7 GHz commit clock = 1.734 mm^2 / 132.5 mW. The model should
+    // land within ~25%.
+    const SramEstimate est =
+        CactiLite::estimate(32 * 8192.0, 6, 3.0, 0.7);
+    EXPECT_NEAR(est.areaMm2, 1.734, 0.45);
+    EXPECT_NEAR(est.powerMw, 132.5, 35.0);
+}
+
+TEST(CactiLite, CalibrationAnchorTcdTables)
+{
+    // Paper Table V: 12 KB x 15 TCD first-read tables at 1.4 GHz =
+    // 0.375 mm^2 / 113.25 mW.
+    const SramEstimate est =
+        CactiLite::estimate(12 * 8192.0, 15, 1.0, 1.4);
+    EXPECT_NEAR(est.areaMm2, 0.375, 0.15);
+    EXPECT_NEAR(est.powerMw, 113.25, 30.0);
+}
+
+TEST(TableV, GetmNeedsFarLessThanWarpTm)
+{
+    const GpuConfig cfg = GpuConfig::gtx480();
+    const OverheadReport wtm = tmOverheads(ProtocolKind::WarpTmLL, cfg);
+    const OverheadReport getm = tmOverheads(ProtocolKind::Getm, cfg);
+    // Paper: 3.6x area, 2.2x power; require at least 2x on both.
+    EXPECT_GT(wtm.totalAreaMm2 / getm.totalAreaMm2, 2.0);
+    EXPECT_GT(wtm.totalPowerMw / getm.totalPowerMw, 1.8);
+}
+
+TEST(TableV, EapgIsTheMostExpensive)
+{
+    const GpuConfig cfg = GpuConfig::gtx480();
+    const OverheadReport wtm = tmOverheads(ProtocolKind::WarpTmLL, cfg);
+    const OverheadReport eapg = tmOverheads(ProtocolKind::Eapg, cfg);
+    const OverheadReport getm = tmOverheads(ProtocolKind::Getm, cfg);
+    EXPECT_GT(eapg.totalAreaMm2, wtm.totalAreaMm2);
+    EXPECT_GT(eapg.totalPowerMw, wtm.totalPowerMw);
+    EXPECT_GT(eapg.totalAreaMm2 / getm.totalAreaMm2, 3.0);
+}
+
+TEST(TableV, GetmTotalIsTinyVsGtx480Die)
+{
+    // Paper: ~0.2% of a GTX 480 die scaled to 32 nm (~300 mm^2).
+    const OverheadReport getm =
+        tmOverheads(ProtocolKind::Getm, GpuConfig::gtx480());
+    EXPECT_LT(getm.totalAreaMm2, 3.0);
+}
+
+TEST(TableV, FgLockHasNoHardware)
+{
+    const OverheadReport lock =
+        tmOverheads(ProtocolKind::FgLock, GpuConfig::gtx480());
+    EXPECT_TRUE(lock.rows.empty());
+    EXPECT_EQ(lock.totalAreaMm2, 0.0);
+}
+
+TEST(TableV, ScalesWithConfiguration)
+{
+    const OverheadReport base =
+        tmOverheads(ProtocolKind::Getm, GpuConfig::gtx480());
+    const OverheadReport big =
+        tmOverheads(ProtocolKind::Getm, GpuConfig::scaled56());
+    EXPECT_GT(big.totalAreaMm2, base.totalAreaMm2);
+}
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * End-to-end behavioural checks of protocol-specific mechanisms that
+ * the plain workload runs do not assert on: TCD silent commits,
+ * validation-failure retries, EAPG early aborts and pauses, GETM
+ * queueing vs aborting, read-own-write forwarding, and configuration
+ * sensitivity sweeps (granularity, table size, stall-buffer size) that
+ * must never affect correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hh"
+#include "isa/kernel_builder.hh"
+#include "workloads/workload.hh"
+
+namespace getm {
+namespace {
+
+/** Read-only transactional kernel: every thread sums a few cells. */
+Kernel
+readOnlyKernel(Addr cells, unsigned n_cells, Addr out)
+{
+    KernelBuilder kb("ro");
+    const Reg tid(1), i(2), addr(3), v(4), sum(5), cond(6), oaddr(7);
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.txBegin();
+    kb.li(sum, 0);
+    kb.li(i, 0);
+    auto head = kb.newLabel(), done = kb.newLabel();
+    kb.bind(head);
+    kb.add(addr, tid, i);
+    kb.remui(addr, addr, n_cells);
+    kb.shli(addr, addr, 2);
+    kb.addi(addr, addr, static_cast<std::int64_t>(cells));
+    kb.load(v, addr);
+    kb.add(sum, sum, v);
+    kb.addi(i, i, 1);
+    kb.sltsi(cond, i, 3);
+    kb.bnez(cond, head, done);
+    kb.bind(done);
+    kb.txCommit();
+    kb.shli(oaddr, tid, 2);
+    kb.addi(oaddr, oaddr, static_cast<std::int64_t>(out));
+    kb.store(oaddr, sum);
+    kb.exit();
+    return kb.build();
+}
+
+TEST(WtmBehavior, ReadOnlyTransactionsCommitSilently)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::WarpTmLL;
+    GpuSystem gpu(cfg);
+    const unsigned n_cells = 128, n_threads = 128;
+    const Addr cells = gpu.memory().allocate(4 * n_cells);
+    const Addr out = gpu.memory().allocate(4 * n_threads);
+    for (unsigned c = 0; c < n_cells; ++c)
+        gpu.memory().write(cells + 4 * c, 10);
+
+    const RunResult result =
+        gpu.run(readOnlyKernel(cells, n_cells, out), n_threads);
+    EXPECT_EQ(result.commits, n_threads);
+    // Nothing writes the cells during the run: TCD lets every read-only
+    // transaction bypass validation entirely.
+    EXPECT_EQ(result.stats.counter("wtm_silent_commits"), n_threads);
+    EXPECT_EQ(result.stats.counter("wtm_validations"), 0u);
+    for (unsigned t = 0; t < n_threads; ++t)
+        EXPECT_EQ(gpu.memory().read(out + 4 * t), 30u);
+}
+
+TEST(GetmBehavior, ReadOnlyTransactionsNeedNoCommitTraffic)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::Getm;
+    GpuSystem gpu(cfg);
+    const unsigned n_cells = 128, n_threads = 128;
+    const Addr cells = gpu.memory().allocate(4 * n_cells);
+    const Addr out = gpu.memory().allocate(4 * n_threads);
+    const RunResult result =
+        gpu.run(readOnlyKernel(cells, n_cells, out), n_threads);
+    EXPECT_EQ(result.commits, n_threads);
+    EXPECT_EQ(result.stats.counter("getm_commit_msgs"), 0u);
+    EXPECT_EQ(result.stats.counter("getm_cleanup_msgs"), 0u);
+}
+
+/** Contended increment kernel shared by several tests below. */
+Kernel
+hotIncrementKernel(Addr counter)
+{
+    KernelBuilder kb("hot");
+    const Reg a(1), v(2);
+    kb.li(a, static_cast<std::int64_t>(counter));
+    kb.txBegin();
+    kb.load(v, a);
+    kb.addi(v, v, 1);
+    kb.store(a, v);
+    kb.txCommit();
+    kb.exit();
+    return kb.build();
+}
+
+TEST(WtmBehavior, ContentionCausesValidationFailuresAndRetries)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::WarpTmLL;
+    GpuSystem gpu(cfg);
+    const Addr counter = gpu.memory().allocate(4);
+    const unsigned n = 256;
+    const RunResult result = gpu.run(hotIncrementKernel(counter), n);
+    EXPECT_EQ(gpu.memory().read(counter), n);
+    EXPECT_GT(result.aborts, 0u);
+    EXPECT_GT(result.stats.counter("wtm_validation_fails") +
+                  result.stats.counter("wtm_intra_warp_aborts"),
+              0u);
+}
+
+TEST(GetmBehavior, ContentionUsesStallBufferOrAborts)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::Getm;
+    GpuSystem gpu(cfg);
+    const Addr counter = gpu.memory().allocate(4);
+    const unsigned n = 256;
+    const RunResult result = gpu.run(hotIncrementKernel(counter), n);
+    EXPECT_EQ(gpu.memory().read(counter), n);
+    EXPECT_GT(result.aborts + result.stats.counter("enqueues"), 0u);
+}
+
+TEST(EapgBehavior, BroadcastsFlowAndMechanismsFire)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::Eapg;
+    GpuSystem gpu(cfg);
+    const Addr counter = gpu.memory().allocate(4);
+    const unsigned n = 256;
+    const RunResult result = gpu.run(hotIncrementKernel(counter), n);
+    EXPECT_EQ(gpu.memory().read(counter), n);
+    EXPECT_GT(result.stats.counter("eapg_signature_broadcasts"), 0u);
+    EXPECT_GT(result.stats.counter("eapg_done_broadcasts"), 0u);
+    // Under a single scorching counter, at least one of the EAPG
+    // mechanisms (early abort / pause) must have engaged.
+    EXPECT_GT(result.stats.counter("eapg_early_aborts") +
+                  result.stats.counter("eapg_pauses"),
+              0u);
+}
+
+TEST(GetmBehavior, ReadOwnWriteForwardsFromRedoLog)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::Getm;
+    GpuSystem gpu(cfg);
+    const Addr cell = gpu.memory().allocate(4);
+    const Addr out = gpu.memory().allocate(4);
+    gpu.memory().write(cell, 5);
+
+    KernelBuilder kb("rowr");
+    const Reg a(1), o(2), v(3), w(4);
+    kb.li(a, static_cast<std::int64_t>(cell));
+    kb.li(o, static_cast<std::int64_t>(out));
+    kb.txBegin();
+    kb.load(v, a);
+    kb.addi(v, v, 100);
+    kb.store(a, v);   // uncommitted write...
+    kb.load(w, a);    // ...must be visible to this transaction
+    kb.store(o, w);
+    kb.txCommit();
+    kb.exit();
+    gpu.run(kb.build(), 1);
+    EXPECT_EQ(gpu.memory().read(out), 105u);
+    EXPECT_EQ(gpu.memory().read(cell), 105u);
+}
+
+// --- configuration sweeps: timing knobs must never break correctness --
+
+struct KnobParam
+{
+    const char *name;
+    unsigned granule = 32;
+    unsigned preciseEntries = 512;
+    unsigned stallLines = 4;
+    unsigned stallEntries = 4;
+};
+
+class GetmKnobTest : public ::testing::TestWithParam<KnobParam>
+{
+};
+
+TEST_P(GetmKnobTest, AtmStillVerifies)
+{
+    const KnobParam &param = GetParam();
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::Getm;
+    cfg.getmGranule = param.granule;
+    cfg.getmPreciseEntriesTotal = param.preciseEntries;
+    cfg.getmStall.lines = param.stallLines;
+    cfg.getmStall.entriesPerLine = param.stallEntries;
+    GpuSystem gpu(cfg);
+
+    auto workload = makeWorkload(BenchId::Atm, 0.01, 31);
+    workload->setup(gpu, false);
+    const RunResult result =
+        gpu.run(workload->kernel(), workload->numThreads(), 400'000'000);
+    EXPECT_EQ(result.commits, workload->numThreads());
+    std::string why;
+    EXPECT_TRUE(workload->verify(gpu, why)) << why;
+}
+
+const KnobParam knobs[] = {
+    {"granule16", 16, 512, 4, 4},
+    {"granule64", 64, 512, 4, 4},
+    {"granule128", 128, 512, 4, 4},
+    {"tinyTable", 32, 64, 4, 4},
+    {"hugeTable", 32, 8192, 4, 4},
+    {"noStallRoom", 32, 512, 1, 1},
+    {"bigStall", 32, 512, 16, 16},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GetmKnobTest, ::testing::ValuesIn(knobs),
+    [](const ::testing::TestParamInfo<KnobParam> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * End-to-end smoke tests: tiny kernels running on the full simulated GPU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hh"
+#include "isa/kernel_builder.hh"
+
+namespace getm {
+namespace {
+
+// Each thread writes tid*3 into out[tid] and then reads it back into
+// out2[tid] -- exercises ALU, special regs, loads, stores, L1 and DRAM.
+TEST(Smoke, PerThreadStoreLoad)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::FgLock;
+    GpuSystem gpu(cfg);
+
+    const unsigned n = 300;
+    const Addr out = gpu.memory().allocate(4 * n);
+    const Addr out2 = gpu.memory().allocate(4 * n);
+
+    KernelBuilder kb("store_load");
+    const Reg tid(1), addr(2), val(3), addr2(4), tmp(5);
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.muli(val, tid, 3);
+    kb.shli(addr, tid, 2);
+    kb.addi(addr, addr, static_cast<std::int64_t>(out));
+    kb.store(addr, val);
+    kb.load(tmp, addr);
+    kb.shli(addr2, tid, 2);
+    kb.addi(addr2, addr2, static_cast<std::int64_t>(out2));
+    kb.store(addr2, tmp);
+    kb.exit();
+    Kernel kernel = kb.build();
+
+    const RunResult result = gpu.run(kernel, n);
+    EXPECT_GT(result.cycles, 0u);
+    for (unsigned i = 0; i < n; ++i) {
+        EXPECT_EQ(gpu.memory().read(out + 4 * i), 3 * i) << i;
+        EXPECT_EQ(gpu.memory().read(out2 + 4 * i), 3 * i) << i;
+    }
+}
+
+// Divergent branch: even threads write 1, odd threads write 2, then all
+// write 7 to a second array after reconvergence.
+TEST(Smoke, Divergence)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::FgLock;
+    GpuSystem gpu(cfg);
+
+    const unsigned n = 64;
+    const Addr out = gpu.memory().allocate(4 * n);
+    const Addr post = gpu.memory().allocate(4 * n);
+
+    KernelBuilder kb("diverge");
+    const Reg tid(1), addr(2), val(3), parity(4), addr2(5), seven(6);
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.shli(addr, tid, 2);
+    kb.addi(addr, addr, static_cast<std::int64_t>(out));
+    kb.andi(parity, tid, 1);
+    auto odd = kb.newLabel();
+    auto join = kb.newLabel();
+    kb.bnez(parity, odd, join);
+    kb.li(val, 1); // even path
+    kb.store(addr, val);
+    kb.jump(join);
+    kb.bind(odd);
+    kb.li(val, 2); // odd path
+    kb.store(addr, val);
+    kb.bind(join);
+    kb.li(seven, 7);
+    kb.shli(addr2, tid, 2);
+    kb.addi(addr2, addr2, static_cast<std::int64_t>(post));
+    kb.store(addr2, seven);
+    kb.exit();
+    Kernel kernel = kb.build();
+
+    gpu.run(kernel, n);
+    for (unsigned i = 0; i < n; ++i) {
+        EXPECT_EQ(gpu.memory().read(out + 4 * i), (i % 2) ? 2u : 1u) << i;
+        EXPECT_EQ(gpu.memory().read(post + 4 * i), 7u) << i;
+    }
+}
+
+// Atomic fetch-add: all threads increment one counter.
+TEST(Smoke, AtomicAdd)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::FgLock;
+    GpuSystem gpu(cfg);
+
+    const unsigned n = 200;
+    const Addr counter = gpu.memory().allocate(4);
+
+    KernelBuilder kb("atomic_add");
+    const Reg addr(1), one(2), old(3);
+    kb.li(addr, static_cast<std::int64_t>(counter));
+    kb.li(one, 1);
+    kb.atomAdd(old, addr, one);
+    kb.exit();
+    Kernel kernel = kb.build();
+
+    gpu.run(kernel, n);
+    EXPECT_EQ(gpu.memory().read(counter), n);
+}
+
+// A loop: each thread sums 1..10 via a backward branch.
+TEST(Smoke, Loop)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::FgLock;
+    GpuSystem gpu(cfg);
+
+    const unsigned n = 40;
+    const Addr out = gpu.memory().allocate(4 * n);
+
+    KernelBuilder kb("loop");
+    const Reg tid(1), addr(2), i(3), sum(4), cond(5);
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.shli(addr, tid, 2);
+    kb.addi(addr, addr, static_cast<std::int64_t>(out));
+    kb.li(i, 1);
+    kb.li(sum, 0);
+    auto head = kb.newLabel();
+    auto exit_label = kb.newLabel();
+    kb.bind(head);
+    kb.add(sum, sum, i);
+    kb.addi(i, i, 1);
+    kb.sltsi(cond, i, 11);
+    kb.bnez(cond, head, exit_label);
+    kb.bind(exit_label);
+    kb.store(addr, sum);
+    kb.exit();
+    Kernel kernel = kb.build();
+
+    gpu.run(kernel, n);
+    for (unsigned i2 = 0; i2 < n; ++i2)
+        EXPECT_EQ(gpu.memory().read(out + 4 * i2), 55u) << i2;
+}
+
+// Transactions: concurrent random transfers among accounts must conserve
+// the total balance under every TM protocol.
+class TxTransferTest : public ::testing::TestWithParam<ProtocolKind>
+{
+};
+
+TEST_P(TxTransferTest, ConservesTotal)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = GetParam();
+    GpuSystem gpu(cfg);
+
+    const unsigned n_accounts = 32;
+    const unsigned n_threads = 128;
+    const Addr accounts = gpu.memory().allocate(4 * n_accounts);
+    const Addr srcs = gpu.memory().allocate(4 * n_threads);
+    const Addr dsts = gpu.memory().allocate(4 * n_threads);
+
+    Rng rng(42);
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < n_accounts; ++i) {
+        gpu.memory().write(accounts + 4 * i, 1000);
+        total += 1000;
+    }
+    for (unsigned t = 0; t < n_threads; ++t) {
+        const std::uint32_t src =
+            static_cast<std::uint32_t>(rng.below(n_accounts));
+        std::uint32_t dst =
+            static_cast<std::uint32_t>(rng.below(n_accounts));
+        if (dst == src)
+            dst = (dst + 1) % n_accounts;
+        gpu.memory().write(srcs + 4 * t, src);
+        gpu.memory().write(dsts + 4 * t, dst);
+    }
+
+    KernelBuilder kb("transfer");
+    const Reg tid(1), tmp(2), src(3), dst(4), sa(5), da(6), sv(7), dv(8);
+    kb.readSpecial(tid, SpecialReg::ThreadId);
+    kb.shli(tmp, tid, 2);
+    kb.addi(src, tmp, static_cast<std::int64_t>(srcs));
+    kb.load(src, src);
+    kb.addi(dst, tmp, static_cast<std::int64_t>(dsts));
+    kb.load(dst, dst);
+    kb.shli(sa, src, 2);
+    kb.addi(sa, sa, static_cast<std::int64_t>(accounts));
+    kb.shli(da, dst, 2);
+    kb.addi(da, da, static_cast<std::int64_t>(accounts));
+    kb.txBegin();
+    kb.load(sv, sa);
+    kb.load(dv, da);
+    kb.addi(sv, sv, -7);
+    kb.addi(dv, dv, 7);
+    kb.store(sa, sv);
+    kb.store(da, dv);
+    kb.txCommit();
+    kb.exit();
+    Kernel kernel = kb.build();
+
+    const RunResult result = gpu.run(kernel, n_threads);
+    EXPECT_EQ(result.commits, n_threads);
+
+    std::uint64_t after = 0;
+    for (unsigned i = 0; i < n_accounts; ++i)
+        after += gpu.memory().read(accounts + 4 * i);
+    EXPECT_EQ(after, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, TxTransferTest,
+    ::testing::Values(ProtocolKind::Getm, ProtocolKind::WarpTmLL,
+                      ProtocolKind::WarpTmEL, ProtocolKind::Eapg),
+    [](const ::testing::TestParamInfo<ProtocolKind> &info) {
+        switch (info.param) {
+          case ProtocolKind::Getm: return "GETM";
+          case ProtocolKind::WarpTmLL: return "WarpTM_LL";
+          case ProtocolKind::WarpTmEL: return "WarpTM_EL";
+          case ProtocolKind::Eapg: return "EAPG";
+          default: return "Other";
+        }
+    });
+
+} // namespace
+} // namespace getm

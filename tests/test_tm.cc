@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for src/tm: transaction logs, intra-warp conflict
+ * detection, and backoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tm/backoff.hh"
+#include "tm/intra_warp_cd.hh"
+#include "tm/tx_log.hh"
+
+namespace getm {
+namespace {
+
+TEST(TxLog, FirstReadOnlyIsRecorded)
+{
+    ThreadTxLog log;
+    log.addRead(0x100, 7);
+    log.addRead(0x100, 9); // later read of same addr ignored
+    ASSERT_EQ(log.readLog().size(), 1u);
+    EXPECT_EQ(log.readLog()[0].value, 7u);
+}
+
+TEST(TxLog, WritesCoalesceAndCount)
+{
+    ThreadTxLog log;
+    log.addWrite(0x100, 1);
+    log.addWrite(0x100, 2);
+    log.addWrite(0x104, 3);
+    ASSERT_EQ(log.writeLog().size(), 2u);
+    EXPECT_EQ(log.writeLog()[0].value, 2u);
+    EXPECT_EQ(log.writeLog()[0].count, 2u);
+    EXPECT_EQ(log.writeLog()[1].count, 1u);
+}
+
+TEST(TxLog, FindWriteForwardsLatest)
+{
+    ThreadTxLog log;
+    EXPECT_FALSE(log.findWrite(0x100).has_value());
+    log.addWrite(0x100, 5);
+    log.addWrite(0x100, 6);
+    EXPECT_EQ(log.findWrite(0x100).value(), 6u);
+}
+
+TEST(TxLog, ReadOnlyAndClear)
+{
+    ThreadTxLog log;
+    log.addRead(0x100, 1);
+    EXPECT_TRUE(log.readOnly());
+    log.addWrite(0x104, 2);
+    EXPECT_FALSE(log.readOnly());
+    log.clear();
+    EXPECT_TRUE(log.readOnly());
+    EXPECT_TRUE(log.readLog().empty());
+}
+
+TEST(IntraWarpCd, ReadsDoNotConflict)
+{
+    IntraWarpCd iwcd;
+    EXPECT_FALSE(iwcd.checkAndRecord(0, 0x100, false));
+    EXPECT_FALSE(iwcd.checkAndRecord(1, 0x100, false));
+}
+
+TEST(IntraWarpCd, WriteAfterForeignReadConflicts)
+{
+    IntraWarpCd iwcd;
+    EXPECT_FALSE(iwcd.checkAndRecord(0, 0x100, false));
+    EXPECT_TRUE(iwcd.checkAndRecord(1, 0x100, true));
+}
+
+TEST(IntraWarpCd, ReadAfterForeignWriteConflicts)
+{
+    IntraWarpCd iwcd;
+    EXPECT_FALSE(iwcd.checkAndRecord(0, 0x100, true));
+    EXPECT_TRUE(iwcd.checkAndRecord(1, 0x100, false));
+}
+
+TEST(IntraWarpCd, OwnAccessesNeverSelfConflict)
+{
+    IntraWarpCd iwcd;
+    EXPECT_FALSE(iwcd.checkAndRecord(3, 0x100, false));
+    EXPECT_FALSE(iwcd.checkAndRecord(3, 0x100, true));
+    EXPECT_FALSE(iwcd.checkAndRecord(3, 0x100, true));
+}
+
+TEST(IntraWarpCd, DropLaneReleasesClaims)
+{
+    IntraWarpCd iwcd;
+    EXPECT_FALSE(iwcd.checkAndRecord(0, 0x100, true));
+    iwcd.dropLane(0);
+    EXPECT_FALSE(iwcd.checkAndRecord(1, 0x100, true));
+}
+
+TEST(IntraWarpCd, ResolveAcceptsDisjointLanes)
+{
+    std::array<ThreadTxLog, warpSize> logs;
+    logs[0].addWrite(0x100, 1);
+    logs[1].addWrite(0x104, 1);
+    logs[2].addRead(0x108, 0);
+    const LaneMask survivors =
+        IntraWarpCd::resolveAtCommit(logs.data(), warpSize, 0b111);
+    EXPECT_EQ(survivors, 0b111u);
+}
+
+TEST(IntraWarpCd, ResolveRejectsWriteWriteLosers)
+{
+    std::array<ThreadTxLog, warpSize> logs;
+    logs[0].addWrite(0x100, 1);
+    logs[1].addWrite(0x100, 2);
+    logs[2].addWrite(0x100, 3);
+    const LaneMask survivors =
+        IntraWarpCd::resolveAtCommit(logs.data(), warpSize, 0b111);
+    EXPECT_EQ(survivors, 0b001u); // lowest lane wins
+}
+
+TEST(IntraWarpCd, ResolveRejectsReadOfWrittenWord)
+{
+    std::array<ThreadTxLog, warpSize> logs;
+    logs[0].addWrite(0x100, 1);
+    logs[1].addRead(0x100, 0);
+    logs[1].addWrite(0x200, 1);
+    const LaneMask survivors =
+        IntraWarpCd::resolveAtCommit(logs.data(), warpSize, 0b11);
+    EXPECT_EQ(survivors, 0b01u);
+}
+
+TEST(IntraWarpCd, ResolveAllowsSharedReads)
+{
+    std::array<ThreadTxLog, warpSize> logs;
+    for (int lane = 0; lane < 8; ++lane)
+        logs[lane].addRead(0x100, 0);
+    const LaneMask survivors =
+        IntraWarpCd::resolveAtCommit(logs.data(), warpSize, 0xff);
+    EXPECT_EQ(survivors, 0xffu);
+}
+
+TEST(IntraWarpCd, ResolveRespectsCandidateMask)
+{
+    std::array<ThreadTxLog, warpSize> logs;
+    logs[0].addWrite(0x100, 1);
+    logs[1].addWrite(0x100, 2);
+    // Lane 0 is not a candidate, so lane 1 survives.
+    const LaneMask survivors =
+        IntraWarpCd::resolveAtCommit(logs.data(), warpSize, 0b10);
+    EXPECT_EQ(survivors, 0b10u);
+}
+
+TEST(Backoff, WindowDoublesAndSaturates)
+{
+    Backoff::Config cfg;
+    cfg.baseWindow = 16;
+    cfg.maxWindow = 64;
+    Backoff backoff(cfg);
+    EXPECT_EQ(backoff.currentWindow(), 16u);
+    Rng rng(1);
+    backoff.nextDelay(rng);
+    EXPECT_EQ(backoff.currentWindow(), 32u);
+    backoff.nextDelay(rng);
+    EXPECT_EQ(backoff.currentWindow(), 64u);
+    backoff.nextDelay(rng);
+    EXPECT_EQ(backoff.currentWindow(), 64u); // saturated
+}
+
+TEST(Backoff, DelaysWithinWindow)
+{
+    Backoff backoff;
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_LT(backoff.nextDelay(rng), backoff.currentWindow());
+}
+
+TEST(Backoff, ResetRestoresBase)
+{
+    Backoff::Config cfg;
+    cfg.baseWindow = 16;
+    cfg.maxWindow = 1024;
+    Backoff backoff(cfg);
+    Rng rng(3);
+    for (int i = 0; i < 5; ++i)
+        backoff.nextDelay(rng);
+    backoff.reset();
+    EXPECT_EQ(backoff.currentWindow(), 16u);
+    EXPECT_EQ(backoff.consecutiveAborts(), 0u);
+}
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Metadata tests for the workload library: factory coverage, naming,
+ * scaling behaviour, generation determinism, and Table IV coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hh"
+#include "workloads/workload.hh"
+
+namespace getm {
+namespace {
+
+TEST(WorkloadMeta, FactoryCoversEveryBench)
+{
+    for (BenchId id : allBenchIds()) {
+        auto workload = makeWorkload(id, 0.01, 1);
+        ASSERT_NE(workload, nullptr);
+        EXPECT_EQ(workload->id(), id);
+        EXPECT_EQ(workload->name(), benchName(id));
+        EXPECT_GT(workload->numThreads(), 0u);
+        // Partial last warps are allowed (CC launches one thread per
+        // pixel); the launcher masks the tail lanes.
+    }
+}
+
+TEST(WorkloadMeta, NamesMatchPaperTable3)
+{
+    EXPECT_STREQ(benchName(BenchId::HtH), "HT-H");
+    EXPECT_STREQ(benchName(BenchId::HtM), "HT-M");
+    EXPECT_STREQ(benchName(BenchId::HtL), "HT-L");
+    EXPECT_STREQ(benchName(BenchId::Atm), "ATM");
+    EXPECT_STREQ(benchName(BenchId::Cl), "CL");
+    EXPECT_STREQ(benchName(BenchId::ClTo), "CLto");
+    EXPECT_STREQ(benchName(BenchId::Bh), "BH");
+    EXPECT_STREQ(benchName(BenchId::Cc), "CC");
+    EXPECT_STREQ(benchName(BenchId::Ap), "AP");
+}
+
+TEST(WorkloadMeta, ScaleGrowsThreadCounts)
+{
+    for (BenchId id : allBenchIds()) {
+        auto small = makeWorkload(id, 0.02, 1);
+        auto large = makeWorkload(id, 0.5, 1);
+        EXPECT_LE(small->numThreads(), large->numThreads())
+            << benchName(id);
+    }
+}
+
+TEST(WorkloadMeta, PaperScaleMatchesTable3Sizes)
+{
+    // At scale 1.0 the thread counts approximate the paper's setups.
+    EXPECT_EQ(makeWorkload(BenchId::Atm, 1.0, 1)->numThreads(), 23040u);
+    EXPECT_NEAR(
+        static_cast<double>(makeWorkload(BenchId::Bh, 1.0, 1)
+                                ->numThreads()),
+        30000.0, 32.0);
+    // CL: ~60K edges.
+    EXPECT_NEAR(
+        static_cast<double>(makeWorkload(BenchId::Cl, 1.0, 1)
+                                ->numThreads()),
+        60000.0, 1500.0);
+}
+
+TEST(WorkloadMeta, KernelVariantsDiffer)
+{
+    for (BenchId id : allBenchIds()) {
+        GpuConfig cfg = GpuConfig::testRig();
+        cfg.protocol = ProtocolKind::Getm;
+        GpuSystem tm_gpu(cfg);
+        auto tm = makeWorkload(id, 0.01, 1);
+        tm->setup(tm_gpu, false);
+
+        cfg.protocol = ProtocolKind::FgLock;
+        GpuSystem lock_gpu(cfg);
+        auto lock = makeWorkload(id, 0.01, 1);
+        lock->setup(lock_gpu, true);
+
+        // The TM kernel transacts; the lock kernel never does.
+        bool tm_has_tx = false, lock_has_tx = false;
+        for (Pc pc = 0; pc < tm->kernel().size(); ++pc)
+            tm_has_tx |= tm->kernel().at(pc).op == Opcode::TxBegin;
+        for (Pc pc = 0; pc < lock->kernel().size(); ++pc)
+            lock_has_tx |= lock->kernel().at(pc).op == Opcode::TxBegin;
+        EXPECT_TRUE(tm_has_tx) << benchName(id);
+        EXPECT_FALSE(lock_has_tx) << benchName(id);
+    }
+}
+
+TEST(WorkloadMeta, OptimalConcurrencyDefinedEverywhere)
+{
+    for (BenchId id : allBenchIds())
+        for (ProtocolKind protocol :
+             {ProtocolKind::Getm, ProtocolKind::WarpTmLL,
+              ProtocolKind::WarpTmEL, ProtocolKind::Eapg,
+              ProtocolKind::FgLock})
+            EXPECT_GE(optimalConcurrency(id, protocol), 1u);
+}
+
+TEST(WorkloadMeta, GenerationIsSeedDeterministic)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.protocol = ProtocolKind::Getm;
+    GpuSystem a(cfg), b(cfg);
+    auto wa = makeWorkload(BenchId::Atm, 0.01, 9);
+    auto wb = makeWorkload(BenchId::Atm, 0.01, 9);
+    wa->setup(a, false);
+    wb->setup(b, false);
+    // Compare a slice of the generated input arrays.
+    for (Addr addr = 0x10000; addr < 0x12000; addr += 4)
+        ASSERT_EQ(a.memory().read(addr), b.memory().read(addr));
+}
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Direct tests of the WarpTM partition unit: TCD probing, commit-id
+ * ordered validation with skips, hazard-gated pipelining, decisions,
+ * and the eager-lazy fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "warptm/wtm_partition.hh"
+
+namespace getm {
+namespace {
+
+class MockContext : public PartitionContext
+{
+  public:
+    PartitionId partitionId() const override { return 0; }
+    unsigned numCores() const override { return 2; }
+
+    void
+    scheduleToCore(MemMsg &&msg, Cycle when) override
+    {
+        sent.push_back({when, std::move(msg)});
+    }
+
+    Cycle accessLlc(Addr, bool, Cycle) override { return 0; }
+    Cycle llcLatency() const override { return 10; }
+    BackingStore &memory() override { return store; }
+    StatSet &stats() override { return statSet; }
+
+    BackingStore store;
+    StatSet statSet{"mock"};
+    std::vector<std::pair<Cycle, MemMsg>> sent;
+};
+
+MemMsg
+txLoad(Addr word)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::WtmTxLoad;
+    msg.ops.push_back({0, word, 0, 0});
+    return msg;
+}
+
+/** A validation slice: reads are (addr, observed value); writes aux=1. */
+MemMsg
+slice(std::uint64_t id,
+      std::vector<std::tuple<Addr, std::uint32_t, bool>> entries)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::WtmValidate;
+    msg.txId = id;
+    for (auto &[addr, value, is_write] : entries)
+        msg.ops.push_back({0, addr, value, is_write ? 1u : 0u});
+    return msg;
+}
+
+MemMsg
+skip(std::uint64_t id)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::WtmSkip;
+    msg.txId = id;
+    return msg;
+}
+
+MemMsg
+decision(std::uint64_t id, LaneMask pass)
+{
+    MemMsg msg;
+    msg.kind = MsgKind::WtmDecision;
+    msg.txId = id;
+    msg.ts = pass;
+    msg.flag = pass != 0;
+    return msg;
+}
+
+TEST(WtmVu, LoadReturnsDataAndTcdTimestamp)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    ctx.store.write(0x100, 55);
+    unit.noteDataWrite(0x100, 40);
+
+    unit.handleRequest(txLoad(0x100), 50);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    const MemMsg &resp = ctx.sent[0].second;
+    EXPECT_EQ(resp.kind, MsgKind::WtmLoadResp);
+    EXPECT_EQ(resp.ops[0].value, 55u);
+    EXPECT_EQ(resp.ops[0].aux, 40u); // TCD last-write cycle
+}
+
+TEST(WtmVu, ValidationPassesWhenValuesMatch)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    ctx.store.write(0x100, 7);
+
+    unit.handleRequest(slice(1, {{0x100, 7, false}, {0x200, 9, true}}),
+                       0);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.kind, MsgKind::WtmValidateResp);
+    EXPECT_TRUE(ctx.sent[0].second.ops.empty()); // no failed lanes
+}
+
+TEST(WtmVu, ValidationFlagsStaleReads)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    ctx.store.write(0x100, 8); // the log observed 7
+
+    unit.handleRequest(slice(1, {{0x100, 7, false}}), 0);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    ASSERT_EQ(ctx.sent[0].second.ops.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.ops[0].lane, 0u);
+}
+
+TEST(WtmVu, CommitDecisionAppliesWrites)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    unit.handleRequest(slice(1, {{0x300, 42, true}}), 0);
+    ctx.sent.clear();
+
+    unit.handleRequest(decision(1, 0x1), 5);
+    EXPECT_EQ(ctx.store.read(0x300), 42u);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.kind, MsgKind::WtmCommitAck);
+}
+
+TEST(WtmVu, AbortDecisionDropsWrites)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    ctx.store.write(0x300, 5);
+    unit.handleRequest(slice(1, {{0x300, 42, true}}), 0);
+    unit.handleRequest(decision(1, 0x0), 5);
+    EXPECT_EQ(ctx.store.read(0x300), 5u); // unchanged
+}
+
+TEST(WtmVu, ValidatesInCommitIdOrder)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    // Id 2 arrives before id 1: it must wait.
+    unit.handleRequest(slice(2, {{0x200, 0, true}}), 0);
+    EXPECT_TRUE(ctx.sent.empty());
+    unit.handleRequest(slice(1, {{0x100, 0, true}}), 1);
+    // Both validate now (disjoint addresses pipeline), id 1 first.
+    ASSERT_EQ(ctx.sent.size(), 2u);
+    EXPECT_EQ(ctx.sent[0].second.txId, 1u);
+    EXPECT_EQ(ctx.sent[1].second.txId, 2u);
+}
+
+TEST(WtmVu, SkipAdvancesOrderWithoutResponse)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    unit.handleRequest(slice(2, {{0x200, 0, true}}), 0);
+    EXPECT_TRUE(ctx.sent.empty());
+    unit.handleRequest(skip(1), 1);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.txId, 2u);
+    EXPECT_EQ(unit.nextCommitId(), 3u);
+}
+
+TEST(WtmVu, HazardBlocksOverlappingValidation)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    // Id 1 writes 0x100 and awaits its decision; id 2 reads 0x100.
+    unit.handleRequest(slice(1, {{0x100, 9, true}}), 0);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    unit.handleRequest(slice(2, {{0x100, 9, false}}), 1);
+    EXPECT_EQ(ctx.sent.size(), 1u); // id 2 blocked on the hazard
+
+    // The decision applies id 1's write; id 2 then validates against
+    // the committed value.
+    unit.handleRequest(decision(1, 0x1), 2);
+    ASSERT_EQ(ctx.sent.size(), 3u); // ack for 1 + validation resp for 2
+    EXPECT_EQ(ctx.sent[1].second.kind, MsgKind::WtmCommitAck);
+    EXPECT_EQ(ctx.sent[2].second.txId, 2u);
+    EXPECT_TRUE(ctx.sent[2].second.ops.empty()); // observed 9: passes
+}
+
+TEST(WtmVu, NonConflictingTransactionsPipeline)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    for (std::uint64_t id = 1; id <= 4; ++id)
+        unit.handleRequest(
+            slice(id, {{0x100 + id * 0x100, 1, true}}), id);
+    // All four validated without any decisions yet.
+    EXPECT_EQ(ctx.sent.size(), 4u);
+    // Decisions in reverse order still apply cleanly.
+    for (std::uint64_t id = 4; id >= 1; --id)
+        unit.handleRequest(decision(id, 0x1), 10 + id);
+    EXPECT_EQ(ctx.sent.size(), 8u);
+}
+
+TEST(WtmVu, ElSliceAppliesTimingOnlyAndAcks)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    MemMsg msg = slice(0, {{0x500, 77, true}});
+    msg.flag = true; // EagerLazy fast path
+    msg.bytes = 20;
+    unit.handleRequest(std::move(msg), 0);
+    ASSERT_EQ(ctx.sent.size(), 1u);
+    EXPECT_EQ(ctx.sent[0].second.kind, MsgKind::WtmCommitAck);
+    // Functional data was applied at the core; the partition only
+    // updates timing and the TCD table.
+    EXPECT_EQ(ctx.store.read(0x500), 0u);
+    ctx.sent.clear();
+    unit.handleRequest(txLoad(0x500), 10);
+    EXPECT_EQ(ctx.sent[0].second.ops[0].aux, 0u + 0u); // tcd updated at 0
+}
+
+TEST(WtmVu, TcdUpdatedByCommits)
+{
+    MockContext ctx;
+    WtmPartitionUnit unit(ctx, {}, "u");
+    unit.handleRequest(slice(1, {{0x700, 5, true}}), 0);
+    unit.handleRequest(decision(1, 0x1), 30);
+    ctx.sent.clear();
+    unit.handleRequest(txLoad(0x700), 50);
+    EXPECT_GE(ctx.sent[0].second.ops[0].aux, 30u);
+}
+
+} // namespace
+} // namespace getm

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * getm_sim: command-line driver for the simulator.
+ *
+ * Runs any Table III benchmark under any protocol with the knobs the
+ * evaluation sweeps, and prints a result summary (optionally the full
+ * statistics dump or the kernel disassembly). Examples:
+ *
+ *     getm_sim --bench HT-H --protocol getm
+ *     getm_sim --bench ATM --protocol warptm --scale 0.5 --stats
+ *     getm_sim --bench AP --protocol fglock --disasm
+ *     getm_sim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "gpu/config_file.hh"
+#include "gpu/gpu_system.hh"
+#include "power/tm_structures.hh"
+#include "workloads/workload.hh"
+
+using namespace getm;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --bench NAME        HT-H HT-M HT-L ATM CL CLto BH CC AP\n"
+        "  --protocol NAME     getm | warptm | warptm-el | eapg | fglock\n"
+        "  --scale F           workload scale (default 0.25; 1.0 = paper)\n"
+        "  --seed N            workload seed (default 7)\n"
+        "  --concurrency N     tx warps/core (default: Table IV optimum;\n"
+        "                      0 = unlimited)\n"
+        "  --cores N           SIMT cores (default 15)\n"
+        "  --partitions N      memory partitions (default 6)\n"
+        "  --granule N         GETM metadata granularity bytes (def. 32)\n"
+        "  --table-entries N   GETM precise entries GPU-wide (def. 4096)\n"
+        "  --max-registers     GETM ablation: registers instead of Bloom\n"
+        "  --rollover N        force GETM timestamp rollover at N\n"
+        "  --config FILE       apply a key=value configuration file\n"
+        "  --timeline FILE     write a Chrome-trace tx timeline\n"
+        "  --stats             dump all statistics\n"
+        "  --json              machine-readable result summary\n"
+        "  --disasm            print the kernel disassembly and exit\n"
+        "  --area              print the protocol's area/power overheads\n"
+        "  --list              list benchmarks and protocols\n",
+        argv0);
+}
+
+std::optional<BenchId>
+parseBench(const std::string &name)
+{
+    for (BenchId id : allBenchIds())
+        if (name == benchName(id))
+            return id;
+    return std::nullopt;
+}
+
+std::optional<ProtocolKind>
+parseProtocol(std::string name)
+{
+    for (auto &ch : name)
+        ch = static_cast<char>(std::tolower(ch));
+    if (name == "getm")
+        return ProtocolKind::Getm;
+    if (name == "warptm" || name == "warptm-ll")
+        return ProtocolKind::WarpTmLL;
+    if (name == "warptm-el" || name == "el")
+        return ProtocolKind::WarpTmEL;
+    if (name == "eapg")
+        return ProtocolKind::Eapg;
+    if (name == "fglock" || name == "lock")
+        return ProtocolKind::FgLock;
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchId bench = BenchId::HtH;
+    ProtocolKind protocol = ProtocolKind::Getm;
+    double scale = 0.25;
+    std::uint64_t seed = 7;
+    std::optional<unsigned> concurrency;
+    GpuConfig cfg = GpuConfig::gtx480();
+    bool dump_stats = false, disasm = false, area = false;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            auto parsed = parseBench(next());
+            if (!parsed) {
+                std::fprintf(stderr, "unknown benchmark\n");
+                return 2;
+            }
+            bench = *parsed;
+        } else if (arg == "--protocol") {
+            auto parsed = parseProtocol(next());
+            if (!parsed) {
+                std::fprintf(stderr, "unknown protocol\n");
+                return 2;
+            }
+            protocol = *parsed;
+        } else if (arg == "--scale") {
+            scale = std::atof(next());
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--concurrency") {
+            const unsigned long value = std::strtoul(next(), nullptr, 10);
+            concurrency = value == 0 ? 0xffffffffu
+                                     : static_cast<unsigned>(value);
+        } else if (arg == "--cores") {
+            cfg.numCores = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--partitions") {
+            cfg.numPartitions = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--granule") {
+            cfg.getmGranule = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--table-entries") {
+            cfg.getmPreciseEntriesTotal =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--max-registers") {
+            cfg.getmUseMaxRegisters = true;
+        } else if (arg == "--rollover") {
+            cfg.rolloverThreshold = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--config") {
+            std::string error;
+            if (!loadConfigFile(next(), cfg, error)) {
+                std::fprintf(stderr, "config: %s\n", error.c_str());
+                return 2;
+            }
+        } else if (arg == "--timeline") {
+            cfg.timelinePath = next();
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--disasm") {
+            disasm = true;
+        } else if (arg == "--area") {
+            area = true;
+        } else if (arg == "--list") {
+            std::printf("benchmarks:");
+            for (BenchId id : allBenchIds())
+                std::printf(" %s", benchName(id));
+            std::printf("\nprotocols: getm warptm warptm-el eapg "
+                        "fglock\n");
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (area) {
+        const OverheadReport report = tmOverheads(protocol, cfg);
+        for (const auto &row : report.rows)
+            std::printf("%-32s %7.1f KB x%-3u %8.3f mm^2 %9.2f mW\n",
+                        row.name.c_str(), row.kilobytesPerInstance,
+                        row.instances, row.estimate.areaMm2,
+                        row.estimate.powerMw);
+        std::printf("%-32s %14s %8.3f mm^2 %9.2f mW\n", "TOTAL", "",
+                    report.totalAreaMm2, report.totalPowerMw);
+        return 0;
+    }
+
+    cfg.protocol = protocol;
+    cfg.seed = seed;
+    cfg.core.txWarpLimit =
+        concurrency ? *concurrency : optimalConcurrency(bench, protocol);
+
+    GpuSystem gpu(cfg);
+    auto workload = makeWorkload(bench, scale, seed);
+    workload->setup(gpu, protocol == ProtocolKind::FgLock);
+
+    if (disasm) {
+        std::printf("%s", workload->kernel().disassemble().c_str());
+        return 0;
+    }
+
+    if (!json)
+        std::printf("running %s under %s (scale %.3g, %llu threads)...\n",
+                    benchName(bench), protocolName(protocol), scale,
+                    static_cast<unsigned long long>(
+                        workload->numThreads()));
+    const RunResult result =
+        gpu.run(workload->kernel(), workload->numThreads());
+
+    std::string why;
+    const bool ok = workload->verify(gpu, why);
+    if (json) {
+        std::printf("{\"bench\":\"%s\",\"protocol\":\"%s\","
+                    "\"scale\":%g,\"threads\":%llu,"
+                    "\"cycles\":%llu,\"commits\":%llu,"
+                    "\"aborts\":%llu,\"tx_exec\":%llu,"
+                    "\"tx_wait\":%llu,\"flits\":%llu,"
+                    "\"rollovers\":%llu,\"verified\":%s}\n",
+                    benchName(bench), protocolName(protocol), scale,
+                    static_cast<unsigned long long>(
+                        workload->numThreads()),
+                    static_cast<unsigned long long>(result.cycles),
+                    static_cast<unsigned long long>(result.commits),
+                    static_cast<unsigned long long>(result.aborts),
+                    static_cast<unsigned long long>(result.txExecCycles),
+                    static_cast<unsigned long long>(result.txWaitCycles),
+                    static_cast<unsigned long long>(result.xbarFlits),
+                    static_cast<unsigned long long>(result.rollovers),
+                    ok ? "true" : "false");
+        return ok ? 0 : 1;
+    }
+    std::printf("cycles        %llu\n",
+                static_cast<unsigned long long>(result.cycles));
+    std::printf("commits       %llu\n",
+                static_cast<unsigned long long>(result.commits));
+    std::printf("aborts        %llu (%.0f /1K commits)\n",
+                static_cast<unsigned long long>(result.aborts),
+                result.abortsPer1kCommits());
+    std::printf("tx exec/wait  %llu / %llu warp-cycles\n",
+                static_cast<unsigned long long>(result.txExecCycles),
+                static_cast<unsigned long long>(result.txWaitCycles));
+    std::printf("xbar flits    %llu\n",
+                static_cast<unsigned long long>(result.xbarFlits));
+    if (result.rollovers)
+        std::printf("rollovers     %llu\n",
+                    static_cast<unsigned long long>(result.rollovers));
+    std::printf("verification  %s%s%s\n", ok ? "PASS" : "FAIL",
+                ok ? "" : ": ", ok ? "" : why.c_str());
+    if (dump_stats)
+        std::printf("\n%s", result.stats.dump().c_str());
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_getm.dir/ablation_getm.cc.o"
+  "CMakeFiles/ablation_getm.dir/ablation_getm.cc.o.d"
+  "ablation_getm"
+  "ablation_getm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_getm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_concurrency.dir/fig03_concurrency.cc.o"
+  "CMakeFiles/fig03_concurrency.dir/fig03_concurrency.cc.o.d"
+  "fig03_concurrency"
+  "fig03_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_eager_vs_lazy.dir/fig04_eager_vs_lazy.cc.o"
+  "CMakeFiles/fig04_eager_vs_lazy.dir/fig04_eager_vs_lazy.cc.o.d"
+  "fig04_eager_vs_lazy"
+  "fig04_eager_vs_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_eager_vs_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tx_cycles.dir/fig10_tx_cycles.cc.o"
+  "CMakeFiles/fig10_tx_cycles.dir/fig10_tx_cycles.cc.o.d"
+  "fig10_tx_cycles"
+  "fig10_tx_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tx_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_stall_per_addr.dir/fig16_stall_per_addr.cc.o"
+  "CMakeFiles/fig16_stall_per_addr.dir/fig16_stall_per_addr.cc.o.d"
+  "fig16_stall_per_addr"
+  "fig16_stall_per_addr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_stall_per_addr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

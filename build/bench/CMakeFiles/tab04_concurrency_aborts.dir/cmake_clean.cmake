@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_concurrency_aborts.dir/tab04_concurrency_aborts.cc.o"
+  "CMakeFiles/tab04_concurrency_aborts.dir/tab04_concurrency_aborts.cc.o.d"
+  "tab04_concurrency_aborts"
+  "tab04_concurrency_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_concurrency_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mem")
+subdirs("noc")
+subdirs("isa")
+subdirs("tm")
+subdirs("simt")
+subdirs("core")
+subdirs("warptm")
+subdirs("eapg")
+subdirs("gpu")
+subdirs("workloads")
+subdirs("power")

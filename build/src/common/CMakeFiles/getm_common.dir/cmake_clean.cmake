@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_common.dir/debug.cc.o"
+  "CMakeFiles/getm_common.dir/debug.cc.o.d"
+  "CMakeFiles/getm_common.dir/h3.cc.o"
+  "CMakeFiles/getm_common.dir/h3.cc.o.d"
+  "CMakeFiles/getm_common.dir/log.cc.o"
+  "CMakeFiles/getm_common.dir/log.cc.o.d"
+  "CMakeFiles/getm_common.dir/stats.cc.o"
+  "CMakeFiles/getm_common.dir/stats.cc.o.d"
+  "libgetm_common.a"
+  "libgetm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_core.dir/getm_core_tm.cc.o"
+  "CMakeFiles/getm_core.dir/getm_core_tm.cc.o.d"
+  "CMakeFiles/getm_core.dir/getm_partition.cc.o"
+  "CMakeFiles/getm_core.dir/getm_partition.cc.o.d"
+  "CMakeFiles/getm_core.dir/metadata_table.cc.o"
+  "CMakeFiles/getm_core.dir/metadata_table.cc.o.d"
+  "CMakeFiles/getm_core.dir/stall_buffer.cc.o"
+  "CMakeFiles/getm_core.dir/stall_buffer.cc.o.d"
+  "libgetm_core.a"
+  "libgetm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_eapg.dir/eapg.cc.o"
+  "CMakeFiles/getm_eapg.dir/eapg.cc.o.d"
+  "libgetm_eapg.a"
+  "libgetm_eapg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_eapg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_gpu.dir/config_file.cc.o"
+  "CMakeFiles/getm_gpu.dir/config_file.cc.o.d"
+  "CMakeFiles/getm_gpu.dir/gpu_system.cc.o"
+  "CMakeFiles/getm_gpu.dir/gpu_system.cc.o.d"
+  "CMakeFiles/getm_gpu.dir/mem_partition.cc.o"
+  "CMakeFiles/getm_gpu.dir/mem_partition.cc.o.d"
+  "CMakeFiles/getm_gpu.dir/timeline.cc.o"
+  "CMakeFiles/getm_gpu.dir/timeline.cc.o.d"
+  "libgetm_gpu.a"
+  "libgetm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_isa.dir/instruction.cc.o"
+  "CMakeFiles/getm_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/getm_isa.dir/kernel_builder.cc.o"
+  "CMakeFiles/getm_isa.dir/kernel_builder.cc.o.d"
+  "libgetm_isa.a"
+  "libgetm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_mem.dir/backing_store.cc.o"
+  "CMakeFiles/getm_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/getm_mem.dir/cache_model.cc.o"
+  "CMakeFiles/getm_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/getm_mem.dir/dram_model.cc.o"
+  "CMakeFiles/getm_mem.dir/dram_model.cc.o.d"
+  "libgetm_mem.a"
+  "libgetm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

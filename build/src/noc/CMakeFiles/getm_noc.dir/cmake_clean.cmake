@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_noc.dir/crossbar.cc.o"
+  "CMakeFiles/getm_noc.dir/crossbar.cc.o.d"
+  "libgetm_noc.a"
+  "libgetm_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

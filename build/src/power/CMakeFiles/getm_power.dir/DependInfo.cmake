@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/cacti_lite.cc" "src/power/CMakeFiles/getm_power.dir/cacti_lite.cc.o" "gcc" "src/power/CMakeFiles/getm_power.dir/cacti_lite.cc.o.d"
+  "/root/repo/src/power/tm_structures.cc" "src/power/CMakeFiles/getm_power.dir/tm_structures.cc.o" "gcc" "src/power/CMakeFiles/getm_power.dir/tm_structures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/getm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/getm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/getm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/eapg/CMakeFiles/getm_eapg.dir/DependInfo.cmake"
+  "/root/repo/build/src/warptm/CMakeFiles/getm_warptm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/getm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/getm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/getm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/getm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/getm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_power.dir/cacti_lite.cc.o"
+  "CMakeFiles/getm_power.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/getm_power.dir/tm_structures.cc.o"
+  "CMakeFiles/getm_power.dir/tm_structures.cc.o.d"
+  "libgetm_power.a"
+  "libgetm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

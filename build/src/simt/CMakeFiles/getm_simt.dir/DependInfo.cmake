@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/simt_core.cc" "src/simt/CMakeFiles/getm_simt.dir/simt_core.cc.o" "gcc" "src/simt/CMakeFiles/getm_simt.dir/simt_core.cc.o.d"
+  "/root/repo/src/simt/warp.cc" "src/simt/CMakeFiles/getm_simt.dir/warp.cc.o" "gcc" "src/simt/CMakeFiles/getm_simt.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/getm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/getm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/getm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/getm_tm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_simt.dir/simt_core.cc.o"
+  "CMakeFiles/getm_simt.dir/simt_core.cc.o.d"
+  "CMakeFiles/getm_simt.dir/warp.cc.o"
+  "CMakeFiles/getm_simt.dir/warp.cc.o.d"
+  "libgetm_simt.a"
+  "libgetm_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

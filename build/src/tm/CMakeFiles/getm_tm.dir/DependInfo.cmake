@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/backoff.cc" "src/tm/CMakeFiles/getm_tm.dir/backoff.cc.o" "gcc" "src/tm/CMakeFiles/getm_tm.dir/backoff.cc.o.d"
+  "/root/repo/src/tm/intra_warp_cd.cc" "src/tm/CMakeFiles/getm_tm.dir/intra_warp_cd.cc.o" "gcc" "src/tm/CMakeFiles/getm_tm.dir/intra_warp_cd.cc.o.d"
+  "/root/repo/src/tm/tx_log.cc" "src/tm/CMakeFiles/getm_tm.dir/tx_log.cc.o" "gcc" "src/tm/CMakeFiles/getm_tm.dir/tx_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/getm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/getm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_tm.dir/backoff.cc.o"
+  "CMakeFiles/getm_tm.dir/backoff.cc.o.d"
+  "CMakeFiles/getm_tm.dir/intra_warp_cd.cc.o"
+  "CMakeFiles/getm_tm.dir/intra_warp_cd.cc.o.d"
+  "CMakeFiles/getm_tm.dir/tx_log.cc.o"
+  "CMakeFiles/getm_tm.dir/tx_log.cc.o.d"
+  "libgetm_tm.a"
+  "libgetm_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

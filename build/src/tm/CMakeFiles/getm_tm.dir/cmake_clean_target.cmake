@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgetm_tm.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_warptm.dir/wtm_core_tm.cc.o"
+  "CMakeFiles/getm_warptm.dir/wtm_core_tm.cc.o.d"
+  "CMakeFiles/getm_warptm.dir/wtm_partition.cc.o"
+  "CMakeFiles/getm_warptm.dir/wtm_partition.cc.o.d"
+  "libgetm_warptm.a"
+  "libgetm_warptm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_warptm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apriori.cc" "src/workloads/CMakeFiles/getm_workloads.dir/apriori.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/apriori.cc.o.d"
+  "/root/repo/src/workloads/atm.cc" "src/workloads/CMakeFiles/getm_workloads.dir/atm.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/atm.cc.o.d"
+  "/root/repo/src/workloads/barnes_hut.cc" "src/workloads/CMakeFiles/getm_workloads.dir/barnes_hut.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/barnes_hut.cc.o.d"
+  "/root/repo/src/workloads/cloth.cc" "src/workloads/CMakeFiles/getm_workloads.dir/cloth.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/cloth.cc.o.d"
+  "/root/repo/src/workloads/cuda_cuts.cc" "src/workloads/CMakeFiles/getm_workloads.dir/cuda_cuts.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/cuda_cuts.cc.o.d"
+  "/root/repo/src/workloads/hashtable.cc" "src/workloads/CMakeFiles/getm_workloads.dir/hashtable.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/hashtable.cc.o.d"
+  "/root/repo/src/workloads/lock_utils.cc" "src/workloads/CMakeFiles/getm_workloads.dir/lock_utils.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/lock_utils.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/getm_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/getm_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/getm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/getm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/eapg/CMakeFiles/getm_eapg.dir/DependInfo.cmake"
+  "/root/repo/build/src/warptm/CMakeFiles/getm_warptm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/getm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/getm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/getm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/getm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/getm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/getm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

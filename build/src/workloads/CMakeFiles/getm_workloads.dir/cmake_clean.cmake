@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_workloads.dir/apriori.cc.o"
+  "CMakeFiles/getm_workloads.dir/apriori.cc.o.d"
+  "CMakeFiles/getm_workloads.dir/atm.cc.o"
+  "CMakeFiles/getm_workloads.dir/atm.cc.o.d"
+  "CMakeFiles/getm_workloads.dir/barnes_hut.cc.o"
+  "CMakeFiles/getm_workloads.dir/barnes_hut.cc.o.d"
+  "CMakeFiles/getm_workloads.dir/cloth.cc.o"
+  "CMakeFiles/getm_workloads.dir/cloth.cc.o.d"
+  "CMakeFiles/getm_workloads.dir/cuda_cuts.cc.o"
+  "CMakeFiles/getm_workloads.dir/cuda_cuts.cc.o.d"
+  "CMakeFiles/getm_workloads.dir/hashtable.cc.o"
+  "CMakeFiles/getm_workloads.dir/hashtable.cc.o.d"
+  "CMakeFiles/getm_workloads.dir/lock_utils.cc.o"
+  "CMakeFiles/getm_workloads.dir/lock_utils.cc.o.d"
+  "CMakeFiles/getm_workloads.dir/workload.cc.o"
+  "CMakeFiles/getm_workloads.dir/workload.cc.o.d"
+  "libgetm_workloads.a"
+  "libgetm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

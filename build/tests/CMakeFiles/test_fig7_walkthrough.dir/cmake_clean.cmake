@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig7_walkthrough.dir/test_fig7_walkthrough.cc.o"
+  "CMakeFiles/test_fig7_walkthrough.dir/test_fig7_walkthrough.cc.o.d"
+  "test_fig7_walkthrough"
+  "test_fig7_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig7_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_getm_protocol.dir/test_getm_protocol.cc.o"
+  "CMakeFiles/test_getm_protocol.dir/test_getm_protocol.cc.o.d"
+  "test_getm_protocol"
+  "test_getm_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_getm_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

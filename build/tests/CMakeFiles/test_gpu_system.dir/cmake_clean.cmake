@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_system.dir/test_gpu_system.cc.o"
+  "CMakeFiles/test_gpu_system.dir/test_gpu_system.cc.o.d"
+  "test_gpu_system"
+  "test_gpu_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

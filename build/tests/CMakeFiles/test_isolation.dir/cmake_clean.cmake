@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isolation.dir/test_isolation.cc.o"
+  "CMakeFiles/test_isolation.dir/test_isolation.cc.o.d"
+  "test_isolation"
+  "test_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_behavior.dir/test_protocol_behavior.cc.o"
+  "CMakeFiles/test_protocol_behavior.dir/test_protocol_behavior.cc.o.d"
+  "test_protocol_behavior"
+  "test_protocol_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

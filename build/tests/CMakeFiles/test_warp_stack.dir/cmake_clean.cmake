@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warp_stack.dir/test_warp_stack.cc.o"
+  "CMakeFiles/test_warp_stack.dir/test_warp_stack.cc.o.d"
+  "test_warp_stack"
+  "test_warp_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warp_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_meta.dir/test_workload_meta.cc.o"
+  "CMakeFiles/test_workload_meta.dir/test_workload_meta.cc.o.d"
+  "test_workload_meta"
+  "test_workload_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

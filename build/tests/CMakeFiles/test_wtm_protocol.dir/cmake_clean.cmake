@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wtm_protocol.dir/test_wtm_protocol.cc.o"
+  "CMakeFiles/test_wtm_protocol.dir/test_wtm_protocol.cc.o.d"
+  "test_wtm_protocol"
+  "test_wtm_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wtm_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getm_sim_cli.dir/getm_sim.cc.o"
+  "CMakeFiles/getm_sim_cli.dir/getm_sim.cc.o.d"
+  "getm-sim"
+  "getm-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getm_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -38,9 +38,13 @@ main()
         spec.gpu.getmStall.lines = 64;
         spec.gpu.getmStall.entriesPerLine = 64;
         const BenchOutcome outcome = runBench(spec);
-        std::printf("%-8s %16u\n", benchName(bench),
-                    outcome.run.stallPeakOccupancy);
-        worst = std::max(worst, outcome.run.stallPeakOccupancy);
+        // The observability layer tracks insertions/releases through the
+        // common sink; it must agree with the legacy tracker.
+        const unsigned peak = outcome.run.obs.stallPeakOccupancy;
+        std::printf("%-8s %16u %12llu stalls\n", benchName(bench), peak,
+                    static_cast<unsigned long long>(
+                        outcome.run.obs.totalStalls()));
+        worst = std::max(worst, peak);
     }
     std::printf("%-8s %16u\n", "MAX", worst);
     return 0;

@@ -1,0 +1,411 @@
+#include "common/json.hh"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace getm {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char ch : text) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch; // UTF-8 continuation bytes pass through.
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    std::array<char, 64> buf;
+    const auto res = std::to_chars(buf.data(), buf.data() + buf.size(),
+                                   value);
+    return std::string(buf.data(), res.ptr);
+}
+
+std::string
+jsonNumber(std::uint64_t value)
+{
+    std::array<char, 24> buf;
+    const auto res = std::to_chars(buf.data(), buf.data() + buf.size(),
+                                   value);
+    return std::string(buf.data(), res.ptr);
+}
+
+std::string
+jsonNumber(std::int64_t value)
+{
+    std::array<char, 24> buf;
+    const auto res = std::to_chars(buf.data(), buf.data() + buf.size(),
+                                   value);
+    return std::string(buf.data(), res.ptr);
+}
+
+// --------------------------------------------------------------------------
+// JsonWriter
+// --------------------------------------------------------------------------
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // the key already emitted its comma
+    }
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out += ',';
+        needComma.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out += '{';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    needComma.pop_back();
+    out += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out += '[';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    needComma.pop_back();
+    out += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out += ',';
+        needComma.back() = true;
+    }
+    out += '"';
+    out += jsonEscape(name);
+    out += "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    out += '"';
+    out += jsonEscape(text);
+    out += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beforeValue();
+    out += jsonNumber(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    out += jsonNumber(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    out += jsonNumber(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out += flag ? "true" : "false";
+    return *this;
+}
+
+// --------------------------------------------------------------------------
+// jsonValidate: strict recursive-descent syntax check
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+    int depth = 0;
+    static constexpr int maxDepth = 256;
+
+    bool
+    fail(const std::string &why)
+    {
+        error = "offset " + std::to_string(pos) + ": " + why;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.compare(pos, word.size(), word) != 0)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        ++pos; // opening quote
+        while (pos < text.size()) {
+            const char ch = text[pos];
+            if (static_cast<unsigned char>(ch) < 0x20)
+                return fail("raw control character in string");
+            if (ch == '"') {
+                ++pos;
+                return true;
+            }
+            if (ch == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char esc = text[pos];
+                if (esc == 'u') {
+                    for (unsigned i = 1; i <= 4; ++i)
+                        if (pos + i >= text.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text[pos + i])))
+                            return fail("bad \\u escape");
+                    pos += 4;
+                } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                           esc != 'b' && esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        if (pos >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return fail("bad number");
+        if (text[pos] == '0') {
+            ++pos;
+        } else {
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size() ||
+                !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return fail("bad fraction");
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() ||
+                !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return fail("bad exponent");
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        return true;
+    }
+
+    bool
+    val()
+    {
+        if (++depth > maxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        bool ok;
+        switch (text[pos]) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default: ok = number(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected object key");
+            if (!string())
+                return false;
+            skipWs();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            if (!val())
+                return false;
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            if (!val())
+                return false;
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonValidate(std::string_view text, std::string &error)
+{
+    Parser parser{text, 0, {}, 0};
+    if (!parser.val()) {
+        error = parser.error;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.pos != text.size()) {
+        error = "offset " + std::to_string(parser.pos) +
+                ": trailing garbage";
+        return false;
+    }
+    return true;
+}
+
+} // namespace getm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal JSON utilities shared by every serializer in the simulator.
+ *
+ * Three pieces:
+ *  - jsonEscape(): RFC 8259 string escaping, used by the Timeline and
+ *    the metrics writer so no event or stat name can inject syntax;
+ *  - jsonNumber(): locale-independent, shortest-round-trip number
+ *    formatting (std::to_chars), so emitted documents are byte-stable
+ *    across environments;
+ *  - JsonWriter: a push-style emitter with automatic comma handling;
+ *  - jsonValidate(): a strict syntax checker used by tests and tools to
+ *    verify emitted documents without an external parser.
+ */
+
+#ifndef GETM_COMMON_JSON_HH
+#define GETM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace getm {
+
+/** Escape @p text for inclusion inside a JSON string literal (no
+ *  surrounding quotes added). */
+std::string jsonEscape(std::string_view text);
+
+/** Format @p value losslessly and locale-independently. Non-finite
+ *  values (JSON has no representation for them) become null. */
+std::string jsonNumber(double value);
+std::string jsonNumber(std::uint64_t value);
+std::string jsonNumber(std::int64_t value);
+
+/**
+ * Strict JSON syntax validator (objects, arrays, strings, numbers,
+ * true/false/null; rejects trailing garbage).
+ *
+ * @return true when @p text is a single well-formed JSON value;
+ *         otherwise false with a position-tagged message in @p error.
+ */
+bool jsonValidate(std::string_view text, std::string &error);
+
+/**
+ * Push-style JSON emitter.
+ *
+ * The writer tracks nesting and inserts commas; the caller is
+ * responsible for calling key() before each value inside an object.
+ * All strings are escaped, all numbers formatted via jsonNumber().
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit "key": inside an object (call before the value). */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(unsigned number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+
+    /** Convenience: key(name) followed by value(v). */
+    template <typename T>
+    JsonWriter &
+    member(std::string_view name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    const std::string &str() const { return out; }
+    std::string take() { return std::move(out); }
+
+  private:
+    void beforeValue();
+
+    std::string out;
+    std::vector<bool> needComma; ///< Per open scope.
+    bool pendingKey = false;
+};
+
+} // namespace getm
+
+#endif // GETM_COMMON_JSON_HH

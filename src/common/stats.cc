@@ -1,6 +1,10 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <locale>
 #include <sstream>
+
+#include "common/json.hh"
 
 namespace getm {
 
@@ -16,12 +20,27 @@ StatSet::merge(const StatSet &other)
         slot.sum += avg.sum;
         slot.count += avg.count;
     }
+    for (const auto &[name, hist] : other.histograms) {
+        HistogramData &slot = histograms[name];
+        if (slot.buckets.size() < hist.buckets.size())
+            slot.buckets.resize(hist.buckets.size());
+        for (std::size_t i = 0; i < hist.buckets.size(); ++i)
+            slot.buckets[i] += hist.buckets[i];
+        slot.count += hist.count;
+        slot.sum += hist.sum;
+        slot.minValue = std::min(slot.minValue, hist.minValue);
+        slot.maxValue = std::max(slot.maxValue, hist.maxValue);
+    }
 }
 
 std::string
 StatSet::dump() const
 {
     std::ostringstream out;
+    // Byte-stable output: the classic locale suppresses grouping
+    // separators, and doubles go through std::to_chars (jsonNumber), not
+    // the stream's locale-dependent formatting.
+    out.imbue(std::locale::classic());
     for (const auto &[name, value] : counters)
         out << setName << '.' << name << ' ' << value << '\n';
     for (const auto &[name, value] : maxima)
@@ -29,7 +48,23 @@ StatSet::dump() const
     for (const auto &[name, avg] : averages) {
         const double mean =
             avg.count ? avg.sum / static_cast<double>(avg.count) : 0.0;
-        out << setName << '.' << name << ".avg " << mean << '\n';
+        out << setName << '.' << name << ".avg " << jsonNumber(mean)
+            << '\n';
+    }
+    for (const auto &[name, hist] : histograms) {
+        out << setName << '.' << name << ".samples " << hist.count
+            << '\n';
+        out << setName << '.' << name << ".mean "
+            << jsonNumber(hist.mean()) << '\n';
+        for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+            if (!hist.buckets[i])
+                continue;
+            out << setName << '.' << name << ".bucket["
+                << HistogramData::bucketLow(static_cast<unsigned>(i))
+                << ".."
+                << HistogramData::bucketHigh(static_cast<unsigned>(i))
+                << "] " << hist.buckets[i] << '\n';
+        }
     }
     return out.str();
 }

@@ -9,23 +9,80 @@
 #ifndef GETM_COMMON_STATS_HH
 #define GETM_COMMON_STATS_HH
 
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace getm {
 
 /**
+ * A power-of-two-bucketed distribution.
+ *
+ * Bucket 0 holds the value 0; bucket k (k >= 1) holds values in
+ * [2^(k-1), 2^k - 1]. This keeps histograms tiny regardless of the
+ * value range while preserving the order-of-magnitude shape that
+ * latency/occupancy distributions need.
+ */
+struct HistogramData
+{
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t minValue = ~static_cast<std::uint64_t>(0);
+    std::uint64_t maxValue = 0;
+
+    /** Bucket index for @p value. */
+    static unsigned
+    bucketOf(std::uint64_t value)
+    {
+        return static_cast<unsigned>(std::bit_width(value));
+    }
+
+    /** Smallest value falling into bucket @p index. */
+    static std::uint64_t
+    bucketLow(unsigned index)
+    {
+        return index == 0 ? 0 : (static_cast<std::uint64_t>(1)
+                                 << (index - 1));
+    }
+
+    /** Largest value falling into bucket @p index. */
+    static std::uint64_t
+    bucketHigh(unsigned index)
+    {
+        return index == 0 ? 0 : ((static_cast<std::uint64_t>(1) << index)
+                                 - 1);
+    }
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/**
  * A flat bag of named statistics.
  *
- * Three flavours are supported:
- *  - counters: monotonically increasing event counts (inc())
- *  - maxima:   high-water marks (trackMax())
- *  - averages: sum/count pairs reported as means (sample())
+ * Four flavours are supported:
+ *  - counters:   monotonically increasing event counts (inc())
+ *  - maxima:     high-water marks (trackMax())
+ *  - averages:   sum/count pairs reported as means (sample())
+ *  - histograms: power-of-two-bucketed distributions (histSample())
  */
 class StatSet
 {
   public:
+    struct Average
+    {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+
     explicit StatSet(std::string name_) : setName(std::move(name_)) {}
 
     /** Increment counter @p name by @p delta. */
@@ -87,10 +144,64 @@ class StatSet
         return it == averages.end() ? 0 : it->second.count;
     }
 
+    /** Record @p value into histogram stat @p name. */
+    void
+    histSample(const std::string &name, std::uint64_t value)
+    {
+        HistogramData &hist = histograms[name];
+        const unsigned bucket = HistogramData::bucketOf(value);
+        if (hist.buckets.size() <= bucket)
+            hist.buckets.resize(bucket + 1);
+        hist.buckets[bucket] += 1;
+        hist.count += 1;
+        hist.sum += value;
+        if (value < hist.minValue)
+            hist.minValue = value;
+        if (value > hist.maxValue)
+            hist.maxValue = value;
+    }
+
+    /** Read a histogram (nullptr if never sampled). */
+    const HistogramData *
+    histogram(const std::string &name) const
+    {
+        auto it = histograms.find(name);
+        return it == histograms.end() ? nullptr : &it->second;
+    }
+
+    // Read-only views for structured export (metrics JSON).
+    const std::map<std::string, std::uint64_t> &
+    allCounters() const
+    {
+        return counters;
+    }
+
+    const std::map<std::string, std::uint64_t> &
+    allMaxima() const
+    {
+        return maxima;
+    }
+
+    const std::map<std::string, Average> &
+    allAverages() const
+    {
+        return averages;
+    }
+
+    const std::map<std::string, HistogramData> &
+    allHistograms() const
+    {
+        return histograms;
+    }
+
     /** Merge all stats from @p other into this set. */
     void merge(const StatSet &other);
 
-    /** Render all stats as "name.stat value" lines. */
+    /**
+     * Render all stats as "name.stat value" lines. Output is
+     * locale-independent and byte-stable across environments (numbers
+     * are formatted via std::to_chars), so dumps are diffable.
+     */
     std::string dump() const;
 
     const std::string &name() const { return setName; }
@@ -102,19 +213,15 @@ class StatSet
         counters.clear();
         maxima.clear();
         averages.clear();
+        histograms.clear();
     }
 
   private:
-    struct Average
-    {
-        double sum = 0.0;
-        std::uint64_t count = 0;
-    };
-
     std::string setName;
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, std::uint64_t> maxima;
     std::map<std::string, Average> averages;
+    std::map<std::string, HistogramData> histograms;
 };
 
 } // namespace getm

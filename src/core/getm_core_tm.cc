@@ -15,6 +15,7 @@ GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
     (void)rd;
     LaneMask intra_aborts = 0;
     LaneMask remote = 0;
+    Addr intra_addr = invalidAddr;
 
     for (LaneId lane = 0; lane < warpSize; ++lane) {
         if (!(lanes & (1u << lane)))
@@ -26,6 +27,12 @@ GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
         // symmetric access patterns would abort each other forever).
         if (warp.iwcd.checkAndRecord(lane, addr, is_store)) {
             intra_aborts |= 1u << lane;
+            if (intra_addr == invalidAddr)
+                intra_addr = core.granuleOf(addr);
+            if (ObsSink *obs = core.observer())
+                obs->conflictEvent(
+                    AbortReason::IntraWarp, core.granuleOf(addr),
+                    core.addressMap().partitionOf(addr), core.now());
             warp.iwcd.dropLane(lane);
             core.stats().inc("getm_intra_warp_aborts");
             continue;
@@ -47,7 +54,8 @@ GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
     }
 
     if (intra_aborts)
-        core.abortTxLanes(warp, intra_aborts, warp.warpts);
+        core.abortTxLanes(warp, intra_aborts, warp.warpts,
+                          AbortReason::IntraWarp, intra_addr);
 
     // Group remote accesses by metadata granule; one VU request each.
     LaneMask pending = remote;
@@ -101,7 +109,11 @@ GetmCoreTm::onResponse(Warp &warp, const MemMsg &msg)
                 if (!(warp.abortedMask & (1u << op.lane)))
                     core.writebackLane(warp, op.lane, op.value);
         } else {
-            core.abortTxLanes(warp, lanes, msg.ts);
+            // The validation unit decided the reason; it rides back in
+            // the response.
+            core.abortTxLanes(warp, lanes, msg.ts,
+                              static_cast<AbortReason>(msg.reason),
+                              msg.addr);
         }
         core.completeBlockingResponse(warp);
         break;
@@ -110,7 +122,9 @@ GetmCoreTm::onResponse(Warp &warp, const MemMsg &msg)
             for (const LaneOp &op : msg.ops)
                 warp.granted[op.lane][msg.addr] += op.aux;
         } else {
-            core.abortTxLanes(warp, lanes, msg.ts);
+            core.abortTxLanes(warp, lanes, msg.ts,
+                              static_cast<AbortReason>(msg.reason),
+                              msg.addr);
         }
         core.completeTxStoreAck(warp);
         break;

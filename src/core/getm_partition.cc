@@ -71,7 +71,8 @@ GetmPartitionUnit::respondStoreAck(const MemMsg &msg, Cycle ready)
 
 void
 GetmPartitionUnit::respondAbort(const MemMsg &msg, LogicalTs observed,
-                                Cycle ready)
+                                Cycle ready, AbortReason reason,
+                                Addr granule, Cycle now)
 {
     MemMsg resp;
     resp.kind = msg.kind == MsgKind::GetmTxLoad ? MsgKind::GetmLoadResp
@@ -83,9 +84,12 @@ GetmPartitionUnit::respondAbort(const MemMsg &msg, LogicalTs observed,
     resp.addr = msg.addr;
     resp.outcome = GetmOutcome::Abort;
     resp.ts = observed; // the abort cause; the core restarts later than it
+    resp.reason = static_cast<std::uint8_t>(reason);
     resp.ops = msg.ops;
     resp.bytes = 12;
     ctx.stats().inc("getm_vu_aborts");
+    if (ObsSink *sink = ctx.obs())
+        sink->conflictEvent(reason, granule, ctx.partitionId(), now);
     ctx.scheduleToCore(std::move(resp), ready);
 }
 
@@ -128,6 +132,7 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
             entry.numWrites += count;
             respondStoreAck(msg, ready);
         }
+        entry.approxSeeded = false;
         ctx.stats().inc("getm_owner_hits");
         return busy;
     }
@@ -135,8 +140,22 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
     const LogicalTs limit =
         is_load ? entry.wts : std::max(entry.wts, entry.rts);
     if (warpts < limit) {
-        // Conflict with a logically later transaction: abort.
-        respondAbort(msg, observed, ready);
+        // Conflict with a logically later transaction: abort. Classify
+        // the hazard for attribution: a conflict against Bloom-seeded
+        // timestamps is (very likely) a false positive the approximate
+        // table manufactured; precise-entry conflicts split by hazard
+        // kind (load vs. newer write = RAW order violation; store vs.
+        // newer write/read = WAW/WAR).
+        AbortReason reason;
+        if (ma.fromApprox)
+            reason = AbortReason::BloomFalsePositive;
+        else if (is_load)
+            reason = AbortReason::RawTs;
+        else if (warpts < entry.wts)
+            reason = AbortReason::WawTs;
+        else
+            reason = AbortReason::WarTs;
+        respondAbort(msg, observed, ready, reason, granule, now);
         return busy;
     }
 
@@ -146,9 +165,14 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
         MemMsg queued = std::move(msg);
         const MemMsg probe = queued; // copy for potential abort response
         if (!stall.enqueue(granule, std::move(queued))) {
-            respondAbort(probe, observed, ready);
+            respondAbort(probe, observed, ready,
+                         AbortReason::StallBufferFull, granule, now);
         } else {
             ctx.stats().inc("getm_stalled_requests");
+            if (ObsSink *sink = ctx.obs())
+                sink->stallEvent(AbortReason::LockedByWriter, granule,
+                                 ctx.partitionId(),
+                                 stall.waitersOn(granule), now);
         }
         return busy;
     }
@@ -165,6 +189,7 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
         meta.noteTimestamp(entry.wts);
         respondStoreAck(msg, ready);
     }
+    entry.approxSeeded = false;
     return busy;
 }
 
@@ -223,6 +248,8 @@ GetmPartitionUnit::releaseWaiters(Addr granule, Cycle now)
         if (entry && entry->locked())
             break;
         MemMsg queued = stall.popOldest(granule);
+        if (ObsSink *sink = ctx.obs())
+            sink->stallRelease(ctx.partitionId(), now + busy);
         busy += processAccess(std::move(queued), now + busy);
         ctx.stats().inc("getm_stall_grants");
     }
@@ -232,6 +259,10 @@ GetmPartitionUnit::releaseWaiters(Addr granule, Cycle now)
 void
 GetmPartitionUnit::flushForRollover()
 {
+    // Balance the sink's live-occupancy gauge for dropped waiters.
+    if (ObsSink *sink = ctx.obs())
+        for (unsigned i = stall.occupancy(); i > 0; --i)
+            sink->stallRelease(ctx.partitionId(), 0);
     stall.flush();
     meta.flush();
 }

@@ -68,7 +68,13 @@ class GetmPartitionUnit : public TmPartitionProtocol
 
     void respondLoad(const MemMsg &msg, Cycle ready, Cycle now);
     void respondStoreAck(const MemMsg &msg, Cycle ready);
-    void respondAbort(const MemMsg &msg, LogicalTs observed, Cycle ready);
+    /**
+     * Abort the requester. The validation unit decides *why* here
+     * (@p reason) and ships it back in the response so the core can
+     * attribute the abort; @p granule feeds the hot-address profiler.
+     */
+    void respondAbort(const MemMsg &msg, LogicalTs observed, Cycle ready,
+                      AbortReason reason, Addr granule, Cycle now);
 
     PartitionContext &ctx;
     GetmPartitionConfig cfg;

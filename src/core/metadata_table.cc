@@ -122,8 +122,10 @@ MetadataTable::access(Addr key)
     if (TxMetadata *hit = findPrecise(key)) {
         result.entry = hit;
         result.cycles = 1; // Ways and stash are probed in parallel.
+        result.fromApprox = hit->approxSeeded;
         statSet.inc("lookups");
         statSet.sample("access_cycles", 1.0);
+        statSet.histSample("access_cycles_hist", 1);
         return result;
     }
 
@@ -136,6 +138,9 @@ MetadataTable::access(Addr key)
     fresh.rts = rts;
     fresh.numWrites = 0;
     fresh.owner = invalidWarp;
+    // Nonzero seeded timestamps are overestimates that can cause false
+    // conflicts; remember their provenance for abort attribution.
+    fresh.approxSeeded = wts != 0 || rts != 0;
 
     bool overflowed = false;
     Cycle cycles = 0;
@@ -150,6 +155,7 @@ MetadataTable::access(Addr key)
             const auto [wts2, rts2] = approxLookup(key);
             fresh.wts = wts2;
             fresh.rts = rts2;
+            fresh.approxSeeded = wts2 != 0 || rts2 != 0;
         }
     }
     if (!result.entry) {
@@ -166,9 +172,11 @@ MetadataTable::access(Addr key)
     }
     result.cycles = cycles;
     result.overflowed = overflowed;
+    result.fromApprox = result.entry->approxSeeded;
     statSet.inc("lookups");
     statSet.inc("misses");
     statSet.sample("access_cycles", static_cast<double>(cycles));
+    statSet.histSample("access_cycles_hist", cycles);
     return result;
 }
 

@@ -43,6 +43,13 @@ struct TxMetadata
     LogicalTs rts = 0;       ///< Logical time of the last read.
     std::uint32_t numWrites = 0; ///< Outstanding write reservations.
     GlobalWarpId owner = invalidWarp; ///< Reservation owner.
+    /**
+     * The timestamps were seeded from the approximate (Bloom) table and
+     * no precise access has refreshed them yet: a conflict against them
+     * may be a Bloom false positive (attribution only; no protocol
+     * behaviour depends on this).
+     */
+    bool approxSeeded = false;
 
     bool valid() const { return key != invalidAddr; }
     bool locked() const { return numWrites != 0; }
@@ -90,6 +97,8 @@ struct MetaAccess
     Cycle cycles = 1;
     /** The access had to use the in-memory overflow area. */
     bool overflowed = false;
+    /** The entry's timestamps are Bloom-seeded overestimates. */
+    bool fromApprox = false;
 };
 
 /**

@@ -53,6 +53,7 @@ StallBuffer::enqueue(Addr key, MemMsg &&msg)
     statSet.trackMax("occupancy", occupancy());
     statSet.sample("waiters_per_addr",
                    static_cast<double>(line->entries.size()));
+    statSet.histSample("waiters_per_addr_hist", line->entries.size());
     return true;
 }
 

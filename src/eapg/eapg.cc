@@ -75,19 +75,29 @@ EapgCoreTm::onBroadcast(const MemMsg &msg)
         if (txi < 0)
             continue;
         LaneMask hit = 0;
+        Addr conflict = invalidAddr;
         for (LaneId lane = 0; lane < warpSize; ++lane) {
             if (!(warp.stack[txi].mask & (1u << lane)))
                 continue;
             for (const LogEntry &entry : warp.logs[lane].readLog()) {
                 if (write_set.count(entry.addr)) {
                     hit |= 1u << lane;
+                    if (conflict == invalidAddr)
+                        conflict = core.granuleOf(entry.addr);
+                    if (ObsSink *obs = core.observer())
+                        obs->conflictEvent(
+                            AbortReason::EarlyAbort,
+                            core.granuleOf(entry.addr),
+                            core.addressMap().partitionOf(entry.addr),
+                            core.now());
                     break;
                 }
             }
         }
         if (hit) {
             core.stats().inc("eapg_early_aborts", std::popcount(hit));
-            core.abortTxLanes(warp, hit, warp.warpts);
+            core.abortTxLanes(warp, hit, warp.warpts,
+                              AbortReason::EarlyAbort, conflict);
         }
     }
 }

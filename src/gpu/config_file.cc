@@ -67,6 +67,10 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
     else if (key == "rollover_threshold")
         cfg.rolloverThreshold =
             value == 0 ? ~static_cast<LogicalTs>(0) : value;
+    else if (key == "sample_interval")
+        cfg.sampleInterval = value;
+    else if (key == "hot_addrs")
+        cfg.hotAddrTopN = static_cast<unsigned>(value);
     else if (key == "seed")
         cfg.seed = value;
     else
@@ -128,6 +132,47 @@ loadConfigFile(const std::string &path, GpuConfig &cfg,
     std::stringstream buffer;
     buffer << file.rdbuf();
     return applyConfigText(buffer.str(), cfg, error);
+}
+
+std::vector<std::pair<std::string, std::string>>
+configProvenance(const GpuConfig &cfg)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    auto add = [&out](const char *key, std::uint64_t value) {
+        out.emplace_back(key, std::to_string(value));
+    };
+    out.emplace_back("protocol", protocolName(cfg.protocol));
+    add("cores", cfg.numCores);
+    add("partitions", cfg.numPartitions);
+    add("warps_per_core", cfg.core.maxWarps);
+    add("tx_warp_limit", cfg.core.txWarpLimit == 0xffffffffu
+                             ? 0
+                             : cfg.core.txWarpLimit);
+    add("issue_width", cfg.core.issueWidth);
+    add("l1_kb", cfg.core.l1Bytes / 1024);
+    add("llc_kb_per_partition", cfg.llcBytesPerPartition / 1024);
+    add("llc_latency", cfg.llcLatency);
+    add("line_bytes", cfg.lineBytes);
+    add("xbar_latency", cfg.xbar.latency);
+    add("xbar_flit_bytes", cfg.xbar.flitBytes);
+    add("dram_latency", cfg.dram.accessLatency);
+    add("dram_row_hit_latency", cfg.dram.rowHitLatency);
+    add("dram_banks", cfg.dram.numBanks);
+    add("getm_granule", cfg.getmGranule);
+    add("getm_precise_entries", cfg.getmPreciseEntriesTotal);
+    add("getm_bloom_entries", cfg.getmBloomEntriesTotal);
+    add("getm_max_registers", cfg.getmUseMaxRegisters ? 1 : 0);
+    add("getm_stall_lines", cfg.getmStall.lines);
+    add("getm_stall_entries", cfg.getmStall.entriesPerLine);
+    add("wtm_tcd_entries", cfg.wtm.tcdEntries);
+    add("rollover_threshold",
+        cfg.rolloverThreshold == ~static_cast<LogicalTs>(0)
+            ? 0
+            : cfg.rolloverThreshold);
+    add("sample_interval", cfg.sampleInterval);
+    add("hot_addrs", cfg.hotAddrTopN);
+    add("seed", cfg.seed);
+    return out;
 }
 
 } // namespace getm

@@ -28,6 +28,8 @@
 #define GETM_GPU_CONFIG_FILE_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gpu/gpu_config.hh"
 
@@ -44,6 +46,15 @@ bool applyConfigText(const std::string &text, GpuConfig &cfg,
 /** Load @p path and apply it onto @p cfg. */
 bool loadConfigFile(const std::string &path, GpuConfig &cfg,
                     std::string &error);
+
+/**
+ * Flatten @p cfg into ordered key/value pairs using the same key names
+ * the config-file parser accepts (plus the protocol). This is the
+ * config-provenance block of the exported metrics document: feeding the
+ * values back through a config file reproduces the run.
+ */
+std::vector<std::pair<std::string, std::string>>
+configProvenance(const GpuConfig &cfg);
 
 } // namespace getm
 

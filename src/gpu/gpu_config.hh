@@ -67,6 +67,15 @@ struct GpuConfig
     /** Write a Chrome-trace transaction timeline here (empty: off). */
     std::string timelinePath;
 
+    /**
+     * Telemetry sampling period in cycles (0: off). With idle-cycle
+     * skipping, samples land on the first simulated cycle at or after
+     * each interval boundary.
+     */
+    Cycle sampleInterval = 0;
+    /** Rows kept in the exported hot-address conflict table. */
+    unsigned hotAddrTopN = 16;
+
     std::uint64_t seed = 12345;
 
     /** GTX480-like baseline of Table II. */

@@ -89,7 +89,67 @@ GpuSystem::GpuSystem(const GpuConfig &config)
     if (!cfg.timelinePath.empty())
         for (auto &core : coreArray)
             core->setTimeline(&timeline);
+    for (auto &core : coreArray)
+        core->setObserver(&observability);
+    for (auto &part : partArray)
+        part->setObserver(&observability);
     wireProtocol();
+    setupTelemetry();
+}
+
+void
+GpuSystem::setupTelemetry()
+{
+    // Name every Perfetto track up front so traces open with "core N" /
+    // "warp slot K" rows instead of bare pids/tids. Counter tracks live
+    // on a dedicated pseudo-process after the cores.
+    const std::uint32_t telemetry_pid = cfg.numCores;
+    if (!cfg.timelinePath.empty()) {
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            timeline.nameProcess(c, "core " + std::to_string(c));
+            for (std::uint32_t s = 0; s < cfg.core.maxWarps; ++s)
+                timeline.nameThread(c, s,
+                                    "warp slot " + std::to_string(s));
+        }
+        timeline.nameProcess(telemetry_pid, "telemetry");
+    }
+
+    if (cfg.sampleInterval == 0)
+        return;
+    CycleSampler &sampler = observability.cycleSampler();
+    sampler.setInterval(cfg.sampleInterval);
+    sampler.addProbe("active_warps", [this] {
+        unsigned total = 0;
+        for (const auto &core : coreArray)
+            total += core->activeWarps();
+        return static_cast<double>(total);
+    });
+    sampler.addProbe("tx_warps", [this] {
+        unsigned total = 0;
+        for (const auto &core : coreArray)
+            total += core->activeTxWarps();
+        return static_cast<double>(total);
+    });
+    sampler.addProbe("stall_buffer_fill", [this] {
+        return static_cast<double>(observability.stallOccupancy());
+    });
+    sampler.addProbe("mshr_fill", [this] {
+        unsigned total = 0;
+        for (const auto &core : coreArray)
+            total += core->mshrOccupancy();
+        return static_cast<double>(total);
+    });
+    sampler.addProbe("xbar_inflight", [this] {
+        return static_cast<double>(xbarUp.inFlight() +
+                                   xbarDown.inFlight());
+    });
+    if (!cfg.timelinePath.empty()) {
+        const std::uint32_t pid = telemetry_pid;
+        sampler.setEmit(
+            [this, pid](const std::string &name, Cycle ts, double value) {
+                timeline.counter(pid, name, ts, value);
+            });
+    }
 }
 
 GpuSystem::~GpuSystem() = default;
@@ -211,7 +271,8 @@ GpuSystem::maybeRollover(Cycle now)
                     continue;
                 const int txi = warp.transactionIndex();
                 if (txi >= 0 && warp.stack[txi].mask)
-                    core->abortTxLanes(warp, warp.stack[txi].mask, 0);
+                    core->abortTxLanes(warp, warp.stack[txi].mask, 0,
+                                       AbortReason::Rollover, invalidAddr);
             }
         }
         inform("GETM timestamp rollover initiated at cycle %llu",
@@ -291,10 +352,21 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
         for (auto &core : coreArray)
             core->tick(now);
 
+        observability.cycleSampler().maybeSample(now);
+
         if (getm_rollover || rolloverPending)
             maybeRollover(now);
 
-        const Cycle next = computeNextCycle(now);
+        Cycle next = computeNextCycle(now);
+        // Wake at sample boundaries too, so idle-cycle skipping cannot
+        // starve the telemetry series (a skipped boundary would collapse
+        // several samples into one).
+        if (next != ~static_cast<Cycle>(0) &&
+            observability.cycleSampler().enabled())
+            next = std::max<Cycle>(
+                now + 1,
+                std::min(next,
+                         observability.cycleSampler().nextSampleCycle()));
         if (next == ~static_cast<Cycle>(0)) {
             if (allDone() && drained(now))
                 break;
@@ -338,6 +410,7 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
     result.metaAccessCycles = result.stats.mean("access_cycles");
     result.stallPeakOccupancy = stallTracker.peak;
     result.stallWaitersPerAddr = result.stats.mean("waiters_per_addr");
+    result.obs = observability.report(cfg.hotAddrTopN);
     if (!cfg.timelinePath.empty()) {
         if (timeline.writeJson(cfg.timelinePath))
             inform("wrote transaction timeline to %s",

@@ -23,6 +23,7 @@
 #include "mem/address_map.hh"
 #include "mem/backing_store.hh"
 #include "noc/crossbar.hh"
+#include "obs/observability.hh"
 #include "simt/simt_core.hh"
 #include "warptm/wtm_common.hh"
 
@@ -44,6 +45,7 @@ struct RunResult
     std::uint64_t rollovers = 0;   ///< GETM timestamp rollovers taken.
     LogicalTs maxLogicalTs = 0;    ///< Highest warpts reached (GETM).
     StatSet stats{"run"};          ///< Everything else, merged.
+    ObsReport obs;                 ///< Attribution, profiler, telemetry.
 
     /**
      * Cycles per logical-timestamp increment (paper Sec. V-B1 reports
@@ -94,8 +96,12 @@ class GpuSystem
     unsigned numCores() const { return cfg.numCores; }
     unsigned numPartitions() const { return cfg.numPartitions; }
 
+    /** Live observability hub (every protocol reports into it). */
+    Observability &observabilityHub() { return observability; }
+
   private:
     void wireProtocol();
+    void setupTelemetry();
     Cycle computeNextCycle(Cycle now) const;
     bool allDone() const;
     bool drained(Cycle now) const;
@@ -114,6 +120,7 @@ class GpuSystem
     std::vector<GetmPartitionUnit *> getmUnits; // borrowed from partitions
     StallOccupancyTracker stallTracker;
     Timeline timeline;
+    Observability observability;
 
     bool rolloverPending = false;
     std::uint64_t rollovers = 0;

@@ -51,6 +51,9 @@ class MemPartition : public PartitionContext
     TmPartitionProtocol *protocol() { return proto.get(); }
     CacheModel &llc() { return llcCache; }
 
+    /** Install the observability sink (may be null). */
+    void setObserver(ObsSink *s) { sink = s; }
+
     /** Apply a rollover stall penalty to the unit's pipeline. */
     void
     addPipelineStall(Cycle now, Cycle penalty)
@@ -67,6 +70,7 @@ class MemPartition : public PartitionContext
     Cycle llcLatency() const override { return llcLat; }
     BackingStore &memory() override { return store; }
     StatSet &stats() override { return statSet; }
+    ObsSink *obs() override { return sink; }
 
   private:
     /** Handle non-transactional reads/writes and atomics locally. */
@@ -96,6 +100,7 @@ class MemPartition : public PartitionContext
     CacheModel llcCache;
     DramModel dram;
     std::unique_ptr<TmPartitionProtocol> proto;
+    ObsSink *sink = nullptr;
 
     Cycle popFree = 0;
     std::uint64_t outSeq = 0;

@@ -1,7 +1,10 @@
 #include "gpu/timeline.hh"
 
 #include <fstream>
+#include <locale>
 #include <sstream>
+
+#include "common/json.hh"
 
 namespace getm {
 
@@ -9,24 +12,41 @@ std::string
 Timeline::toJson() const
 {
     std::ostringstream out;
+    out.imbue(std::locale::classic());
     out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
     for (const Event &event : events) {
         if (!first)
             out << ",";
         first = false;
-        out << "\n{\"pid\":" << event.core << ",\"tid\":" << event.slot
+        out << "\n{\"pid\":" << event.pid << ",\"tid\":" << event.tid
             << ",\"ts\":" << event.ts;
         switch (event.kind) {
           case Kind::Begin:
-            out << ",\"ph\":\"B\",\"name\":\"" << event.name << "\"";
+            out << ",\"ph\":\"B\",\"name\":\"" << jsonEscape(event.name)
+                << "\"";
             break;
           case Kind::End:
             out << ",\"ph\":\"E\"";
             break;
           case Kind::Instant:
-            out << ",\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << event.name
-                << "\"";
+            out << ",\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+                << jsonEscape(event.name) << "\"";
+            break;
+          case Kind::Counter:
+            out << ",\"ph\":\"C\",\"name\":\"" << jsonEscape(event.name)
+                << "\",\"args\":{\"value\":" << jsonNumber(event.value)
+                << "}";
+            break;
+          case Kind::ProcessName:
+            out << ",\"ph\":\"M\",\"name\":\"process_name\","
+                   "\"args\":{\"name\":\""
+                << jsonEscape(event.name) << "\"}";
+            break;
+          case Kind::ThreadName:
+            out << ",\"ph\":\"M\",\"name\":\"thread_name\","
+                   "\"args\":{\"name\":\""
+                << jsonEscape(event.name) << "\"}";
             break;
         }
         out << "}";

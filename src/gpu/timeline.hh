@@ -8,7 +8,16 @@
  * Perfetto. Cores map to "processes" and warp slots to "threads", so a
  * loaded GPU renders as a familiar Gantt chart of transactions.
  *
- * Enable via GpuConfig::timelinePath (or `getm-sim --timeline out.json`).
+ * Beyond spans, the recorder supports:
+ *  - counter ("C") events: sampled telemetry rendered by Perfetto as
+ *    counter tracks (warp occupancy, stall-buffer fill, ...);
+ *  - metadata ("M") events: process_name/thread_name records so tracks
+ *    appear as "core 3" / "warp slot 12" instead of bare pids/tids.
+ *
+ * All event names pass through jsonEscape(), so arbitrary names cannot
+ * corrupt the emitted document.
+ *
+ * Enable via GpuConfig::timelinePath (or `getm_sim --timeline out.json`).
  */
 
 #ifndef GETM_GPU_TIMELINE_HH
@@ -30,21 +39,44 @@ class Timeline
     void
     begin(CoreId core, std::uint32_t slot, const char *name, Cycle ts)
     {
-        events.push_back({Kind::Begin, core, slot, name, ts});
+        events.push_back({Kind::Begin, core, slot, name, ts, 0.0});
     }
 
     /** Close the innermost span (Chrome "E" event). */
     void
     end(CoreId core, std::uint32_t slot, Cycle ts)
     {
-        events.push_back({Kind::End, core, slot, "", ts});
+        events.push_back({Kind::End, core, slot, "", ts, 0.0});
     }
 
     /** Record an instant event (Chrome "i"). */
     void
     instant(CoreId core, std::uint32_t slot, const char *name, Cycle ts)
     {
-        events.push_back({Kind::Instant, core, slot, name, ts});
+        events.push_back({Kind::Instant, core, slot, name, ts, 0.0});
+    }
+
+    /** Record a counter sample (Chrome "C"; one track per name). */
+    void
+    counter(std::uint32_t pid, const std::string &name, Cycle ts,
+            double value)
+    {
+        events.push_back({Kind::Counter, pid, 0, name, ts, value});
+    }
+
+    /** Name a process track ("M"/process_name, e.g. "core 3"). */
+    void
+    nameProcess(std::uint32_t pid, const std::string &name)
+    {
+        events.push_back({Kind::ProcessName, pid, 0, name, 0, 0.0});
+    }
+
+    /** Name a thread track ("M"/thread_name, e.g. "warp slot 12"). */
+    void
+    nameThread(std::uint32_t pid, std::uint32_t tid,
+               const std::string &name)
+    {
+        events.push_back({Kind::ThreadName, pid, tid, name, 0, 0.0});
     }
 
     std::size_t size() const { return events.size(); }
@@ -61,15 +93,19 @@ class Timeline
         Begin,
         End,
         Instant,
+        Counter,
+        ProcessName,
+        ThreadName,
     };
 
     struct Event
     {
         Kind kind;
-        CoreId core;
-        std::uint32_t slot;
+        std::uint32_t pid;
+        std::uint32_t tid;
         std::string name;
         Cycle ts;
+        double value;
     };
 
     std::vector<Event> events;

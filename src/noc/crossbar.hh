@@ -126,6 +126,16 @@ class Crossbar
         return true;
     }
 
+    /** Messages currently queued or in flight (telemetry gauge). */
+    std::size_t
+    inFlight() const
+    {
+        std::size_t total = 0;
+        for (const auto &queue : inbox)
+            total += queue.size();
+        return total;
+    }
+
     std::uint64_t totalFlits() const { return timing.totalFlits(); }
     StatSet &stats() { return timing.stats(); }
 

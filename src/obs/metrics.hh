@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structured metrics export.
+ *
+ * Serializes a complete run record — identity/provenance, headline run
+ * numbers, the full statistics tree (counters, maxima, averages,
+ * histograms), abort/stall reason breakdowns, the hot-address table,
+ * and sampled time-series — into one versioned JSON document
+ * ("schema": "getm-metrics"). The document is self-describing and
+ * byte-stable for a given run, so downstream tooling
+ * (tools/check_metrics.py, plotting scripts) can rely on its shape.
+ *
+ * The exporter is deliberately independent of the gpu layer: callers
+ * flatten their configuration into MetricsMeta key/value provenance
+ * rather than passing GpuConfig here.
+ */
+
+#ifndef GETM_OBS_METRICS_HH
+#define GETM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/observability.hh"
+
+namespace getm {
+
+/** Schema identity stamped into every metrics document. */
+inline constexpr const char *metricsSchemaName = "getm-metrics";
+inline constexpr int metricsSchemaVersion = 1;
+
+/** Run identity, headline results, and config provenance. */
+struct MetricsMeta
+{
+    std::string bench;
+    std::string protocol;
+    double scale = 0.0;
+    std::uint64_t seed = 0;
+    std::uint64_t threads = 0;
+    bool verified = false;
+
+    // Headline run numbers (RunResult flattened by the caller).
+    std::uint64_t cycles = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t txExecCycles = 0;
+    std::uint64_t txWaitCycles = 0;
+    std::uint64_t xbarFlits = 0;
+    std::uint64_t rollovers = 0;
+    std::uint64_t maxLogicalTs = 0;
+
+    /** Config provenance: ordered key/value pairs (values pre-rendered). */
+    std::vector<std::pair<std::string, std::string>> config;
+};
+
+/** Render the full metrics document as a JSON string. */
+std::string metricsToJson(const MetricsMeta &meta, const StatSet &stats,
+                          const ObsReport &obs);
+
+/**
+ * Render and write the metrics document to @p path.
+ * @return false (with @p error set) on I/O failure.
+ */
+bool writeMetricsFile(const std::string &path, const MetricsMeta &meta,
+                      const StatSet &stats, const ObsReport &obs,
+                      std::string &error);
+
+} // namespace getm
+
+#endif // GETM_OBS_METRICS_HH

@@ -1,0 +1,17 @@
+#include "obs/sampler.hh"
+
+namespace getm {
+
+void
+CycleSampler::sample(Cycle now)
+{
+    series.cycles.push_back(now);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        double v = probes[i] ? probes[i]() : 0.0;
+        series.values[i].push_back(v);
+        if (emit)
+            emit(series.names[i], now, v);
+    }
+}
+
+} // namespace getm

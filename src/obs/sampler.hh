@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cycle-sampled telemetry.
+ *
+ * A periodic sampler that records time-series of simulator gauges
+ * (warp occupancy, tx-warp concurrency, stall-buffer fill, MSHR fill,
+ * crossbar in-flight traffic, ...). Probes are registered as closures
+ * so the sampler has no dependency on the structures it observes.
+ *
+ * The simulation loop skips idle cycles, so samples land on the first
+ * simulated cycle at or after each interval boundary rather than on
+ * exact multiples; each recorded row carries its actual cycle. An
+ * optional emit hook mirrors every sample into Perfetto counter ("C")
+ * tracks in the Timeline.
+ */
+
+#ifndef GETM_OBS_SAMPLER_HH
+#define GETM_OBS_SAMPLER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace getm {
+
+/** Recorded telemetry: one column per probe, one row per sample. */
+struct SampleSeries
+{
+    Cycle interval = 0;
+    std::vector<std::string> names;       ///< Probe names (columns).
+    std::vector<Cycle> cycles;            ///< Sample times (rows).
+    std::vector<std::vector<double>> values; ///< [probe][row].
+
+    std::size_t numSamples() const { return cycles.size(); }
+};
+
+/** Periodic gauge sampler. */
+class CycleSampler
+{
+  public:
+    using Probe = std::function<double()>;
+    /** (probe name, cycle, value) — e.g. a Timeline counter track. */
+    using EmitFn = std::function<void(const std::string &, Cycle, double)>;
+
+    /** Sampling period in cycles; 0 disables the sampler. */
+    void
+    setInterval(Cycle interval)
+    {
+        series.interval = interval;
+        nextDue = 0;
+    }
+
+    Cycle interval() const { return series.interval; }
+    bool enabled() const { return series.interval != 0; }
+
+    /** Register a gauge; call before the first sample. */
+    void
+    addProbe(std::string name, Probe fn)
+    {
+        series.names.push_back(std::move(name));
+        series.values.emplace_back();
+        probes.push_back(std::move(fn));
+    }
+
+    /** Mirror samples into an external consumer (may be empty). */
+    void setEmit(EmitFn fn) { emit = std::move(fn); }
+
+    /**
+     * First interval boundary strictly after @p now. With idle-cycle
+     * skipping the simulation may jump several boundaries at once; the
+     * sampler then takes a single sample and realigns here, so sample
+     * spacing is always >= one interval.
+     */
+    static Cycle
+    alignNext(Cycle now, Cycle interval)
+    {
+        return (now / interval + 1) * interval;
+    }
+
+    /** Cycle of the next due sample (~0 when disabled). */
+    Cycle
+    nextSampleCycle() const
+    {
+        return enabled() ? nextDue : ~static_cast<Cycle>(0);
+    }
+
+    /** Sample all probes if a boundary has been reached. */
+    void
+    maybeSample(Cycle now)
+    {
+        if (!enabled() || now < nextDue)
+            return;
+        sample(now);
+        nextDue = alignNext(now, series.interval);
+    }
+
+    /** Unconditionally record one row at @p now. */
+    void sample(Cycle now);
+
+    const SampleSeries &data() const { return series; }
+
+  private:
+    SampleSeries series;
+    std::vector<Probe> probes;
+    EmitFn emit;
+    Cycle nextDue = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_OBS_SAMPLER_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The common observability sink interface.
+ *
+ * Cores and partition protocol units report abort, conflict, and stall
+ * events here; the concrete Observability implementation aggregates
+ * them (reason totals, hot-address profiles, occupancy tracking). The
+ * sink may be absent (nullptr) anywhere it is consumed, so reporting
+ * sites guard with `if (sink)` and reporting is zero-cost when
+ * observability is disabled.
+ *
+ * Three event flavours:
+ *  - abortEvent():    lanes of a transaction aborted for a typed reason.
+ *    Reported exactly once per aborted lane (by SimtCore::abortTxLanes),
+ *    so summing abort events by reason reproduces the run's total abort
+ *    counter exactly.
+ *  - conflictEvent(): an address was implicated in a conflict. Reported
+ *    wherever the conflicting address is known (possibly a different
+ *    site than the abort accounting, e.g. partition-side validation).
+ *    Feeds the hot-address profiler.
+ *  - stallEvent()/stallRelease(): a request entered/left a stall buffer.
+ */
+
+#ifndef GETM_OBS_SINK_HH
+#define GETM_OBS_SINK_HH
+
+#include "common/types.hh"
+#include "obs/abort_reason.hh"
+
+namespace getm {
+
+/** Receiver for attribution events from every protocol. */
+class ObsSink
+{
+  public:
+    virtual ~ObsSink() = default;
+
+    /**
+     * @p lanes lanes aborted for @p reason. @p addr is the conflicting
+     * granule when known (invalidAddr otherwise); @p partition is only
+     * meaningful when @p addr is valid.
+     */
+    virtual void abortEvent(AbortReason reason, Addr addr,
+                            PartitionId partition, unsigned lanes,
+                            Cycle now) = 0;
+
+    /** Address @p addr was implicated in a conflict of kind @p reason. */
+    virtual void conflictEvent(AbortReason reason, Addr addr,
+                               PartitionId partition, Cycle now) = 0;
+
+    /**
+     * A request was queued in a stall buffer on @p addr; @p depth is the
+     * queue depth on that address after insertion (Fig. 16 metric).
+     */
+    virtual void stallEvent(AbortReason reason, Addr addr,
+                            PartitionId partition, unsigned depth,
+                            Cycle now) = 0;
+
+    /** A previously queued request left the stall buffer. */
+    virtual void stallRelease(PartitionId partition, Cycle now) = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_OBS_SINK_HH

@@ -645,22 +645,51 @@ SimtCore::finishWarp(Warp &warp)
 }
 
 void
-SimtCore::abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts)
+SimtCore::abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts,
+                       AbortReason reason, Addr addr)
 {
     if (observed_ts > warp.maxObservedTs)
         warp.maxObservedTs = observed_ts;
     lanes &= ~warp.abortedMask;
     if (!lanes)
         return;
-    warp.aborts += popcount(lanes);
-    statSet.inc("tx_aborts", popcount(lanes));
+    const unsigned aborted = popcount(lanes);
+    warp.aborts += aborted;
+    statSet.inc("tx_aborts", aborted);
+    statSet.inc(std::string("tx_aborts_") + abortReasonName(reason),
+                aborted);
+    if (sink)
+        sink->abortEvent(reason, addr,
+                         addr == invalidAddr ? 0
+                                             : addrMap.partitionOf(addr),
+                         aborted, currentCycle);
     warp.abortLanesOnStack(lanes);
     for (LaneId lane = 0; lane < warpSize; ++lane)
         if (lanes & (1u << lane))
             warp.iwcd.dropLane(lane);
-    if (timeline)
-        timeline->instant(coreId, warp.slot, "abort", currentCycle);
+    if (timeline) {
+        const std::string label =
+            std::string("abort:") + abortReasonName(reason);
+        timeline->instant(coreId, warp.slot, label.c_str(), currentCycle);
+    }
     checkAllAbortedCommitPoint(warp);
+}
+
+unsigned
+SimtCore::activeWarps() const
+{
+    unsigned count = 0;
+    for (const Warp &warp : warps)
+        if (warp.state != WarpState::Idle &&
+            warp.state != WarpState::Finished)
+            ++count;
+    return count;
+}
+
+unsigned
+SimtCore::mshrOccupancy() const
+{
+    return static_cast<unsigned>(mshrs.occupancy());
 }
 
 void

@@ -24,6 +24,7 @@
 #include "mem/backing_store.hh"
 #include "mem/cache_model.hh"
 #include "mem/mshr.hh"
+#include "obs/sink.hh"
 #include "simt/tm_iface.hh"
 #include "simt/warp.hh"
 #include "tm/messages.hh"
@@ -119,8 +120,15 @@ class SimtCore
      * Abort @p lanes of @p warp's running transaction: SIMT stack
      * surgery, stats, and observed-timestamp tracking. Triggers the
      * commit point if the whole attempt is now aborted and drained.
+     *
+     * This is the single accounting point for transaction aborts, so
+     * every caller states *why* (@p reason) and, when known, the
+     * conflicting granule (@p addr). The per-reason attribution
+     * therefore sums exactly to the run's total abort counter.
      */
-    void abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts);
+    void abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts,
+                      AbortReason reason = AbortReason::None,
+                      Addr addr = invalidAddr);
 
     /**
      * Retire the current transaction attempt: pop the Transaction entry,
@@ -160,6 +168,19 @@ class SimtCore
      * reports attempt begin/retire spans and abort instants.
      */
     void setTimeline(class Timeline *t) { timeline = t; }
+
+    /** Install the observability sink (may be null). */
+    void setObserver(ObsSink *s) { sink = s; }
+
+    /** Observability sink for protocol engines (may be null). */
+    ObsSink *observer() { return sink; }
+
+    // --- telemetry gauges -------------------------------------------------
+    /** Warps currently resident and not finished. */
+    unsigned activeWarps() const;
+
+    /** MSHR entries currently in flight. */
+    unsigned mshrOccupancy() const;
 
     /**
      * Freeze transactional progress (GETM timestamp rollover): new
@@ -208,6 +229,7 @@ class SimtCore
     unsigned lastIssued = 0;
     bool txFrozen = false;
     class Timeline *timeline = nullptr;
+    ObsSink *sink = nullptr;
     Cycle currentCycle = 0;
     Rng randomGen;
     StatSet statSet;

@@ -85,6 +85,9 @@ struct MemMsg
     bool flag = false;          ///< Multipurpose (commit vs abort, ...).
     std::uint8_t aop = 0;       ///< Atomic opcode (AtomicOp) for Atomic.
     GetmOutcome outcome = GetmOutcome::Success;
+    std::uint8_t reason = 0;    ///< AbortReason for Abort outcomes; the
+                                ///< partition decides the reason, the
+                                ///< core attributes the abort with it.
     std::vector<LaneOp> ops;    ///< Lane ops or log entries.
     std::uint32_t bytes = 8;    ///< Modelled wire size for the crossbar.
 };

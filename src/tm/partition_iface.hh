@@ -15,6 +15,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/backing_store.hh"
+#include "obs/sink.hh"
 #include "tm/messages.hh"
 
 namespace getm {
@@ -46,6 +47,9 @@ class PartitionContext
     virtual BackingStore &memory() = 0;
 
     virtual StatSet &stats() = 0;
+
+    /** Observability sink; may be nullptr when reporting is disabled. */
+    virtual ObsSink *obs() { return nullptr; }
 };
 
 /** Partition-side protocol unit (validation + commit units). */

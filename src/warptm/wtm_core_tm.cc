@@ -15,7 +15,8 @@ WtmCoreTm::WtmCoreTm(SimtCore &core_, std::shared_ptr<WtmShared> shared_,
 }
 
 LaneMask
-WtmCoreTm::instantValidate(const Warp &warp, LaneMask lanes) const
+WtmCoreTm::instantValidate(const Warp &warp, LaneMask lanes,
+                           Addr *conflict_addr) const
 {
     LaneMask failed = 0;
     for (LaneId lane = 0; lane < warpSize; ++lane) {
@@ -24,6 +25,14 @@ WtmCoreTm::instantValidate(const Warp &warp, LaneMask lanes) const
         for (const LogEntry &entry : warp.logs[lane].readLog()) {
             if (core.memory().read(entry.addr) != entry.value) {
                 failed |= 1u << lane;
+                if (conflict_addr && *conflict_addr == invalidAddr)
+                    *conflict_addr = core.granuleOf(entry.addr);
+                if (ObsSink *obs = core.observer())
+                    obs->conflictEvent(
+                        AbortReason::EagerValidation,
+                        core.granuleOf(entry.addr),
+                        core.addressMap().partitionOf(entry.addr),
+                        core.now());
                 break;
             }
         }
@@ -39,10 +48,12 @@ WtmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
     if (mode == WtmMode::EagerLazy) {
         // Idealized per-access validation (Sec. III): zero latency and
         // traffic; conflicting lanes abort immediately.
-        const LaneMask failed = instantValidate(warp, lanes);
+        Addr conflict = invalidAddr;
+        const LaneMask failed = instantValidate(warp, lanes, &conflict);
         if (failed) {
             core.stats().inc("wtm_el_eager_aborts", std::popcount(failed));
-            core.abortTxLanes(warp, failed, warp.warpts);
+            core.abortTxLanes(warp, failed, warp.warpts,
+                              AbortReason::EagerValidation, conflict);
             lanes &= ~failed;
             if (!lanes)
                 return;
@@ -147,7 +158,10 @@ WtmCoreTm::onResponse(Warp &warp, const MemMsg &msg)
             if (warp.validationFailed) {
                 core.stats().inc("wtm_validation_aborts",
                                  std::popcount(warp.validationFailed));
-                core.abortTxLanes(warp, warp.validationFailed, warp.warpts);
+                // The conflicting addresses were reported partition-side
+                // during validation; only the reason is known here.
+                core.abortTxLanes(warp, warp.validationFailed, warp.warpts,
+                                  AbortReason::Validation, invalidAddr);
             }
             sliceParts[warp.slot].clear();
             core.retireTxAttempt(warp, committed);
@@ -170,11 +184,13 @@ WtmCoreTm::txCommitPoint(Warp &warp)
     if (mode == WtmMode::EagerLazy) {
         // Final instant validation keeps the emulation correct: a
         // conflicting commit may have landed since the last access.
+        Addr conflict = invalidAddr;
         const LaneMask failed =
-            instantValidate(warp, warp.stack[txi].mask);
+            instantValidate(warp, warp.stack[txi].mask, &conflict);
         if (failed) {
             core.stats().inc("wtm_el_eager_aborts", std::popcount(failed));
-            core.abortTxLanes(warp, failed, warp.warpts);
+            core.abortTxLanes(warp, failed, warp.warpts,
+                              AbortReason::EagerValidation, conflict);
         }
     }
 
@@ -186,7 +202,8 @@ WtmCoreTm::txCommitPoint(Warp &warp)
     const LaneMask losers = committers & ~survivors;
     if (losers) {
         core.stats().inc("wtm_intra_warp_aborts", std::popcount(losers));
-        core.abortTxLanes(warp, losers, warp.warpts);
+        core.abortTxLanes(warp, losers, warp.warpts,
+                          AbortReason::IntraWarp, invalidAddr);
     }
 
     // Read-only lanes that pass the temporal conflict check commit

@@ -57,7 +57,14 @@ class WtmCoreTm : public TmCoreProtocol
      * Instantly value-validate the read logs of @p lanes; returns the
      * lanes whose logged values no longer match memory.
      */
-    LaneMask instantValidate(const Warp &warp, LaneMask lanes) const;
+    /**
+     * Idealized value validation of @p lanes' read logs. Reports each
+     * conflicting address to the observability sink; when
+     * @p conflict_addr is non-null it receives the first conflicting
+     * address (for abort attribution).
+     */
+    LaneMask instantValidate(const Warp &warp, LaneMask lanes,
+                             Addr *conflict_addr = nullptr) const;
 
     SimtCore &core;
     std::shared_ptr<WtmShared> shared;

@@ -178,8 +178,12 @@ WtmPartitionUnit::validateSlice(MemMsg &&slice, Cycle now)
             continue;
         }
         extra = std::max(extra, ctx.accessLlc(op.addr, false, now));
-        if (ctx.memory().read(op.addr) != op.value)
+        if (ctx.memory().read(op.addr) != op.value) {
             failed |= 1u << op.lane;
+            if (ObsSink *sink = ctx.obs())
+                sink->conflictEvent(AbortReason::Validation, op.addr,
+                                    ctx.partitionId(), now);
+        }
     }
     for (LaneId lane = 0; lane < warpSize; ++lane)
         if (failed & (1u << lane))

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate a getm-metrics JSON document.
+
+Checks the schema identity, the presence and types of every required
+section, and the cross-document invariants the simulator guarantees:
+
+  * sum(aborts_by_reason) == run.aborts (exact abort attribution);
+  * every abort-reason table carries the full reason taxonomy, so
+    consumers can sum tables without knowing the enum;
+  * hot-address rows are sorted by total events and internally
+    consistent (by_reason sums to total);
+  * time-series rows are rectangular (one value per probe per sample)
+    and sample cycles are strictly increasing, at least one interval
+    apart.
+
+Usage: check_metrics.py METRICS.json [more.json ...]
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+SCHEMA = "getm-metrics"
+VERSION = 1
+
+REASONS = [
+    "NONE", "RAW_TS", "WAR_TS", "WAW_TS", "LOCKED_BY_WRITER",
+    "STALL_BUFFER_FULL", "BLOOM_FALSE_POSITIVE", "INTRA_WARP",
+    "VALIDATION_FAIL", "EAGER_VALIDATION_FAIL", "EARLY_ABORT", "ROLLOVER",
+]
+
+TOP_LEVEL = [
+    "schema", "version", "meta", "config", "run", "aborts_by_reason",
+    "stalls_by_reason", "stall", "distinct_conflict_addrs",
+    "hot_addresses", "timeseries", "stats",
+]
+
+META_KEYS = ["bench", "protocol", "scale", "seed", "threads", "verified"]
+RUN_KEYS = [
+    "cycles", "commits", "aborts", "tx_exec_cycles", "tx_wait_cycles",
+    "xbar_flits", "rollovers", "max_logical_ts", "aborts_per_1k_commits",
+]
+STATS_KEYS = ["counters", "maxima", "averages", "histograms"]
+
+
+class CheckError(Exception):
+    pass
+
+
+def require(cond, why):
+    if not cond:
+        raise CheckError(why)
+
+
+def check_reason_table(table, label):
+    require(isinstance(table, dict), f"{label} is not an object")
+    require(sorted(table) == sorted(REASONS),
+            f"{label} keys differ from the reason taxonomy: "
+            f"{sorted(set(table) ^ set(REASONS))}")
+    for name, count in table.items():
+        require(isinstance(count, int) and count >= 0,
+                f"{label}[{name}] is not a non-negative integer")
+    return sum(table.values())
+
+
+def check_hot_addresses(rows):
+    require(isinstance(rows, list), "hot_addresses is not an array")
+    prev_total = None
+    for i, row in enumerate(rows):
+        label = f"hot_addresses[{i}]"
+        for key in ("addr", "addr_hex", "partition", "total",
+                    "mean_waiters", "by_reason"):
+            require(key in row, f"{label} lacks '{key}'")
+        require(row["addr_hex"] == hex(row["addr"]),
+                f"{label}: addr_hex {row['addr_hex']} does not match "
+                f"addr {row['addr']}")
+        require(row["total"] > 0, f"{label}: empty row exported")
+        by_reason = row["by_reason"]
+        require(all(k in REASONS for k in by_reason),
+                f"{label}: unknown reason in by_reason")
+        require(sum(by_reason.values()) == row["total"],
+                f"{label}: by_reason sums to "
+                f"{sum(by_reason.values())}, total says {row['total']}")
+        if prev_total is not None:
+            require(row["total"] <= prev_total,
+                    f"{label}: rows not sorted by total")
+        prev_total = row["total"]
+
+
+def check_timeseries(ts):
+    for key in ("interval", "num_samples", "cycles", "series"):
+        require(key in ts, f"timeseries lacks '{key}'")
+    cycles = ts["cycles"]
+    require(len(cycles) == ts["num_samples"],
+            "timeseries.num_samples disagrees with cycles[]")
+    for name, column in ts["series"].items():
+        require(len(column) == len(cycles),
+                f"timeseries.series[{name}] is not rectangular")
+    interval = ts["interval"]
+    for a, b in zip(cycles, cycles[1:]):
+        require(b - a >= interval,
+                f"samples at cycles {a} and {b} are closer than the "
+                f"{interval}-cycle interval")
+    if ts["num_samples"]:
+        require(interval > 0, "samples recorded with interval 0")
+
+
+def check_document(doc):
+    require(doc.get("schema") == SCHEMA,
+            f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    require(doc.get("version") == VERSION,
+            f"version is {doc.get('version')!r}, want {VERSION}")
+    for key in TOP_LEVEL:
+        require(key in doc, f"document lacks top-level '{key}'")
+    for key in META_KEYS:
+        require(key in doc["meta"], f"meta lacks '{key}'")
+    for key in RUN_KEYS:
+        require(key in doc["run"], f"run lacks '{key}'")
+    for key in STATS_KEYS:
+        require(key in doc["stats"], f"stats lacks '{key}'")
+    require(isinstance(doc["config"], dict) and doc["config"],
+            "config provenance is missing or empty")
+
+    abort_sum = check_reason_table(doc["aborts_by_reason"],
+                                   "aborts_by_reason")
+    require(abort_sum == doc["run"]["aborts"],
+            f"aborts_by_reason sums to {abort_sum}, run.aborts is "
+            f"{doc['run']['aborts']}")
+    check_reason_table(doc["stalls_by_reason"], "stalls_by_reason")
+    check_hot_addresses(doc["hot_addresses"])
+    check_timeseries(doc["timeseries"])
+
+    for name, hist in doc["stats"]["histograms"].items():
+        total = sum(b["count"] for b in hist["buckets"])
+        require(total == hist["count"],
+                f"histogram {name}: buckets sum to {total}, count says "
+                f"{hist['count']}")
+    return doc
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            check_document(doc)
+        except (OSError, json.JSONDecodeError, CheckError) as err:
+            print(f"check_metrics: {path}: {err}", file=sys.stderr)
+            return 1
+        run = doc["run"]
+        print(f"check_metrics: {path}: OK "
+              f"({doc['meta']['bench']}/{doc['meta']['protocol']}, "
+              f"{run['aborts']} aborts attributed, "
+              f"{len(doc['hot_addresses'])} hot addresses, "
+              f"{doc['timeseries']['num_samples']} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,6 +20,7 @@
 
 #include "gpu/config_file.hh"
 #include "gpu/gpu_system.hh"
+#include "obs/metrics.hh"
 #include "power/tm_structures.hh"
 #include "workloads/workload.hh"
 
@@ -46,6 +47,14 @@ usage(const char *argv0)
         "  --rollover N        force GETM timestamp rollover at N\n"
         "  --config FILE       apply a key=value configuration file\n"
         "  --timeline FILE     write a Chrome-trace tx timeline\n"
+        "                      (named tracks; telemetry counter rows)\n"
+        "  --metrics FILE      write the full metrics document (JSON:\n"
+        "                      stats tree, abort-reason breakdown,\n"
+        "                      hot-address table, sampled time-series)\n"
+        "  --sample-interval N telemetry sampling period in cycles\n"
+        "                      (default 512 when --metrics is given,\n"
+        "                      else 0 = off)\n"
+        "  --hot-addrs N       rows in the hot-address table (def. 16)\n"
         "  --stats             dump all statistics\n"
         "  --json              machine-readable result summary\n"
         "  --disasm            print the kernel disassembly and exit\n"
@@ -94,6 +103,8 @@ main(int argc, char **argv)
     GpuConfig cfg = GpuConfig::gtx480();
     bool dump_stats = false, disasm = false, area = false;
     bool json = false;
+    std::string metrics_path;
+    bool sample_interval_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -148,6 +159,13 @@ main(int argc, char **argv)
             }
         } else if (arg == "--timeline") {
             cfg.timelinePath = next();
+        } else if (arg == "--metrics") {
+            metrics_path = next();
+        } else if (arg == "--sample-interval") {
+            cfg.sampleInterval = std::strtoull(next(), nullptr, 10);
+            sample_interval_set = true;
+        } else if (arg == "--hot-addrs") {
+            cfg.hotAddrTopN = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--json") {
@@ -189,6 +207,11 @@ main(int argc, char **argv)
     cfg.seed = seed;
     cfg.core.txWarpLimit =
         concurrency ? *concurrency : optimalConcurrency(bench, protocol);
+    // A metrics document without time-series is half a metrics document:
+    // default the sampler on unless the user chose an interval.
+    if (!metrics_path.empty() && !sample_interval_set &&
+        cfg.sampleInterval == 0)
+        cfg.sampleInterval = 512;
 
     GpuSystem gpu(cfg);
     auto workload = makeWorkload(bench, scale, seed);
@@ -209,6 +232,34 @@ main(int argc, char **argv)
 
     std::string why;
     const bool ok = workload->verify(gpu, why);
+
+    if (!metrics_path.empty()) {
+        MetricsMeta meta;
+        meta.bench = benchName(bench);
+        meta.protocol = protocolName(protocol);
+        meta.scale = scale;
+        meta.seed = seed;
+        meta.threads = workload->numThreads();
+        meta.verified = ok;
+        meta.cycles = result.cycles;
+        meta.commits = result.commits;
+        meta.aborts = result.aborts;
+        meta.txExecCycles = result.txExecCycles;
+        meta.txWaitCycles = result.txWaitCycles;
+        meta.xbarFlits = result.xbarFlits;
+        meta.rollovers = result.rollovers;
+        meta.maxLogicalTs = result.maxLogicalTs;
+        meta.config = configProvenance(cfg);
+        std::string error;
+        if (!writeMetricsFile(metrics_path, meta, result.stats,
+                              result.obs, error)) {
+            std::fprintf(stderr, "metrics: %s\n", error.c_str());
+            return 1;
+        }
+        if (!json)
+            std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+
     if (json) {
         std::printf("{\"bench\":\"%s\",\"protocol\":\"%s\","
                     "\"scale\":%g,\"threads\":%llu,"
@@ -236,6 +287,12 @@ main(int argc, char **argv)
     std::printf("aborts        %llu (%.0f /1K commits)\n",
                 static_cast<unsigned long long>(result.aborts),
                 result.abortsPer1kCommits());
+    for (unsigned i = 0; i < numAbortReasons; ++i)
+        if (result.obs.abortLanesByReason[i])
+            std::printf("  %-21s %llu\n",
+                        abortReasonName(static_cast<AbortReason>(i)),
+                        static_cast<unsigned long long>(
+                            result.obs.abortLanesByReason[i]));
     std::printf("tx exec/wait  %llu / %llu warp-cycles\n",
                 static_cast<unsigned long long>(result.txExecCycles),
                 static_cast<unsigned long long>(result.txWaitCycles));

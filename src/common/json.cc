@@ -194,6 +194,14 @@ JsonWriter::value(bool flag)
     return *this;
 }
 
+JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    beforeValue();
+    out += json;
+    return *this;
+}
+
 // --------------------------------------------------------------------------
 // jsonValidate: strict recursive-descent syntax check
 // --------------------------------------------------------------------------

@@ -69,6 +69,15 @@ class JsonWriter
     JsonWriter &value(int number);
     JsonWriter &value(bool flag);
 
+    /**
+     * Splice @p json verbatim as the next value. The caller is
+     * responsible for its well-formedness (pass it through
+     * jsonValidate() first when it comes from a file); this is how the
+     * sweep merger embeds per-point metrics documents without
+     * re-parsing them.
+     */
+    JsonWriter &rawValue(std::string_view json);
+
     /** Convenience: key(name) followed by value(v). */
     template <typename T>
     JsonWriter &

@@ -1,12 +1,15 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace getm {
 
 namespace {
-bool verboseEnabled = true;
+// Atomic: the sweep harness toggles verbosity while worker threads run
+// simulations that may call inform().
+std::atomic<bool> verboseEnabled{true};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)

@@ -1,0 +1,82 @@
+#include "common/thread_pool.hh"
+
+namespace getm {
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads, std::size_t queue_capacity)
+{
+    const unsigned n = num_threads ? num_threads : defaultThreads();
+    capacity = queue_capacity ? queue_capacity
+                              : static_cast<std::size_t>(2) * n;
+    workerThreads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workerThreads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    queueNotEmpty.notify_all();
+    queueNotFull.notify_all();
+    for (std::thread &t : workerThreads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queueNotFull.wait(lock, [this] {
+            return queue.size() < capacity || stopping;
+        });
+        if (stopping)
+            return; // Destructor has begun; drop the task.
+        queue.push_back(std::move(task));
+        ++inFlight;
+    }
+    queueNotEmpty.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            queueNotEmpty.wait(lock, [this] {
+                return !queue.empty() || stopping;
+            });
+            if (queue.empty())
+                return; // stopping, and nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        queueNotFull.notify_one();
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --inFlight;
+        }
+        allIdle.notify_all();
+    }
+}
+
+} // namespace getm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a bounded work queue.
+ *
+ * Built for the sweep harness (tools/getm-sweep), where each task is a
+ * complete simulation: tasks are coarse (seconds to minutes), so the
+ * pool optimizes for simplicity and backpressure rather than
+ * per-task overhead. submit() blocks while the queue is full, which
+ * bounds memory when a producer enumerates thousands of points, and
+ * wait() gives the producer a completion barrier.
+ *
+ * Tasks must not throw: the simulator's error paths are panic()/
+ * fatal(), and a worker thread has nowhere sensible to rethrow to.
+ */
+
+#ifndef GETM_COMMON_THREAD_POOL_HH
+#define GETM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace getm {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p num_threads workers.
+     *
+     * @param num_threads    0 means std::thread::hardware_concurrency()
+     *                       (itself clamped to at least 1).
+     * @param queue_capacity Maximum queued-but-unclaimed tasks before
+     *                       submit() blocks; 0 means 2 x num_threads.
+     */
+    explicit ThreadPool(unsigned num_threads = 0,
+                        std::size_t queue_capacity = 0);
+
+    /** Drains the queue (runs or discards nothing: waits) and joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task; blocks while the queue is at capacity.
+     * Must not be called after the destructor has begun.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workerThreads.size());
+    }
+
+    /** hardware_concurrency() with the zero case clamped to 1. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable queueNotFull;  ///< submit() waits here.
+    std::condition_variable queueNotEmpty; ///< workers wait here.
+    std::condition_variable allIdle;       ///< wait() waits here.
+    std::deque<std::function<void()>> queue;
+    std::size_t capacity;
+    std::size_t inFlight = 0; ///< Queued + currently executing.
+    bool stopping = false;
+    std::vector<std::thread> workerThreads;
+};
+
+} // namespace getm
+
+#endif // GETM_COMMON_THREAD_POOL_HH

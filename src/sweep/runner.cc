@@ -1,0 +1,247 @@
+#include "sweep/runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/thread_pool.hh"
+#include "gpu/config_file.hh"
+#include "gpu/gpu_system.hh"
+#include "obs/metrics.hh"
+#include "workloads/workload.hh"
+
+namespace getm {
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return false;
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content,
+          std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        error = "cannot open " + path + " for writing";
+        return false;
+    }
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    std::fclose(f);
+    if (!ok)
+        error = "short write to " + path;
+    return ok;
+}
+
+/** Simulate one point end to end and render its metrics document. */
+std::string
+simulatePoint(const SweepPoint &point, bool &verified)
+{
+    GpuSystem gpu(point.config);
+    auto workload = makeWorkload(point.bench, point.scale, point.seed);
+    workload->setup(gpu, point.protocol == ProtocolKind::FgLock);
+    const RunResult result =
+        gpu.run(workload->kernel(), workload->numThreads(),
+                point.maxCycles);
+
+    std::string why;
+    verified = workload->verify(gpu, why);
+
+    MetricsMeta meta;
+    meta.bench = benchName(point.bench);
+    meta.protocol = protocolName(point.protocol);
+    meta.scale = point.scale;
+    meta.seed = point.seed;
+    meta.threads = workload->numThreads();
+    meta.verified = verified;
+    meta.cycles = result.cycles;
+    meta.commits = result.commits;
+    meta.aborts = result.aborts;
+    meta.txExecCycles = result.txExecCycles;
+    meta.txWaitCycles = result.txWaitCycles;
+    meta.xbarFlits = result.xbarFlits;
+    meta.rollovers = result.rollovers;
+    meta.maxLogicalTs = result.maxLogicalTs;
+    meta.config = configProvenance(point.config);
+    return metricsToJson(meta, result.stats, result.obs);
+}
+
+} // namespace
+
+bool
+runSweep(const SweepManifest &manifest, const SweepOptions &options,
+         SweepOutcome &outcome, std::string &error)
+{
+    outcome = SweepOutcome{};
+
+    std::vector<SweepPoint> points;
+    if (!manifest.enumerate(points, error))
+        return false;
+    outcome.total = static_cast<unsigned>(points.size());
+    if (points.empty()) {
+        error = "manifest enumerates no points";
+        return false;
+    }
+
+    // Duplicate ids would make two workers race on the same result
+    // files; reject them before anything runs.
+    {
+        std::map<std::string, unsigned> seen;
+        for (const SweepPoint &point : points)
+            if (++seen[point.id] == 2) {
+                error = "manifest enumerates duplicate point id '" +
+                        point.id + "'";
+                return false;
+            }
+    }
+
+    const std::string points_dir = options.dir + "/points";
+    const std::string state_dir = options.dir + "/state";
+    std::error_code fs_error;
+    std::filesystem::create_directories(points_dir, fs_error);
+    std::filesystem::create_directories(state_dir, fs_error);
+    if (fs_error) {
+        error = "cannot create " + options.dir + ": " +
+                fs_error.message();
+        return false;
+    }
+
+    const unsigned jobs =
+        options.jobs ? options.jobs : ThreadPool::defaultThreads();
+
+    std::mutex mtx; // Guards outcome counters, progress, first error.
+    std::string worker_error;
+    unsigned done = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    auto progress = [&](const char *verb, const SweepPoint &point,
+                        const std::string &detail) {
+        if (!options.progress)
+            return;
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::fprintf(stderr, "[%3u/%3u %6.1fs] %-8s %s%s\n", done,
+                     outcome.total, secs, verb, point.id.c_str(),
+                     detail.c_str());
+    };
+
+    auto runPoint = [&](const SweepPoint &point) {
+        const std::string json_path =
+            points_dir + "/" + point.id + ".json";
+        const std::string hash_path =
+            state_dir + "/" + point.id + ".hash";
+        const std::string hash = point.specHashHex();
+
+        if (!options.force) {
+            std::string stored, doc, ignored;
+            if (readFile(hash_path, stored) && stored == hash &&
+                readFile(json_path, doc) &&
+                jsonValidate(doc, ignored)) {
+                std::lock_guard<std::mutex> lock(mtx);
+                ++outcome.skipped;
+                ++done;
+                progress("resume", point, "");
+                return;
+            }
+        }
+
+        bool verified = false;
+        const std::string doc = simulatePoint(point, verified);
+
+        std::string write_error;
+        const bool wrote = writeFile(json_path, doc, write_error) &&
+                           writeFile(hash_path, hash, write_error);
+
+        std::lock_guard<std::mutex> lock(mtx);
+        ++outcome.ran;
+        ++done;
+        if (!verified)
+            ++outcome.unverified;
+        if (!wrote && worker_error.empty())
+            worker_error = write_error;
+        progress("ran", point,
+                 verified ? "" : "  VERIFICATION FAILED");
+    };
+
+    if (jobs <= 1) {
+        for (const SweepPoint &point : points)
+            runPoint(point);
+    } else {
+        ThreadPool pool(jobs);
+        for (const SweepPoint &point : points)
+            pool.submit([&runPoint, &point] { runPoint(point); });
+        pool.wait();
+    }
+
+    if (!worker_error.empty()) {
+        error = worker_error;
+        return false;
+    }
+
+    // Merge, keyed and sorted by id so the bytes are independent of
+    // execution order and worker count.
+    std::map<std::string, const SweepPoint *> by_id;
+    for (const SweepPoint &point : points)
+        by_id.emplace(point.id, &point);
+
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", sweepSchemaName);
+    w.member("version", sweepSchemaVersion);
+    w.key("sweep").beginObject();
+    w.member("name", manifest.name());
+    {
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(
+                          manifest.manifestHash()));
+        w.member("manifest_hash", buf);
+    }
+    w.member("num_points",
+             static_cast<std::uint64_t>(points.size()));
+    w.endObject();
+    w.key("points").beginObject();
+    for (const auto &[id, point] : by_id) {
+        std::string doc;
+        if (!readFile(points_dir + "/" + id + ".json", doc)) {
+            error = "missing point result for " + id;
+            return false;
+        }
+        // Trust but verify: a corrupt per-point file must not produce
+        // a corrupt merged document.
+        std::string json_error;
+        if (!jsonValidate(doc, json_error)) {
+            error = "point " + id + ": " + json_error;
+            return false;
+        }
+        w.key(id).rawValue(doc);
+        (void)point;
+    }
+    w.endObject();
+    w.endObject();
+
+    const std::string out_path = options.outPath.empty()
+                                     ? options.dir + "/sweep.json"
+                                     : options.outPath;
+    return writeFile(out_path, w.take() + "\n", error);
+}
+
+} // namespace getm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The sweep runner: executes every point of a manifest on a worker
+ * pool and merges the per-point metrics into one sweep document.
+ *
+ * Each point is one fully isolated in-process simulation (its own
+ * GpuSystem, workload, and stats; the library keeps no mutable global
+ * state -- see docs/SWEEPS.md "Concurrency audit"), so N points run
+ * concurrently on N threads and produce bit-identical results to a
+ * serial run.
+ *
+ * On-disk layout under SweepOptions::dir:
+ *
+ *     points/<id>.json   the point's getm-metrics v1 document
+ *     state/<id>.hash    the point's resolved spec hash (hex)
+ *     sweep.json         the merged document (schema getm-sweep v1)
+ *
+ * Resume: a point is skipped when its state/<id>.hash content equals
+ * the freshly computed hash and points/<id>.json still validates as
+ * JSON. Any change to the point's resolved configuration (manifest
+ * edit, new default, different base config) changes the hash and
+ * forces a rerun of exactly the affected points.
+ *
+ * The merged document embeds every per-point metrics document
+ * verbatim under "points", keyed and sorted by point id, so its bytes
+ * depend only on the set of point results -- never on worker count or
+ * completion order. `sweep_determinism_check` (ctest) asserts this.
+ */
+
+#ifndef GETM_SWEEP_RUNNER_HH
+#define GETM_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/manifest.hh"
+
+namespace getm {
+
+/** Sweep execution knobs (the getm-sweep CLI maps onto this 1:1). */
+struct SweepOptions
+{
+    std::string dir = "sweep-out"; ///< Working directory (created).
+    std::string outPath;           ///< Merged doc; "" = <dir>/sweep.json.
+    unsigned jobs = 0;             ///< Workers; 0 = hardware threads.
+    bool force = false;            ///< Ignore resume state, rerun all.
+    bool progress = true;          ///< Per-point progress on stderr.
+};
+
+/** What happened, for reporting and tests. */
+struct SweepOutcome
+{
+    unsigned total = 0;    ///< Points enumerated.
+    unsigned ran = 0;      ///< Simulated this invocation.
+    unsigned skipped = 0;  ///< Resumed from matching state.
+    unsigned unverified = 0; ///< Ran but failed workload verification.
+};
+
+/** Current getm-sweep merged-document schema. */
+inline constexpr const char *sweepSchemaName = "getm-sweep";
+inline constexpr int sweepSchemaVersion = 1;
+
+/**
+ * Run @p manifest under @p options: enumerate, execute (or resume)
+ * every point, and write the merged document.
+ *
+ * @return false with @p error set on enumeration or I/O failure.
+ *         Workload verification failures do not fail the sweep; they
+ *         are counted in @p outcome and flagged per point in the
+ *         metrics (`meta.verified`).
+ */
+bool runSweep(const SweepManifest &manifest, const SweepOptions &options,
+              SweepOutcome &outcome, std::string &error);
+
+} // namespace getm
+
+#endif // GETM_SWEEP_RUNNER_HH

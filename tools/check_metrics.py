@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Validate a getm-metrics JSON document.
+"""Validate a getm-metrics or getm-sweep JSON document.
 
-Checks the schema identity, the presence and types of every required
-section, and the cross-document invariants the simulator guarantees:
+For a getm-metrics document, checks the schema identity, the presence
+and types of every required section, and the cross-document invariants
+the simulator guarantees:
 
   * sum(aborts_by_reason) == run.aborts (exact abort attribution);
   * every abort-reason table carries the full reason taxonomy, so
@@ -13,7 +14,11 @@ section, and the cross-document invariants the simulator guarantees:
     and sample cycles are strictly increasing, at least one interval
     apart.
 
-Usage: check_metrics.py METRICS.json [more.json ...]
+For a getm-sweep document (written by getm-sweep, see docs/SWEEPS.md),
+checks the sweep header and that every embedded point is itself a
+valid getm-metrics document, keyed and sorted by point id.
+
+Usage: check_metrics.py METRICS_OR_SWEEP.json [more.json ...]
 Exits non-zero with a message on the first violation.
 """
 
@@ -22,6 +27,8 @@ import sys
 
 SCHEMA = "getm-metrics"
 VERSION = 1
+SWEEP_SCHEMA = "getm-sweep"
+SWEEP_VERSION = 1
 
 REASONS = [
     "NONE", "RAW_TS", "WAR_TS", "WAW_TS", "LOCKED_BY_WRITER",
@@ -105,7 +112,34 @@ def check_timeseries(ts):
         require(interval > 0, "samples recorded with interval 0")
 
 
+def check_sweep_document(doc):
+    require(doc.get("version") == SWEEP_VERSION,
+            f"sweep version is {doc.get('version')!r}, "
+            f"want {SWEEP_VERSION}")
+    for key in ("sweep", "points"):
+        require(key in doc, f"sweep document lacks top-level '{key}'")
+    header = doc["sweep"]
+    for key in ("name", "manifest_hash", "num_points"):
+        require(key in header, f"sweep header lacks '{key}'")
+    points = doc["points"]
+    require(isinstance(points, dict), "points is not an object")
+    require(len(points) == header["num_points"],
+            f"points holds {len(points)} entries, header says "
+            f"{header['num_points']}")
+    require(len(points) > 0, "sweep document has no points")
+    ids = list(points)  # json.load preserves document order
+    require(ids == sorted(ids), "point ids are not sorted")
+    for point_id, point in points.items():
+        try:
+            check_document(point)
+        except CheckError as err:
+            raise CheckError(f"point {point_id}: {err}") from err
+    return doc
+
+
 def check_document(doc):
+    if doc.get("schema") == SWEEP_SCHEMA:
+        return check_sweep_document(doc)
     require(doc.get("schema") == SCHEMA,
             f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     require(doc.get("version") == VERSION,
@@ -150,12 +184,17 @@ def main(argv):
         except (OSError, json.JSONDecodeError, CheckError) as err:
             print(f"check_metrics: {path}: {err}", file=sys.stderr)
             return 1
-        run = doc["run"]
-        print(f"check_metrics: {path}: OK "
-              f"({doc['meta']['bench']}/{doc['meta']['protocol']}, "
-              f"{run['aborts']} aborts attributed, "
-              f"{len(doc['hot_addresses'])} hot addresses, "
-              f"{doc['timeseries']['num_samples']} samples)")
+        if doc.get("schema") == SWEEP_SCHEMA:
+            print(f"check_metrics: {path}: OK "
+                  f"(sweep {doc['sweep']['name']!r}, "
+                  f"{len(doc['points'])} valid points)")
+        else:
+            run = doc["run"]
+            print(f"check_metrics: {path}: OK "
+                  f"({doc['meta']['bench']}/{doc['meta']['protocol']}, "
+                  f"{run['aborts']} aborts attributed, "
+                  f"{len(doc['hot_addresses'])} hot addresses, "
+                  f"{doc['timeseries']['num_samples']} samples)")
     return 0
 
 

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * getm-sweep: parallel, resumable experiment orchestrator.
+ *
+ * Enumerates the (config x workload x protocol) points of a sweep
+ * manifest, runs each as an isolated in-process simulation on a worker
+ * pool, and merges the per-point `getm-metrics` documents into one
+ * `sweep.json` keyed by point id. Completed points whose spec hash
+ * still matches are skipped on rerun, so an interrupted sweep resumes
+ * where it stopped. See docs/SWEEPS.md for the manifest schema.
+ *
+ *     getm-sweep --manifest configs/sweeps/smoke.sweep
+ *     getm-sweep --manifest configs/sweeps/fig11_exec_time.sweep \
+ *         --dir out/fig11 --jobs 8
+ *     getm-sweep --manifest m.sweep --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/thread_pool.hh"
+#include "sweep/runner.hh"
+
+using namespace getm;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --manifest FILE [options]\n"
+        "  --manifest FILE  sweep manifest (required; see docs/SWEEPS.md)\n"
+        "  --dir DIR        working directory for per-point results and\n"
+        "                   resume state (default: sweep-<name>)\n"
+        "  --out FILE       merged document path (default: DIR/sweep.json)\n"
+        "  --jobs N         worker threads (default: hardware threads)\n"
+        "  --force          rerun every point, ignoring resume state\n"
+        "  --list           print the enumerated point ids and exit\n"
+        "  --quiet          no per-point progress lines\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string manifest_path;
+    SweepOptions options;
+    options.dir.clear();
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--manifest") {
+            manifest_path = next();
+        } else if (arg == "--dir") {
+            options.dir = next();
+        } else if (arg == "--out") {
+            options.outPath = next();
+        } else if (arg == "--jobs") {
+            options.jobs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--force") {
+            options.force = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--quiet") {
+            options.progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (manifest_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    SweepManifest manifest;
+    std::string error;
+    if (!manifest.load(manifest_path, error)) {
+        std::fprintf(stderr, "getm-sweep: %s: %s\n",
+                     manifest_path.c_str(), error.c_str());
+        return 2;
+    }
+
+    if (list) {
+        std::vector<SweepPoint> points;
+        if (!manifest.enumerate(points, error)) {
+            std::fprintf(stderr, "getm-sweep: %s\n", error.c_str());
+            return 2;
+        }
+        for (const SweepPoint &point : points)
+            std::printf("%s %s\n", point.specHashHex().c_str(),
+                        point.id.c_str());
+        std::printf("%zu points\n", points.size());
+        return 0;
+    }
+
+    if (options.dir.empty())
+        options.dir = "sweep-" + manifest.name();
+
+    const unsigned jobs =
+        options.jobs ? options.jobs : ThreadPool::defaultThreads();
+    if (options.progress)
+        std::fprintf(stderr,
+                     "getm-sweep: %s -> %s (%u worker%s)\n",
+                     manifest.name().c_str(), options.dir.c_str(), jobs,
+                     jobs == 1 ? "" : "s");
+
+    SweepOutcome outcome;
+    if (!runSweep(manifest, options, outcome, error)) {
+        std::fprintf(stderr, "getm-sweep: %s\n", error.c_str());
+        return 1;
+    }
+
+    const std::string out_path = options.outPath.empty()
+                                     ? options.dir + "/sweep.json"
+                                     : options.outPath;
+    std::printf("%s: %u points (%u ran, %u resumed) -> %s\n",
+                manifest.name().c_str(), outcome.total, outcome.ran,
+                outcome.skipped, out_path.c_str());
+    if (outcome.unverified) {
+        std::fprintf(stderr,
+                     "getm-sweep: %u point%s FAILED workload "
+                     "verification (see meta.verified)\n",
+                     outcome.unverified,
+                     outcome.unverified == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+# Serial-vs-parallel sweep determinism check driven by ctest: run the
+# smoke sweep once with --jobs 1 and once with --jobs 4 into separate
+# directories, require the merged sweep.json bytes to be identical, and
+# validate the merged document with check_metrics.py.
+#
+# Expected variables:
+#   SWEEP_BIN - path to the getm-sweep binary
+#   MANIFEST  - path to the sweep manifest to run
+#   CHECKER   - path to check_metrics.py ("" to skip validation)
+#   PYTHON    - python3 interpreter ("" to skip validation)
+#   OUT_DIR   - writable scratch directory
+
+set(serial_dir "${OUT_DIR}/sweep_check_serial")
+set(parallel_dir "${OUT_DIR}/sweep_check_parallel")
+file(REMOVE_RECURSE "${serial_dir}" "${parallel_dir}")
+
+foreach(run "serial;1" "parallel;4")
+    list(GET run 0 label)
+    list(GET run 1 jobs)
+    execute_process(
+        COMMAND "${SWEEP_BIN}" --manifest "${MANIFEST}"
+                --dir "${OUT_DIR}/sweep_check_${label}"
+                --jobs "${jobs}" --quiet
+        RESULT_VARIABLE sweep_status
+        OUTPUT_VARIABLE sweep_output
+        ERROR_VARIABLE sweep_output)
+    if(NOT sweep_status EQUAL 0)
+        message(FATAL_ERROR
+                "getm-sweep (${label}, --jobs ${jobs}) failed "
+                "(${sweep_status}):\n${sweep_output}")
+    endif()
+    message(STATUS "${sweep_output}")
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${serial_dir}/sweep.json" "${parallel_dir}/sweep.json"
+    RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "merged sweep.json differs between --jobs 1 and --jobs 4: "
+            "per-point isolation or merge ordering is broken")
+endif()
+message(STATUS "serial and parallel sweep.json are byte-identical")
+
+if(PYTHON AND CHECKER)
+    execute_process(
+        COMMAND "${PYTHON}" "${CHECKER}" "${serial_dir}/sweep.json"
+        RESULT_VARIABLE check_status
+        OUTPUT_VARIABLE check_output
+        ERROR_VARIABLE check_output)
+    if(NOT check_status EQUAL 0)
+        message(FATAL_ERROR
+                "check_metrics.py failed (${check_status}):\n"
+                "${check_output}")
+    endif()
+    message(STATUS "${check_output}")
+endif()

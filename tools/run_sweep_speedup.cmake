@@ -1,0 +1,54 @@
+# Sweep parallel-speedup check driven by ctest: time an 8-point sweep
+# at --jobs 1 and --jobs 4 and require >= 2.5x wall-clock improvement.
+# The check needs real parallel hardware; on machines with fewer than 4
+# processors it prints the SKIP marker matched by the test's
+# SKIP_REGULAR_EXPRESSION property and returns.
+#
+# Expected variables:
+#   SWEEP_BIN - path to the getm-sweep binary
+#   MANIFEST  - path to an 8-point sweep manifest
+#   OUT_DIR   - writable scratch directory
+
+cmake_host_system_information(RESULT num_cpus
+                              QUERY NUMBER_OF_LOGICAL_CORES)
+if(num_cpus LESS 4)
+    message(STATUS "only ${num_cpus} logical cores; speedup check "
+                   "needs >= 4 - [SKIP-SPEEDUP-CHECK]")
+    return()
+endif()
+
+foreach(run "serial;1" "parallel;4")
+    list(GET run 0 label)
+    list(GET run 1 jobs)
+    set(dir "${OUT_DIR}/sweep_speedup_${label}")
+    file(REMOVE_RECURSE "${dir}")
+    string(TIMESTAMP t0 "%s")
+    execute_process(
+        COMMAND "${SWEEP_BIN}" --manifest "${MANIFEST}" --dir "${dir}"
+                --jobs "${jobs}" --quiet
+        RESULT_VARIABLE sweep_status
+        OUTPUT_VARIABLE sweep_output
+        ERROR_VARIABLE sweep_output)
+    string(TIMESTAMP t1 "%s")
+    if(NOT sweep_status EQUAL 0)
+        message(FATAL_ERROR
+                "getm-sweep (--jobs ${jobs}) failed "
+                "(${sweep_status}):\n${sweep_output}")
+    endif()
+    math(EXPR elapsed_${label} "${t1} - ${t0}")
+    message(STATUS "--jobs ${jobs}: ${elapsed_${label}}s")
+endforeach()
+
+# Integer-second timing: require serial >= ceil(2.5 * parallel) with a
+# little guard against a degenerate 0s parallel run.
+if(elapsed_parallel LESS 1)
+    set(elapsed_parallel 1)
+endif()
+math(EXPR threshold "(5 * ${elapsed_parallel} + 1) / 2")
+if(elapsed_serial LESS threshold)
+    message(FATAL_ERROR
+            "parallel speedup below 2.5x: serial ${elapsed_serial}s vs "
+            "parallel ${elapsed_parallel}s on 4 workers")
+endif()
+message(STATUS "speedup OK: serial ${elapsed_serial}s / parallel "
+               "${elapsed_parallel}s >= 2.5x")

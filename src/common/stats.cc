@@ -11,16 +11,29 @@ namespace getm {
 void
 StatSet::merge(const StatSet &other)
 {
-    for (const auto &[name, value] : other.counters)
-        counters[name] += value;
-    for (const auto &[name, value] : other.maxima)
-        trackMax(name, value);
+    // Untouched slots are registration artefacts (handles that never
+    // fired); merging them would materialize names the source never
+    // reported.
+    for (const auto &[name, slot] : other.counters) {
+        if (!slot.touched)
+            continue;
+        counters[name].add(slot.value);
+    }
+    for (const auto &[name, slot] : other.maxima) {
+        if (!slot.touched)
+            continue;
+        maxima[name].track(slot.value);
+    }
     for (const auto &[name, avg] : other.averages) {
+        if (avg.count == 0)
+            continue;
         auto &slot = averages[name];
         slot.sum += avg.sum;
         slot.count += avg.count;
     }
     for (const auto &[name, hist] : other.histograms) {
+        if (hist.count == 0)
+            continue;
         HistogramData &slot = histograms[name];
         if (slot.buckets.size() < hist.buckets.size())
             slot.buckets.resize(hist.buckets.size());
@@ -41,17 +54,25 @@ StatSet::dump() const
     // separators, and doubles go through std::to_chars (jsonNumber), not
     // the stream's locale-dependent formatting.
     out.imbue(std::locale::classic());
-    for (const auto &[name, value] : counters)
-        out << setName << '.' << name << ' ' << value << '\n';
-    for (const auto &[name, value] : maxima)
-        out << setName << '.' << name << ".max " << value << '\n';
+    for (const auto &[name, slot] : counters) {
+        if (!slot.touched)
+            continue;
+        out << setName << '.' << name << ' ' << slot.value << '\n';
+    }
+    for (const auto &[name, slot] : maxima) {
+        if (!slot.touched)
+            continue;
+        out << setName << '.' << name << ".max " << slot.value << '\n';
+    }
     for (const auto &[name, avg] : averages) {
-        const double mean =
-            avg.count ? avg.sum / static_cast<double>(avg.count) : 0.0;
-        out << setName << '.' << name << ".avg " << jsonNumber(mean)
+        if (avg.count == 0)
+            continue;
+        out << setName << '.' << name << ".avg " << jsonNumber(avg.mean())
             << '\n';
     }
     for (const auto &[name, hist] : histograms) {
+        if (hist.count == 0)
+            continue;
         out << setName << '.' << name << ".samples " << hist.count
             << '\n';
         out << setName << '.' << name << ".mean "

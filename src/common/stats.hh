@@ -4,6 +4,23 @@
  *
  * Every simulated component owns a StatSet; counters and scalar trackers
  * are registered by name so benches and tests can query results uniformly.
+ *
+ * Two usage styles share the same underlying slots:
+ *
+ *  - String-keyed (legacy, convenient for cold paths and tests):
+ *        stats.inc("instructions");
+ *  - Handle-based (hot paths; register once, bump through a stable
+ *    reference with no map lookup or string construction per event):
+ *        StatSet::Counter &instructions = stats.addCounter("instructions");
+ *        ...
+ *        instructions.add();
+ *
+ * Registration creates the slot but leaves it "untouched": a registered
+ * stat that never fires is invisible to dump(), merge() and the metrics
+ * export, so pre-registering handles cannot change any byte of the
+ * output. Handles are plain references into node-based std::map storage
+ * and remain valid for the lifetime of the StatSet (clear() resets
+ * values in place instead of erasing nodes).
  */
 
 #ifndef GETM_COMMON_STATS_HH
@@ -56,6 +73,33 @@ struct HistogramData
                                  - 1);
     }
 
+    /** Record one sample. */
+    void
+    record(std::uint64_t value)
+    {
+        const unsigned bucket = bucketOf(value);
+        if (buckets.size() <= bucket)
+            buckets.resize(bucket + 1);
+        buckets[bucket] += 1;
+        count += 1;
+        sum += value;
+        if (value < minValue)
+            minValue = value;
+        if (value > maxValue)
+            maxValue = value;
+    }
+
+    /** Reset to the never-sampled state, keeping bucket capacity. */
+    void
+    reset()
+    {
+        buckets.clear();
+        count = 0;
+        sum = 0;
+        minValue = ~static_cast<std::uint64_t>(0);
+        maxValue = 0;
+    }
+
     double
     mean() const
     {
@@ -77,45 +121,118 @@ struct HistogramData
 class StatSet
 {
   public:
+    /** An event counter slot; bump through add(). */
+    struct Counter
+    {
+        std::uint64_t value = 0;
+        bool touched = false;
+
+        void
+        add(std::uint64_t delta = 1)
+        {
+            value += delta;
+            touched = true;
+        }
+    };
+
+    /** A high-water-mark slot; feed through track(). */
+    struct Maximum
+    {
+        std::uint64_t value = 0;
+        bool touched = false;
+
+        void
+        track(std::uint64_t v)
+        {
+            if (v > value)
+                value = v;
+            touched = true;
+        }
+    };
+
+    /** An averaging slot; a count of zero means "never sampled". */
     struct Average
     {
         double sum = 0.0;
         std::uint64_t count = 0;
+
+        void
+        addSample(double value)
+        {
+            sum += value;
+            count += 1;
+        }
+
+        double
+        mean() const
+        {
+            return count ? sum / static_cast<double>(count) : 0.0;
+        }
     };
 
     explicit StatSet(std::string name_) : setName(std::move(name_)) {}
+
+    // ---- Handle registration (register once, bump by reference). ----
+    //
+    // The returned references stay valid for the StatSet's lifetime;
+    // registering the same name twice returns the same slot, and the
+    // string-keyed calls below alias it too.
+
+    Counter &addCounter(const std::string &name)
+    {
+        return counters[name];
+    }
+
+    Maximum &addMaximum(const std::string &name) { return maxima[name]; }
+
+    Average &addAverage(const std::string &name)
+    {
+        return averages[name];
+    }
+
+    HistogramData &addHistogram(const std::string &name)
+    {
+        return histograms[name];
+    }
+
+    // ---- String-keyed recording (cold paths, tests). ----
 
     /** Increment counter @p name by @p delta. */
     void
     inc(const std::string &name, std::uint64_t delta = 1)
     {
-        counters[name] += delta;
+        counters[name].add(delta);
     }
 
     /** Record @p value into high-water-mark stat @p name. */
     void
     trackMax(const std::string &name, std::uint64_t value)
     {
-        auto &slot = maxima[name];
-        if (value > slot)
-            slot = value;
+        maxima[name].track(value);
     }
 
     /** Record a sample into averaging stat @p name. */
     void
     sample(const std::string &name, double value)
     {
-        auto &avg = averages[name];
-        avg.sum += value;
-        avg.count += 1;
+        averages[name].addSample(value);
     }
+
+    /** Record @p value into histogram stat @p name. */
+    void
+    histSample(const std::string &name, std::uint64_t value)
+    {
+        histograms[name].record(value);
+    }
+
+    // ---- Queries. ----
 
     /** Read a counter (0 if never touched). */
     std::uint64_t
     counter(const std::string &name) const
     {
         auto it = counters.find(name);
-        return it == counters.end() ? 0 : it->second;
+        return it == counters.end() ? 0 : it->second.value;
     }
 
     /** Read a high-water mark (0 if never touched). */
@@ -123,7 +240,7 @@ class StatSet
     maximum(const std::string &name) const
     {
         auto it = maxima.find(name);
-        return it == maxima.end() ? 0 : it->second;
+        return it == maxima.end() ? 0 : it->second.value;
     }
 
     /** Read the mean of an averaging stat (0 if never sampled). */
@@ -131,9 +248,7 @@ class StatSet
     mean(const std::string &name) const
     {
         auto it = averages.find(name);
-        if (it == averages.end() || it->second.count == 0)
-            return 0.0;
-        return it->second.sum / static_cast<double>(it->second.count);
+        return it == averages.end() ? 0.0 : it->second.mean();
     }
 
     /** Number of samples recorded into an averaging stat. */
@@ -144,39 +259,26 @@ class StatSet
         return it == averages.end() ? 0 : it->second.count;
     }
 
-    /** Record @p value into histogram stat @p name. */
-    void
-    histSample(const std::string &name, std::uint64_t value)
-    {
-        HistogramData &hist = histograms[name];
-        const unsigned bucket = HistogramData::bucketOf(value);
-        if (hist.buckets.size() <= bucket)
-            hist.buckets.resize(bucket + 1);
-        hist.buckets[bucket] += 1;
-        hist.count += 1;
-        hist.sum += value;
-        if (value < hist.minValue)
-            hist.minValue = value;
-        if (value > hist.maxValue)
-            hist.maxValue = value;
-    }
-
     /** Read a histogram (nullptr if never sampled). */
     const HistogramData *
     histogram(const std::string &name) const
     {
         auto it = histograms.find(name);
-        return it == histograms.end() ? nullptr : &it->second;
+        if (it == histograms.end() || it->second.count == 0)
+            return nullptr;
+        return &it->second;
     }
 
-    // Read-only views for structured export (metrics JSON).
-    const std::map<std::string, std::uint64_t> &
+    // Read-only views for structured export (metrics JSON). Consumers
+    // must skip untouched slots (touched == false / count == 0): those
+    // are registered-only handles that never fired.
+    const std::map<std::string, Counter> &
     allCounters() const
     {
         return counters;
     }
 
-    const std::map<std::string, std::uint64_t> &
+    const std::map<std::string, Maximum> &
     allMaxima() const
     {
         return maxima;
@@ -201,25 +303,34 @@ class StatSet
      * Render all stats as "name.stat value" lines. Output is
      * locale-independent and byte-stable across environments (numbers
      * are formatted via std::to_chars), so dumps are diffable.
+     * Registered-but-never-touched slots are omitted.
      */
     std::string dump() const;
 
     const std::string &name() const { return setName; }
 
-    /** Drop all recorded values. */
+    /**
+     * Drop all recorded values. Slots registered through addCounter()
+     * and friends are reset in place, not erased, so outstanding
+     * handles stay valid.
+     */
     void
     clear()
     {
-        counters.clear();
-        maxima.clear();
-        averages.clear();
-        histograms.clear();
+        for (auto &[name, slot] : counters)
+            slot = Counter{};
+        for (auto &[name, slot] : maxima)
+            slot = Maximum{};
+        for (auto &[name, slot] : averages)
+            slot = Average{};
+        for (auto &[name, slot] : histograms)
+            slot.reset();
     }
 
   private:
     std::string setName;
-    std::map<std::string, std::uint64_t> counters;
-    std::map<std::string, std::uint64_t> maxima;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Maximum> maxima;
     std::map<std::string, Average> averages;
     std::map<std::string, HistogramData> histograms;
 };

@@ -34,7 +34,7 @@ GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
                     AbortReason::IntraWarp, core.granuleOf(addr),
                     core.addressMap().partitionOf(addr), core.now());
             warp.iwcd.dropLane(lane);
-            core.stats().inc("getm_intra_warp_aborts");
+            stIntraWarpAborts.add();
             continue;
         }
         if (is_store) {
@@ -84,10 +84,10 @@ GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
         core.sendToPartition(std::move(msg));
         if (is_store) {
             ++warp.outstandingTxStores;
-            core.stats().inc("getm_store_reqs");
+            stStoreReqs.add();
         } else {
             ++warp.outstanding;
-            core.stats().inc("getm_load_reqs");
+            stLoadReqs.add();
         }
     }
 }
@@ -164,7 +164,7 @@ GetmCoreTm::txCommitPoint(Warp &warp)
                                    entry.addr, entry.value, entry.count});
             }
         } else if (warp.abortedMask & bit) {
-            for (const auto &[granule, count] : warp.granted[lane]) {
+            for (const auto &[granule, count] : warp.granted.forLane(lane)) {
                 const PartitionId part =
                     core.addressMap().partitionOf(granule);
                 MemMsg &msg = abort_msgs[part];
@@ -191,8 +191,7 @@ GetmCoreTm::txCommitPoint(Warp &warp)
             MemMsg out = std::move(msg);
             out.addr = out.ops.front().addr;
             core.sendToPartition(std::move(out));
-            core.stats().inc(commit ? "getm_commit_msgs"
-                                    : "getm_cleanup_msgs");
+            (commit ? stCommitMsgs : stCleanupMsgs).add();
         }
     };
     finalize(commit_msgs, true);

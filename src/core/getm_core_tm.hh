@@ -23,7 +23,16 @@ namespace getm {
 class GetmCoreTm : public TmCoreProtocol
 {
   public:
-    explicit GetmCoreTm(SimtCore &core_) : core(core_) {}
+    explicit GetmCoreTm(SimtCore &core_)
+        : core(core_),
+          stIntraWarpAborts(
+              core.stats().addCounter("getm_intra_warp_aborts")),
+          stStoreReqs(core.stats().addCounter("getm_store_reqs")),
+          stLoadReqs(core.stats().addCounter("getm_load_reqs")),
+          stCommitMsgs(core.stats().addCounter("getm_commit_msgs")),
+          stCleanupMsgs(core.stats().addCounter("getm_cleanup_msgs"))
+    {
+    }
 
     void txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
                   const LaneVals &vals, LaneMask lanes,
@@ -33,6 +42,13 @@ class GetmCoreTm : public TmCoreProtocol
 
   private:
     SimtCore &core;
+
+    // Hot-path stat handles: one add per transactional access/commit.
+    StatSet::Counter &stIntraWarpAborts;
+    StatSet::Counter &stStoreReqs;
+    StatSet::Counter &stLoadReqs;
+    StatSet::Counter &stCommitMsgs;
+    StatSet::Counter &stCleanupMsgs;
 };
 
 } // namespace getm

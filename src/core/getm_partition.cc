@@ -11,7 +11,13 @@ GetmPartitionUnit::GetmPartitionUnit(PartitionContext &context,
                                      const GetmPartitionConfig &config,
                                      std::string name)
     : ctx(context), cfg(config), meta(name + ".meta", config.meta),
-      stall(name + ".stall", config.stall)
+      stall(name + ".stall", config.stall),
+      stVuAborts(context.stats().addCounter("getm_vu_aborts")),
+      stOwnerHits(context.stats().addCounter("getm_owner_hits")),
+      stStalledRequests(context.stats().addCounter("getm_stalled_requests")),
+      stCommitMsgs(context.stats().addCounter("getm_commit_msgs")),
+      stAbortMsgs(context.stats().addCounter("getm_abort_msgs")),
+      stStallGrants(context.stats().addCounter("getm_stall_grants"))
 {
 }
 
@@ -87,7 +93,7 @@ GetmPartitionUnit::respondAbort(const MemMsg &msg, LogicalTs observed,
     resp.reason = static_cast<std::uint8_t>(reason);
     resp.ops = msg.ops;
     resp.bytes = 12;
-    ctx.stats().inc("getm_vu_aborts");
+    stVuAborts.add();
     if (ObsSink *sink = ctx.obs())
         sink->conflictEvent(reason, granule, ctx.partitionId(), now);
     ctx.scheduleToCore(std::move(resp), ready);
@@ -133,7 +139,7 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
             respondStoreAck(msg, ready);
         }
         entry.approxSeeded = false;
-        ctx.stats().inc("getm_owner_hits");
+        stOwnerHits.add();
         return busy;
     }
 
@@ -168,7 +174,7 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
             respondAbort(probe, observed, ready,
                          AbortReason::StallBufferFull, granule, now);
         } else {
-            ctx.stats().inc("getm_stalled_requests");
+            stStalledRequests.add();
             if (ObsSink *sink = ctx.obs())
                 sink->stallEvent(AbortReason::LockedByWriter, granule,
                                  ctx.partitionId(),
@@ -233,7 +239,7 @@ GetmPartitionUnit::processCommit(const MemMsg &msg, Cycle now)
             busy += releaseWaiters(granule, now + busy);
         }
     }
-    ctx.stats().inc(committing ? "getm_commit_msgs" : "getm_abort_msgs");
+    (committing ? stCommitMsgs : stAbortMsgs).add();
     return busy;
 }
 
@@ -251,7 +257,7 @@ GetmPartitionUnit::releaseWaiters(Addr granule, Cycle now)
         if (ObsSink *sink = ctx.obs())
             sink->stallRelease(ctx.partitionId(), now + busy);
         busy += processAccess(std::move(queued), now + busy);
-        ctx.stats().inc("getm_stall_grants");
+        stStallGrants.add();
     }
     return busy;
 }

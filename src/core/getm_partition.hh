@@ -80,6 +80,14 @@ class GetmPartitionUnit : public TmPartitionProtocol
     GetmPartitionConfig cfg;
     MetadataTable meta;
     StallBuffer stall;
+
+    // Hot-path stat handles: one add per validated/committed request.
+    StatSet::Counter &stVuAborts;
+    StatSet::Counter &stOwnerHits;
+    StatSet::Counter &stStalledRequests;
+    StatSet::Counter &stCommitMsgs;
+    StatSet::Counter &stAbortMsgs;
+    StatSet::Counter &stStallGrants;
 };
 
 } // namespace getm

@@ -62,7 +62,15 @@ MetadataTable::MetadataTable(std::string name, const Config &config)
       bloom(std::max(1u, cfg.bloomEntries / RecencyBloom::numWays),
             cfg.seed),
       kickRng(cfg.seed ^ 0x6b69636bull),
-      statSet(std::move(name))
+      statSet(std::move(name)),
+      stLookups(statSet.addCounter("lookups")),
+      stMisses(statSet.addCounter("misses")),
+      stEvictionsToBloom(statSet.addCounter("evictions_to_bloom")),
+      stCuckooKicks(statSet.addCounter("cuckoo_kicks")),
+      stStashInserts(statSet.addCounter("stash_inserts")),
+      stOverflowInserts(statSet.addCounter("overflow_inserts")),
+      stAccessCycles(statSet.addAverage("access_cycles")),
+      stAccessCyclesHist(statSet.addHistogram("access_cycles_hist"))
 {
     stash.reserve(cfg.stashEntries);
 }
@@ -109,9 +117,9 @@ MetadataTable::findPrecise(Addr key)
     for (TxMetadata &entry : stash)
         if (entry.valid() && entry.key == key)
             return &entry;
-    for (TxMetadata &entry : overflow)
-        if (entry.key == key)
-            return &entry;
+    auto spilled = overflow.find(key);
+    if (spilled != overflow.end())
+        return &spilled->second;
     return nullptr;
 }
 
@@ -123,9 +131,9 @@ MetadataTable::access(Addr key)
         result.entry = hit;
         result.cycles = 1; // Ways and stash are probed in parallel.
         result.fromApprox = hit->approxSeeded;
-        statSet.inc("lookups");
-        statSet.sample("access_cycles", 1.0);
-        statSet.histSample("access_cycles_hist", 1);
+        stLookups.add();
+        stAccessCycles.addSample(1.0);
+        stAccessCyclesHist.record(1);
         return result;
     }
 
@@ -173,10 +181,10 @@ MetadataTable::access(Addr key)
     result.cycles = cycles;
     result.overflowed = overflowed;
     result.fromApprox = result.entry->approxSeeded;
-    statSet.inc("lookups");
-    statSet.inc("misses");
-    statSet.sample("access_cycles", static_cast<double>(cycles));
-    statSet.histSample("access_cycles_hist", cycles);
+    stLookups.add();
+    stMisses.add();
+    stAccessCycles.addSample(static_cast<double>(cycles));
+    stAccessCyclesHist.record(cycles);
     return result;
 }
 
@@ -207,7 +215,7 @@ MetadataTable::insert(TxMetadata incoming, bool &overflowed)
             if (!candidate->locked() && candidate->key != incoming.key) {
                 approxInsert(candidate->key, candidate->wts,
                              candidate->rts);
-                statSet.inc("evictions_to_bloom");
+                stEvictionsToBloom.add();
                 *candidate = carry;
                 return cycles;
             }
@@ -218,30 +226,30 @@ MetadataTable::insert(TxMetadata incoming, bool &overflowed)
         TxMetadata *victim = slot(w, wayIndex(w, carry.key));
         std::swap(*victim, carry);
         ++cycles;
-        statSet.inc("cuckoo_kicks");
+        stCuckooKicks.add();
     }
 
     // The walk failed: fall back to the stash.
     if (stash.size() < cfg.stashEntries) {
         stash.push_back(carry);
-        statSet.inc("stash_inserts");
+        stStashInserts.add();
         return cycles;
     }
     // Try to evict an unlocked stash entry.
     for (TxMetadata &entry : stash) {
         if (!entry.locked() && entry.key != incoming.key) {
             approxInsert(entry.key, entry.wts, entry.rts);
-            statSet.inc("evictions_to_bloom");
+            stEvictionsToBloom.add();
             entry = carry;
-            statSet.inc("stash_inserts");
+            stStashInserts.add();
             return cycles;
         }
     }
     // Everything is locked: spill to the overflow area in main memory.
-    overflow.push_back(carry);
+    overflow.emplace(carry.key, carry);
     overflowed = true;
     cycles += cfg.overflowPenalty;
-    statSet.inc("overflow_inserts");
+    stOverflowInserts.add();
     return cycles;
 }
 
@@ -258,7 +266,7 @@ MetadataTable::flush()
         if (entry.locked())
             panic("flushing a locked stash entry");
     stash.clear();
-    for (TxMetadata &entry : overflow)
+    for (const auto &[key, entry] : overflow)
         if (entry.locked())
             panic("flushing a locked overflow entry");
     overflow.clear();
@@ -279,7 +287,7 @@ MetadataTable::lockedCount() const
     for (const TxMetadata &entry : stash)
         if (entry.valid() && entry.locked())
             ++count;
-    for (const TxMetadata &entry : overflow)
+    for (const auto &[key, entry] : overflow)
         if (entry.locked())
             ++count;
     return count;

@@ -23,8 +23,8 @@
 #define GETM_CORE_METADATA_TABLE_HH
 
 #include <cstdint>
-#include <list>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -188,13 +188,30 @@ class MetadataTable
     H3Family hashes;
     std::vector<TxMetadata> table; ///< numWays * wayEntries, way-major.
     std::vector<TxMetadata> stash;
-    std::list<TxMetadata> overflow; ///< Spill space in main memory.
+    /**
+     * Spill space in main memory. Keyed by granule so a spilled entry
+     * is found in O(1) instead of a linear scan; the modelled
+     * overflowPenalty cycles are unchanged (timing is a model input,
+     * not a property of the host container). Values are node-stable:
+     * pointers returned by findPrecise() survive other insertions.
+     */
+    std::unordered_map<Addr, TxMetadata> overflow;
     RecencyBloom bloom;
     LogicalTs maxRegWts = 0; ///< Max-registers ablation state.
     LogicalTs maxRegRts = 0;
     LogicalTs maxTs = 0;
     Rng kickRng;
     StatSet statSet;
+
+    // Hot-path stat handles: access() fires these per metadata lookup.
+    StatSet::Counter &stLookups;
+    StatSet::Counter &stMisses;
+    StatSet::Counter &stEvictionsToBloom;
+    StatSet::Counter &stCuckooKicks;
+    StatSet::Counter &stStashInserts;
+    StatSet::Counter &stOverflowInserts;
+    StatSet::Average &stAccessCycles;
+    HistogramData &stAccessCyclesHist;
 };
 
 } // namespace getm

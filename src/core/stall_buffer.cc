@@ -5,7 +5,12 @@
 namespace getm {
 
 StallBuffer::StallBuffer(std::string name, const Config &config)
-    : cfg(config), lines(config.lines), statSet(std::move(name))
+    : cfg(config), lines(config.lines), statSet(std::move(name)),
+      stFullRejections(statSet.addCounter("full_rejections")),
+      stEnqueues(statSet.addCounter("enqueues")),
+      stOccupancy(statSet.addMaximum("occupancy")),
+      stWaitersPerAddr(statSet.addAverage("waiters_per_addr")),
+      stWaitersPerAddrHist(statSet.addHistogram("waiters_per_addr_hist"))
 {
     for (Line &line : lines)
         line.entries.reserve(cfg.entriesPerLine);
@@ -43,17 +48,17 @@ StallBuffer::enqueue(Addr key, MemMsg &&msg)
         }
     }
     if (!line || line->entries.size() >= cfg.entriesPerLine) {
-        statSet.inc("full_rejections");
+        stFullRejections.add();
         return false;
     }
     line->entries.push_back(std::move(msg));
     if (tracker)
         tracker->add();
-    statSet.inc("enqueues");
-    statSet.trackMax("occupancy", occupancy());
-    statSet.sample("waiters_per_addr",
-                   static_cast<double>(line->entries.size()));
-    statSet.histSample("waiters_per_addr_hist", line->entries.size());
+    stEnqueues.add();
+    stOccupancy.track(occupancy());
+    stWaitersPerAddr.addSample(
+        static_cast<double>(line->entries.size()));
+    stWaitersPerAddrHist.record(line->entries.size());
     return true;
 }
 

@@ -100,6 +100,13 @@ class StallBuffer
     std::vector<Line> lines;
     StallOccupancyTracker *tracker = nullptr;
     StatSet statSet;
+
+    // Hot-path stat handles: enqueue() fires these per stalled request.
+    StatSet::Counter &stFullRejections;
+    StatSet::Counter &stEnqueues;
+    StatSet::Maximum &stOccupancy;
+    StatSet::Average &stWaitersPerAddr;
+    HistogramData &stWaitersPerAddrHist;
 };
 
 } // namespace getm

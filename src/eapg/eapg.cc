@@ -26,7 +26,7 @@ EapgPartitionUnit::onValidationStart(const MemMsg &slice, Cycle now)
         bcast.core = core;
         ctx.scheduleToCore(std::move(bcast), now + 1);
     }
-    ctx.stats().inc("eapg_signature_broadcasts", ctx.numCores());
+    stSignatureBroadcasts.add(ctx.numCores());
 }
 
 void
@@ -41,7 +41,7 @@ EapgPartitionUnit::onDecisionApplied(std::uint64_t tx_id, Cycle now)
         bcast.bytes = 8;
         ctx.scheduleToCore(std::move(bcast), now + 1);
     }
-    ctx.stats().inc("eapg_done_broadcasts", ctx.numCores());
+    stDoneBroadcasts.add(ctx.numCores());
 }
 
 void
@@ -95,7 +95,8 @@ EapgCoreTm::onBroadcast(const MemMsg &msg)
             }
         }
         if (hit) {
-            core.stats().inc("eapg_early_aborts", std::popcount(hit));
+            stEarlyAborts.add(
+                static_cast<std::uint64_t>(std::popcount(hit)));
             core.abortTxLanes(warp, hit, warp.warpts,
                               AbortReason::EarlyAbort, conflict);
         }
@@ -131,7 +132,7 @@ EapgCoreTm::maybePause(Warp &warp)
         return false;
     if (std::find(paused.begin(), paused.end(), warp.slot) == paused.end())
         paused.push_back(warp.slot);
-    core.stats().inc("eapg_pauses");
+    stPauses.add();
     core.changeState(warp, WarpState::CommitWait);
     return true;
 }

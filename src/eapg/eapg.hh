@@ -34,11 +34,23 @@ namespace getm {
 class EapgPartitionUnit : public WtmPartitionUnit
 {
   public:
-    using WtmPartitionUnit::WtmPartitionUnit;
+    EapgPartitionUnit(PartitionContext &context,
+                      const WtmPartitionConfig &config, std::string name)
+        : WtmPartitionUnit(context, config, std::move(name)),
+          stSignatureBroadcasts(
+              ctx.stats().addCounter("eapg_signature_broadcasts")),
+          stDoneBroadcasts(ctx.stats().addCounter("eapg_done_broadcasts"))
+    {
+    }
 
   protected:
     void onValidationStart(const MemMsg &slice, Cycle now) override;
     void onDecisionApplied(std::uint64_t tx_id, Cycle now) override;
+
+  private:
+    // Hot-path stat handles: one add per broadcast fan-out.
+    StatSet::Counter &stSignatureBroadcasts;
+    StatSet::Counter &stDoneBroadcasts;
 };
 
 /** EAPG core engine: WarpTM plus early abort and pause-n-go. */
@@ -46,7 +58,9 @@ class EapgCoreTm : public WtmCoreTm
 {
   public:
     EapgCoreTm(SimtCore &core_, std::shared_ptr<WtmShared> shared_)
-        : WtmCoreTm(core_, std::move(shared_), WtmMode::LazyLazy)
+        : WtmCoreTm(core_, std::move(shared_), WtmMode::LazyLazy),
+          stEarlyAborts(core_.stats().addCounter("eapg_early_aborts")),
+          stPauses(core_.stats().addCounter("eapg_pauses"))
     {
     }
 
@@ -61,6 +75,10 @@ class EapgCoreTm : public WtmCoreTm
 
     /** Warp slots paused at their commit point. */
     std::vector<std::uint32_t> paused;
+
+    // Hot-path stat handles: one add per early abort / pause.
+    StatSet::Counter &stEarlyAborts;
+    StatSet::Counter &stPauses;
 };
 
 } // namespace getm

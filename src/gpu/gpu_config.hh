@@ -78,6 +78,14 @@ struct GpuConfig
 
     std::uint64_t seed = 12345;
 
+    /**
+     * Run the pre-wake-list tick-everything main loop instead of the
+     * event-driven scheduler (also forced by the GETM_LEGACY_LOOP
+     * environment variable). Escape hatch while the wake-list loop
+     * beds in; slated for removal once it has soaked for a release.
+     */
+    bool legacyLoop = false;
+
     /** GTX480-like baseline of Table II. */
     static GpuConfig gtx480();
 

@@ -1,6 +1,7 @@
 #include "gpu/gpu_system.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.hh"
 #include "core/getm_core_tm.hh"
@@ -255,6 +256,12 @@ GpuSystem::computeNextCycle(Cycle now) const
 void
 GpuSystem::maybeRollover(Cycle now)
 {
+    // No-op under the legacy loop (every core ticked this cycle); the
+    // event loop skips not-due cores, whose clocks would otherwise lag
+    // the rollover's forced aborts.
+    for (auto &core : coreArray)
+        core->syncClock(now);
+
     if (!rolloverPending) {
         LogicalTs max_ts = 0;
         for (GetmPartitionUnit *unit : getmUnits)
@@ -306,31 +313,9 @@ GpuSystem::maybeRollover(Cycle now)
            static_cast<unsigned long long>(now));
 }
 
-RunResult
-GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
-               Cycle max_cycles)
+Cycle
+GpuSystem::runLegacyLoop(const Kernel &kernel, Cycle max_cycles)
 {
-    const std::uint64_t total_warps = (num_threads + warpSize - 1) /
-                                      warpSize;
-    auto next_warp = std::make_shared<std::uint64_t>(0);
-    auto work = [next_warp, total_warps,
-                 num_threads](WarpAssignment &assign) -> bool {
-        if (*next_warp >= total_warps)
-            return false;
-        const std::uint64_t w = (*next_warp)++;
-        assign.firstTid = static_cast<std::uint32_t>(w * warpSize);
-        const std::uint64_t remaining = num_threads - w * warpSize;
-        assign.validLanes =
-            remaining >= warpSize
-                ? fullMask
-                : ((1u << remaining) - 1);
-        assign.gwid = 0; // assigned by the core from its slot
-        return true;
-    };
-
-    for (auto &core : coreArray)
-        core->startKernel(&kernel, num_threads, work, 0);
-
     Cycle now = 0;
     const bool getm_rollover =
         cfg.protocol == ProtocolKind::Getm &&
@@ -379,6 +364,141 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
         }
         now = next;
     }
+    return now;
+}
+
+Cycle
+GpuSystem::runEventLoop(const Kernel &kernel, Cycle max_cycles)
+{
+    // The legacy loop ticks every component on every visited cycle, but
+    // a tick on a component whose nextEventCycle() lies in the future is
+    // a no-op: component state only changes inside tick()/deliver() (or
+    // under maybeRollover(), handled below). The wake caches therefore
+    // stay valid between ticks, and skipping not-due components is
+    // timing-equivalent to the legacy loop. Message arrivals are the one
+    // external wake source; they are caught by the hasReady() due-checks
+    // and the raw crossbar nextArrival() terms in the global next.
+    const Cycle never = ~static_cast<Cycle>(0);
+    const unsigned ncores = static_cast<unsigned>(coreArray.size());
+    const unsigned nparts = static_cast<unsigned>(partArray.size());
+
+    // Cycle 0 behaves like the legacy loop's first iteration: everything
+    // is due once, then earns its cached wake.
+    std::vector<Cycle> coreWake(ncores, 0);
+    std::vector<Cycle> partWake(nparts, 0);
+
+    Cycle now = 0;
+    const bool getm_rollover =
+        cfg.protocol == ProtocolKind::Getm &&
+        cfg.rolloverThreshold != ~static_cast<LogicalTs>(0);
+
+    while (!allDone() || !drained(now)) {
+        if (now >= max_cycles)
+            panic("kernel %s exceeded max cycles (%llu)",
+                  kernel.name().c_str(),
+                  static_cast<unsigned long long>(max_cycles));
+
+        for (PartitionId p = 0; p < nparts; ++p) {
+            if (partWake[p] <= now || xbarUp.hasReady(p, now)) {
+                partArray[p]->tick(now);
+                partWake[p] = partArray[p]->nextEventCycle(now);
+            }
+        }
+        for (CoreId c = 0; c < ncores; ++c) {
+            if (!xbarDown.hasReady(c, now))
+                continue;
+            SimtCore &core = *coreArray[c];
+            do
+                core.deliver(xbarDown.popReady(c), now);
+            while (xbarDown.hasReady(c, now));
+            // A delivery can unblock same-cycle work; force the tick.
+            if (coreWake[c] > now)
+                coreWake[c] = now;
+        }
+        for (CoreId c = 0; c < ncores; ++c) {
+            if (coreWake[c] <= now) {
+                coreArray[c]->tick(now);
+                coreWake[c] = coreArray[c]->nextEventCycle(now + 1);
+            }
+        }
+
+        observability.cycleSampler().maybeSample(now);
+
+        if (getm_rollover || rolloverPending) {
+            const bool was_pending = rolloverPending;
+            maybeRollover(now);
+            if (rolloverPending != was_pending) {
+                // Rollover transitions mutate cores (freeze/unfreeze,
+                // forced aborts) and partitions (flush, pipeline stall)
+                // from outside their tick(); recompute every wake.
+                for (CoreId c = 0; c < ncores; ++c)
+                    coreWake[c] = coreArray[c]->nextEventCycle(now + 1);
+                for (PartitionId p = 0; p < nparts; ++p)
+                    partWake[p] = partArray[p]->nextEventCycle(now);
+            }
+        }
+
+        Cycle next = never;
+        for (Cycle wake : coreWake)
+            next = std::min(next, wake);
+        for (Cycle wake : partWake)
+            next = std::min(next, wake);
+        next = std::min(next, xbarUp.nextArrival());
+        next = std::min(next, xbarDown.nextArrival());
+        if (next != never)
+            next = std::max(next, now + 1);
+        // Wake at sample boundaries too, so idle-cycle skipping cannot
+        // starve the telemetry series (a skipped boundary would collapse
+        // several samples into one).
+        if (next != never && observability.cycleSampler().enabled())
+            next = std::max<Cycle>(
+                now + 1,
+                std::min(next,
+                         observability.cycleSampler().nextSampleCycle()));
+        if (next == never) {
+            if (allDone() && drained(now))
+                break;
+            if (rolloverPending) {
+                now = now + 1; // draining towards quiescence
+                continue;
+            }
+            panic("deadlock: no future events at cycle %llu",
+                  static_cast<unsigned long long>(now));
+        }
+        now = next;
+    }
+    return now;
+}
+
+RunResult
+GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
+               Cycle max_cycles)
+{
+    const std::uint64_t total_warps = (num_threads + warpSize - 1) /
+                                      warpSize;
+    auto next_warp = std::make_shared<std::uint64_t>(0);
+    auto work = [next_warp, total_warps,
+                 num_threads](WarpAssignment &assign) -> bool {
+        if (*next_warp >= total_warps)
+            return false;
+        const std::uint64_t w = (*next_warp)++;
+        assign.firstTid = static_cast<std::uint32_t>(w * warpSize);
+        const std::uint64_t remaining = num_threads - w * warpSize;
+        assign.validLanes =
+            remaining >= warpSize
+                ? fullMask
+                : ((1u << remaining) - 1);
+        assign.gwid = 0; // assigned by the core from its slot
+        return true;
+    };
+
+    for (auto &core : coreArray)
+        core->startKernel(&kernel, num_threads, work, 0);
+
+    const bool legacy = cfg.legacyLoop ||
+                        std::getenv("GETM_LEGACY_LOOP") != nullptr;
+    const Cycle now = legacy ? runLegacyLoop(kernel, max_cycles)
+                             : runEventLoop(kernel, max_cycles);
 
     // Gather results.
     RunResult result;

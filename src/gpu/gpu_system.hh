@@ -106,6 +106,17 @@ class GpuSystem
     bool allDone() const;
     bool drained(Cycle now) const;
 
+    /**
+     * Event-driven main loop: per-component wake cycles are cached when
+     * a component ticks, so idle components are neither ticked nor
+     * rescanned. Returns the final cycle count.
+     */
+    Cycle runEventLoop(const Kernel &kernel, Cycle max_cycles);
+
+    /** Pre-wake-list loop that ticks every component each visited
+     *  cycle (GpuConfig::legacyLoop / GETM_LEGACY_LOOP fallback). */
+    Cycle runLegacyLoop(const Kernel &kernel, Cycle max_cycles);
+
     /** GETM timestamp-rollover coordination; returns true if mid-flush. */
     void maybeRollover(Cycle now);
 

@@ -17,7 +17,11 @@ MemPartition::MemPartition(PartitionId id_, const GpuConfig &config,
                config.llcBytesPerPartition, config.llcAssoc,
                config.lineBytes),
       dram("part" + std::to_string(id_) + ".dram", config.dram),
-      statSet("part" + std::to_string(id_))
+      statSet("part" + std::to_string(id_)),
+      stDramWritebacks(statSet.addCounter("dram_writebacks")),
+      stNtxReads(statSet.addCounter("ntx_reads")),
+      stNtxWrites(statSet.addCounter("ntx_writes")),
+      stAtomics(statSet.addCounter("atomics"))
 {
 }
 
@@ -41,7 +45,7 @@ MemPartition::accessLlc(Addr line_addr, bool is_write, Cycle now)
     if (result.hit)
         return 0;
     if (result.writeback)
-        statSet.inc("dram_writebacks");
+        stDramWritebacks.add();
     const Cycle ready = dram.enqueue(now, line);
     return ready - now;
 }
@@ -103,7 +107,7 @@ MemPartition::handleLocal(MemMsg &&msg, Cycle now)
                          ? 8 + addrMap.lineBytes()
                          : 8 + 4 * static_cast<unsigned>(resp.ops.size());
         scheduleToCore(std::move(resp), now + 1 + llcLat + extra);
-        statSet.inc("ntx_reads");
+        stNtxReads.add();
         return 1;
       }
 
@@ -126,7 +130,7 @@ MemPartition::handleLocal(MemMsg &&msg, Cycle now)
             ack.bytes = 8;
             scheduleToCore(std::move(ack), now + 1 + llcLat + extra);
         }
-        statSet.inc("ntx_writes");
+        stNtxWrites.add();
         return 1;
       }
 
@@ -160,7 +164,7 @@ MemPartition::handleLocal(MemMsg &&msg, Cycle now)
         const Cycle busy = std::max<Cycle>(1, msg.ops.size());
         resp.bytes = 8 + 4 * static_cast<unsigned>(resp.ops.size());
         scheduleToCore(std::move(resp), now + busy + llcLat + extra);
-        statSet.inc("atomics");
+        stAtomics.add();
         return busy;
       }
 

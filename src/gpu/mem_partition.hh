@@ -108,6 +108,12 @@ class MemPartition : public PartitionContext
                         std::greater<Outbound>>
         outQueue;
     StatSet statSet;
+
+    // Hot-path stat handles: one add per handled request.
+    StatSet::Counter &stDramWritebacks;
+    StatSet::Counter &stNtxReads;
+    StatSet::Counter &stNtxWrites;
+    StatSet::Counter &stAtomics;
 };
 
 } // namespace getm

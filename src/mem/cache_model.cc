@@ -14,7 +14,12 @@ isPow2(std::uint64_t x)
 
 CacheModel::CacheModel(std::string name_, std::uint64_t size_bytes,
                        unsigned assoc, unsigned line_bytes)
-    : lineSize(line_bytes), ways(assoc), statSet(std::move(name_))
+    : lineSize(line_bytes), ways(assoc), statSet(std::move(name_)),
+      stReadHits(statSet.addCounter("read_hits")),
+      stWriteHits(statSet.addCounter("write_hits")),
+      stReadMisses(statSet.addCounter("read_misses")),
+      stWriteMisses(statSet.addCounter("write_misses")),
+      stWritebacks(statSet.addCounter("writebacks"))
 {
     if (!isPow2(line_bytes))
         fatal("cache line size must be a power of two");
@@ -60,7 +65,7 @@ CacheModel::access(Addr addr, bool is_write)
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock;
             line.dirty = line.dirty || is_write;
-            statSet.inc(is_write ? "write_hits" : "read_hits");
+            (is_write ? stWriteHits : stReadHits).add();
             result.hit = true;
             return result;
         }
@@ -71,11 +76,11 @@ CacheModel::access(Addr addr, bool is_write)
         }
     }
 
-    statSet.inc(is_write ? "write_misses" : "read_misses");
+    (is_write ? stWriteMisses : stReadMisses).add();
     if (victim->valid && victim->dirty) {
         result.writeback = true;
         result.victimAddr = lineAddr(victim->tag, set);
-        statSet.inc("writebacks");
+        stWritebacks.add();
     }
     victim->valid = true;
     victim->dirty = is_write;

@@ -83,6 +83,13 @@ class CacheModel
     std::uint64_t useClock = 0;
     std::vector<Line> lines;
     StatSet statSet;
+
+    // Hot-path stat handles: one add per access, no map lookup.
+    StatSet::Counter &stReadHits;
+    StatSet::Counter &stWriteHits;
+    StatSet::Counter &stReadMisses;
+    StatSet::Counter &stWriteMisses;
+    StatSet::Counter &stWritebacks;
 };
 
 } // namespace getm

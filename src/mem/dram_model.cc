@@ -8,7 +8,11 @@ namespace getm {
 
 DramModel::DramModel(std::string name_, const Config &config)
     : cfg(config), banks(std::max(1u, config.numBanks)),
-      statSet(std::move(name_))
+      statSet(std::move(name_)),
+      stRequests(statSet.addCounter("requests")),
+      stRowHits(statSet.addCounter("row_hits")),
+      stRowMisses(statSet.addCounter("row_misses")),
+      stQueueDelay(statSet.addAverage("queue_delay"))
 {
     if (cfg.rowBytes == 0)
         fatal("DRAM row size must be non-zero");
@@ -29,9 +33,9 @@ DramModel::enqueue(Cycle now, Addr addr)
     const bool row_hit = bank.openRow == row;
     bank.openRow = row;
 
-    statSet.inc("requests");
-    statSet.inc(row_hit ? "row_hits" : "row_misses");
-    statSet.sample("queue_delay", static_cast<double>(start - now));
+    stRequests.add();
+    (row_hit ? stRowHits : stRowMisses).add();
+    stQueueDelay.addSample(static_cast<double>(start - now));
     return start + (row_hit ? cfg.rowHitLatency : cfg.accessLatency);
 }
 

@@ -65,6 +65,12 @@ class DramModel
     Config cfg;
     std::vector<Bank> banks;
     StatSet statSet;
+
+    // Hot-path stat handles: one add/sample per request.
+    StatSet::Counter &stRequests;
+    StatSet::Counter &stRowHits;
+    StatSet::Counter &stRowMisses;
+    StatSet::Average &stQueueDelay;
 };
 
 } // namespace getm

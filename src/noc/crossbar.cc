@@ -7,7 +7,11 @@ namespace getm {
 CrossbarTiming::CrossbarTiming(std::string name_, unsigned num_src,
                                unsigned num_dst, const Config &config)
     : cfg(config), srcFree(num_src, 0), dstFree(num_dst, 0),
-      statSet(std::move(name_))
+      statSet(std::move(name_)),
+      stMessages(statSet.addCounter("messages")),
+      stFlits(statSet.addCounter("flits")),
+      stBytes(statSet.addCounter("bytes")),
+      stQueueing(statSet.addAverage("queueing"))
 {
     if (cfg.flitBytes == 0)
         fatal("crossbar flit size must be non-zero");
@@ -34,10 +38,10 @@ CrossbarTiming::route(unsigned src, unsigned dst, unsigned bytes, Cycle now)
     dstFree[dst] = delivered;
 
     flits += nflits;
-    statSet.inc("messages");
-    statSet.inc("flits", nflits);
-    statSet.inc("bytes", bytes);
-    statSet.sample("queueing", static_cast<double>(
+    stMessages.add();
+    stFlits.add(nflits);
+    stBytes.add(bytes);
+    stQueueing.addSample(static_cast<double>(
         (inj_start - now) + (eject_start - head_arrival)));
     return delivered;
 }

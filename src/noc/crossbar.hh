@@ -60,6 +60,12 @@ class CrossbarTiming
     std::vector<Cycle> dstFree;
     std::uint64_t flits = 0;
     StatSet statSet;
+
+    // Hot-path stat handles: one add/sample per routed message.
+    StatSet::Counter &stMessages;
+    StatSet::Counter &stFlits;
+    StatSet::Counter &stBytes;
+    StatSet::Average &stQueueing;
 };
 
 /**
@@ -86,6 +92,9 @@ class Crossbar
     {
         const Cycle when = timing.route(src, dst, bytes, now);
         inbox[dst].push(Entry{when, seq++, std::move(msg)});
+        ++pending;
+        if (!arrivalDirty && when < cachedArrival)
+            cachedArrival = when;
         return when;
     }
 
@@ -102,6 +111,10 @@ class Crossbar
     {
         Entry top = inbox[dst].top();
         inbox[dst].pop();
+        --pending;
+        // The popped entry may have been the cached minimum; recompute
+        // lazily on the next nextArrival() call.
+        arrivalDirty = true;
         return std::move(top.msg);
     }
 
@@ -109,32 +122,22 @@ class Crossbar
     Cycle
     nextArrival() const
     {
-        Cycle best = ~static_cast<Cycle>(0);
-        for (const auto &queue : inbox)
-            if (!queue.empty() && queue.top().when < best)
-                best = queue.top().when;
-        return best;
+        if (arrivalDirty) {
+            Cycle best = ~static_cast<Cycle>(0);
+            for (const auto &queue : inbox)
+                if (!queue.empty() && queue.top().when < best)
+                    best = queue.top().when;
+            cachedArrival = best;
+            arrivalDirty = false;
+        }
+        return cachedArrival;
     }
 
     /** True if no messages are in flight anywhere. */
-    bool
-    idle() const
-    {
-        for (const auto &queue : inbox)
-            if (!queue.empty())
-                return false;
-        return true;
-    }
+    bool idle() const { return pending == 0; }
 
     /** Messages currently queued or in flight (telemetry gauge). */
-    std::size_t
-    inFlight() const
-    {
-        std::size_t total = 0;
-        for (const auto &queue : inbox)
-            total += queue.size();
-        return total;
-    }
+    std::size_t inFlight() const { return pending; }
 
     std::uint64_t totalFlits() const { return timing.totalFlits(); }
     StatSet &stats() { return timing.stats(); }
@@ -156,6 +159,9 @@ class Crossbar
 
     CrossbarTiming timing;
     std::uint64_t seq = 0;
+    std::size_t pending = 0;
+    mutable Cycle cachedArrival = ~static_cast<Cycle>(0);
+    mutable bool arrivalDirty = false;
     std::vector<std::priority_queue<Entry, std::vector<Entry>,
                                     std::greater<Entry>>>
         inbox;

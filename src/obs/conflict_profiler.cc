@@ -4,15 +4,25 @@
 
 namespace getm {
 
+HotAddrRow &
+ConflictProfiler::rowFor(Addr addr, PartitionId partition)
+{
+    if (addr != lastAddr || !lastRow) {
+        lastRow = &table[addr];
+        lastAddr = addr;
+    }
+    lastRow->addr = addr;
+    lastRow->partition = partition;
+    return *lastRow;
+}
+
 void
 ConflictProfiler::record(AbortReason reason, Addr addr,
                          PartitionId partition, std::uint64_t count)
 {
     if (addr == invalidAddr || reason == AbortReason::None || !count)
         return;
-    HotAddrRow &row = table[addr];
-    row.addr = addr;
-    row.partition = partition;
+    HotAddrRow &row = rowFor(addr, partition);
     row.total += count;
     row.byReason[static_cast<unsigned>(reason)] += count;
     events += count;
@@ -24,9 +34,7 @@ ConflictProfiler::recordStallDepth(Addr addr, PartitionId partition,
 {
     if (addr == invalidAddr)
         return;
-    HotAddrRow &row = table[addr];
-    row.addr = addr;
-    row.partition = partition;
+    HotAddrRow &row = rowFor(addr, partition);
     row.stallDepthSum += depth;
     row.stallDepthCount += 1;
 }
@@ -54,6 +62,8 @@ ConflictProfiler::clear()
 {
     table.clear();
     events = 0;
+    lastAddr = invalidAddr;
+    lastRow = nullptr;
 }
 
 } // namespace getm

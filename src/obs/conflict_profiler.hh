@@ -68,8 +68,18 @@ class ConflictProfiler
     void clear();
 
   private:
+    /**
+     * Find-or-create with a one-entry memo: conflict events cluster on
+     * the same hot granule, so most lookups hit the last row. The map's
+     * nodes are pointer-stable, so the memo survives inserts and only
+     * clear() invalidates it.
+     */
+    HotAddrRow &rowFor(Addr addr, PartitionId partition);
+
     std::unordered_map<Addr, HotAddrRow> table;
     std::uint64_t events = 0;
+    Addr lastAddr = invalidAddr;
+    HotAddrRow *lastRow = nullptr;
 };
 
 } // namespace getm

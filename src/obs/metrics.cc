@@ -33,22 +33,31 @@ emitStats(JsonWriter &w, const StatSet &stats)
 {
     w.key("stats").beginObject();
 
+    // Untouched slots are handles registered up front that never
+    // fired; skipping them keeps the export byte-identical to the
+    // string-keyed era, where such names simply did not exist.
     w.key("counters").beginObject();
-    for (const auto &[name, value] : stats.allCounters())
-        w.member(name, value);
+    for (const auto &[name, slot] : stats.allCounters()) {
+        if (!slot.touched)
+            continue;
+        w.member(name, slot.value);
+    }
     w.endObject();
 
     w.key("maxima").beginObject();
-    for (const auto &[name, value] : stats.allMaxima())
-        w.member(name, value);
+    for (const auto &[name, slot] : stats.allMaxima()) {
+        if (!slot.touched)
+            continue;
+        w.member(name, slot.value);
+    }
     w.endObject();
 
     w.key("averages").beginObject();
     for (const auto &[name, avg] : stats.allAverages()) {
+        if (avg.count == 0)
+            continue;
         w.key(name).beginObject();
-        w.member("mean", avg.count ? avg.sum /
-                                         static_cast<double>(avg.count)
-                                   : 0.0);
+        w.member("mean", avg.mean());
         w.member("count", avg.count);
         w.endObject();
     }
@@ -56,6 +65,8 @@ emitStats(JsonWriter &w, const StatSet &stats)
 
     w.key("histograms").beginObject();
     for (const auto &[name, hist] : stats.allHistograms()) {
+        if (hist.count == 0)
+            continue;
         w.key(name).beginObject();
         w.member("count", hist.count);
         w.member("sum", hist.sum);

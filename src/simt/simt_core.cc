@@ -24,9 +24,27 @@ SimtCore::SimtCore(CoreId id, const CoreConfig &config, const AddressMap &map,
       l1("core" + std::to_string(id) + ".l1", config.l1Bytes, config.l1Assoc,
          config.lineBytes),
       randomGen(config.seed + id * 0x1009 + 7),
-      statSet("core" + std::to_string(id))
+      statSet("core" + std::to_string(id)),
+      stInstructions(statSet.addCounter("instructions")),
+      stDivergences(statSet.addCounter("divergences")),
+      stL1LoadHits(statSet.addCounter("l1_load_hits")),
+      stL1Fills(statSet.addCounter("l1_fills")),
+      stMshrMerges(statSet.addCounter("mshr_merges")),
+      stWarpsLaunched(statSet.addCounter("warps_launched")),
+      stWarpsFinished(statSet.addCounter("warps_finished")),
+      stThrottleStalls(statSet.addCounter("throttle_stalls")),
+      stTxBegins(statSet.addCounter("tx_begins")),
+      stTxRetries(statSet.addCounter("tx_retries")),
+      stTxAborts(statSet.addCounter("tx_aborts")),
+      stTxCommitLanes(statSet.addCounter("tx_commit_lanes"))
 {
+    for (unsigned r = 0; r < numAbortReasons; ++r)
+        stAbortsByReason[r] = &statSet.addCounter(
+            std::string("tx_aborts_") +
+            abortReasonName(static_cast<AbortReason>(r)));
     warps.resize(cfg.maxWarps);
+    stateOf.assign(cfg.maxWarps, WarpState::Idle);
+    wakeOf.assign(cfg.maxWarps, 0);
     for (unsigned slot = 0; slot < cfg.maxWarps; ++slot) {
         warps[slot].slot = slot;
         warps[slot].state = WarpState::Idle;
@@ -57,8 +75,8 @@ SimtCore::maybeLaunchWarps(Cycle now)
     if (workExhausted)
         return;
     for (auto &warp : warps) {
-        if (warp.state != WarpState::Idle &&
-            warp.state != WarpState::Finished)
+        if (stateOf[warp.slot] != WarpState::Idle &&
+            stateOf[warp.slot] != WarpState::Finished)
             continue;
         WarpAssignment assign{};
         if (!workSource(assign)) {
@@ -67,20 +85,17 @@ SimtCore::maybeLaunchWarps(Cycle now)
         }
         warp.launch(coreId * cfg.maxWarps + warp.slot, warp.slot,
                     assign.firstTid, assign.validLanes, now);
-        statSet.inc("warps_launched");
+        stateOf[warp.slot] = warp.state;
+        wakeOf[warp.slot] = warp.wakeCycle;
+        ++liveWarps;
+        stWarpsLaunched.add();
     }
 }
 
 bool
 SimtCore::done() const
 {
-    if (!workExhausted)
-        return false;
-    for (const auto &warp : warps)
-        if (warp.state != WarpState::Idle &&
-            warp.state != WarpState::Finished)
-            return false;
-    return true;
+    return workExhausted && liveWarps == 0;
 }
 
 void
@@ -107,35 +122,38 @@ SimtCore::changeState(Warp &warp, WarpState state)
         }
     }
     warp.state = state;
+    stateOf[warp.slot] = state;
     warp.stateSince = currentCycle;
 }
 
 void
 SimtCore::wakeThrottled()
 {
-    for (auto &warp : warps)
-        if (warp.state == WarpState::ThrottleWait)
-            changeState(warp, WarpState::Ready);
+    const unsigned n = static_cast<unsigned>(warps.size());
+    for (unsigned slot = 0; slot < n; ++slot)
+        if (stateOf[slot] == WarpState::ThrottleWait)
+            changeState(warps[slot], WarpState::Ready);
 }
 
 Cycle
 SimtCore::nextEventCycle(Cycle now) const
 {
     Cycle best = ~static_cast<Cycle>(0);
+    const unsigned n = static_cast<unsigned>(warps.size());
     if (!workExhausted) {
-        for (const auto &warp : warps)
-            if (warp.state == WarpState::Idle ||
-                warp.state == WarpState::Finished)
+        for (unsigned slot = 0; slot < n; ++slot)
+            if (stateOf[slot] == WarpState::Idle ||
+                stateOf[slot] == WarpState::Finished)
                 return now;
     }
-    for (const auto &warp : warps) {
-        switch (warp.state) {
+    for (unsigned slot = 0; slot < n; ++slot) {
+        switch (stateOf[slot]) {
           case WarpState::Ready:
             return now;
           case WarpState::BackoffWait:
           case WarpState::PipelineWait:
-            if (warp.wakeCycle < best)
-                best = warp.wakeCycle;
+            if (wakeOf[slot] < best)
+                best = wakeOf[slot];
             break;
           default:
             break;
@@ -147,25 +165,27 @@ SimtCore::nextEventCycle(Cycle now) const
 Warp *
 SimtCore::pickWarp(Cycle now)
 {
+    const unsigned n = static_cast<unsigned>(warps.size());
+
     // Wake pipeline stalls, and expired backoffs (unless frozen for
     // timestamp rollover).
-    for (auto &warp : warps) {
-        if (warp.wakeCycle > now)
+    for (unsigned slot = 0; slot < n; ++slot) {
+        if (wakeOf[slot] > now)
             continue;
-        if (warp.state == WarpState::PipelineWait ||
-            (warp.state == WarpState::BackoffWait && !txFrozen))
-            changeState(warp, WarpState::Ready);
+        if (stateOf[slot] == WarpState::PipelineWait ||
+            (stateOf[slot] == WarpState::BackoffWait && !txFrozen))
+            changeState(warps[slot], WarpState::Ready);
     }
 
     // Greedy-then-oldest: stay on the last issued warp while it is ready,
     // otherwise pick the lowest (oldest) ready slot.
-    Warp &last = warps[lastIssued % warps.size()];
-    if (last.state == WarpState::Ready)
-        return &last;
-    for (auto &warp : warps) {
-        if (warp.state == WarpState::Ready) {
-            lastIssued = warp.slot;
-            return &warp;
+    const unsigned last = lastIssued % n;
+    if (stateOf[last] == WarpState::Ready)
+        return &warps[last];
+    for (unsigned slot = 0; slot < n; ++slot) {
+        if (stateOf[slot] == WarpState::Ready) {
+            lastIssued = slot;
+            return &warps[slot];
         }
     }
     return nullptr;
@@ -209,7 +229,7 @@ SimtCore::execute(Warp &warp, Cycle now)
 
     const Instruction inst = kernel->at(top.pc);
     const LaneMask active = top.mask;
-    statSet.inc("instructions");
+    stInstructions.add();
     (void)now;
 
     switch (inst.op) {
@@ -333,7 +353,7 @@ SimtCore::execAlu(Warp &warp, const Instruction &inst, LaneMask active)
         (inst.op == Opcode::DivU || inst.op == Opcode::RemU ||
          inst.op == Opcode::Hash)) {
         changeState(warp, WarpState::PipelineWait);
-        warp.wakeCycle = currentCycle + cfg.longOpLatency;
+        setWake(warp, currentCycle + cfg.longOpLatency);
     }
 }
 
@@ -364,7 +384,7 @@ SimtCore::execBranch(Warp &warp, const Instruction &inst, LaneMask active)
         warp.stack.push_back({EntryKind::Normal, fall_pc, inst.rpc, fall});
         warp.stack.push_back(
             {EntryKind::Normal, inst.target, inst.rpc, taken});
-        statSet.inc("divergences");
+        stDivergences.add();
     }
 }
 
@@ -433,7 +453,7 @@ SimtCore::execMemory(Warp &warp, const Instruction &inst, LaneMask active)
                 for (LaneId lane = 0; lane < warpSize; ++lane)
                     if (group & (1u << lane))
                         writebackLane(warp, lane, store.read(addrs[lane]));
-                statSet.inc("l1_load_hits");
+                stL1LoadHits.add();
                 continue;
             }
             ++warp.outstanding;
@@ -447,7 +467,7 @@ SimtCore::execMemory(Warp &warp, const Instruction &inst, LaneMask active)
                     if (group & (1u << lane))
                         target.addrs[lane] = addrs[lane];
                 const bool primary = mshrs.add(line, std::move(target));
-                statSet.inc(primary ? "l1_fills" : "mshr_merges");
+                (primary ? stL1Fills : stMshrMerges).add();
                 if (!primary)
                     continue; // the outstanding fill will service us
             }
@@ -572,7 +592,7 @@ SimtCore::execTxBegin(Warp &warp, LaneMask active)
         panic("nested transactions are not supported");
     if (txActive >= cfg.txWarpLimit || txFrozen) {
         changeState(warp, WarpState::ThrottleWait);
-        statSet.inc("throttle_stalls");
+        stThrottleStalls.add();
         return;
     }
     ++txActive;
@@ -586,8 +606,7 @@ SimtCore::execTxBegin(Warp &warp, LaneMask active)
     for (auto &log : warp.logs)
         log.clear();
     warp.iwcd.clear();
-    for (auto &map : warp.granted)
-        map.clear();
+    warp.granted.clearAll();
     warp.retriesThisTx = 0;
     warp.txStartCycle = currentCycle;
     warp.tcdOkLanes = active;
@@ -596,7 +615,7 @@ SimtCore::execTxBegin(Warp &warp, LaneMask active)
     warp.commitIssued = false;
     warp.pendingValidations = 0;
     warp.pendingAcks = 0;
-    statSet.inc("tx_begins");
+    stTxBegins.add();
     if (timeline)
         timeline->begin(coreId, warp.slot, "tx", currentCycle);
     if (protocol)
@@ -640,7 +659,10 @@ void
 SimtCore::finishWarp(Warp &warp)
 {
     changeState(warp, WarpState::Finished);
-    statSet.inc("warps_finished");
+    if (liveWarps == 0)
+        panic("live-warp count underflow");
+    --liveWarps;
+    stWarpsFinished.add();
     maybeLaunchWarps(currentCycle);
 }
 
@@ -655,9 +677,8 @@ SimtCore::abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts,
         return;
     const unsigned aborted = popcount(lanes);
     warp.aborts += aborted;
-    statSet.inc("tx_aborts", aborted);
-    statSet.inc(std::string("tx_aborts_") + abortReasonName(reason),
-                aborted);
+    stTxAborts.add(aborted);
+    stAbortsByReason[static_cast<unsigned>(reason)]->add(aborted);
     if (sink)
         sink->abortEvent(reason, addr,
                          addr == invalidAddr ? 0
@@ -668,9 +689,16 @@ SimtCore::abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts,
         if (lanes & (1u << lane))
             warp.iwcd.dropLane(lane);
     if (timeline) {
-        const std::string label =
-            std::string("abort:") + abortReasonName(reason);
-        timeline->instant(coreId, warp.slot, label.c_str(), currentCycle);
+        static const auto labels = [] {
+            std::array<std::string, numAbortReasons> all;
+            for (unsigned r = 0; r < numAbortReasons; ++r)
+                all[r] = std::string("abort:") +
+                         abortReasonName(static_cast<AbortReason>(r));
+            return all;
+        }();
+        timeline->instant(coreId, warp.slot,
+                          labels[static_cast<unsigned>(reason)].c_str(),
+                          currentCycle);
     }
     checkAllAbortedCommitPoint(warp);
 }
@@ -678,12 +706,7 @@ SimtCore::abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts,
 unsigned
 SimtCore::activeWarps() const
 {
-    unsigned count = 0;
-    for (const Warp &warp : warps)
-        if (warp.state != WarpState::Idle &&
-            warp.state != WarpState::Finished)
-            ++count;
-    return count;
+    return liveWarps;
 }
 
 unsigned
@@ -718,15 +741,14 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
     const Pc commit_pc = warp.stack[txi].pc;
     const LaneMask retry_mask = warp.stack[ri].mask;
     warp.commits += popcount(committed_lanes);
-    statSet.inc("tx_commit_lanes", popcount(committed_lanes));
+    stTxCommitLanes.add(popcount(committed_lanes));
 
     warp.stack.pop_back(); // Transaction
 
     for (auto &log : warp.logs)
         log.clear();
     warp.iwcd.clear();
-    for (auto &map : warp.granted)
-        map.clear();
+    warp.granted.clearAll();
     warp.pendingValidations = 0;
     warp.pendingAcks = 0;
     warp.validationFailed = 0;
@@ -746,8 +768,8 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
         warp.commitPointFired = false;
         const Cycle delay = warp.backoff.nextDelay(randomGen);
         changeState(warp, WarpState::BackoffWait);
-        warp.wakeCycle = currentCycle + delay;
-        statSet.inc("tx_retries");
+        setWake(warp, currentCycle + delay);
+        stTxRetries.add();
         if (timeline) {
             timeline->end(coreId, warp.slot, currentCycle);
             timeline->begin(coreId, warp.slot, "tx-retry",

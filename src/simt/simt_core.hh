@@ -97,6 +97,14 @@ class SimtCore
     // --- services for protocol engines -----------------------------------
     CoreId id() const { return coreId; }
     Cycle now() const { return currentCycle; }
+
+    /**
+     * Pin the core's local clock without ticking. The event-driven loop
+     * skips not-due cores, so their clock can lag; callers that mutate
+     * core state from outside tick()/deliver() (timestamp rollover)
+     * sync first so backoff wakes and event timestamps use global time.
+     */
+    void syncClock(Cycle now) { currentCycle = now; }
     const CoreConfig &config() const { return cfg; }
     BackingStore &memory() { return store; }
     const AddressMap &addressMap() const { return addrMap; }
@@ -208,6 +216,14 @@ class SimtCore
     void checkAllAbortedCommitPoint(Warp &warp);
     void wakeThrottled();
 
+    /** Set a warp's wake cycle, keeping the dense mirror in sync. */
+    void
+    setWake(Warp &warp, Cycle wake)
+    {
+        warp.wakeCycle = wake;
+        wakeOf[warp.slot] = wake;
+    }
+
     std::int64_t aluOp(Opcode op, std::int64_t a, std::int64_t b) const;
 
     CoreId coreId;
@@ -223,16 +239,45 @@ class SimtCore
     bool workExhausted = true;
 
     std::vector<Warp> warps;
+    /**
+     * Dense mirrors of Warp::state / Warp::wakeCycle, indexed by slot.
+     * The scheduler scans every slot per tick; walking 48 full Warp
+     * structs is cache-hostile, so the scan fields live in two flat
+     * arrays kept in sync at the few mutation sites (changeState,
+     * setWake, launch).
+     */
+    std::vector<WarpState> stateOf;
+    std::vector<Cycle> wakeOf;
     CacheModel l1;
     MshrFile mshrs;
     unsigned txActive = 0;
     unsigned lastIssued = 0;
+    /** Warps resident and not finished (O(1) done()/activeWarps()). */
+    unsigned liveWarps = 0;
     bool txFrozen = false;
     class Timeline *timeline = nullptr;
     ObsSink *sink = nullptr;
     Cycle currentCycle = 0;
     Rng randomGen;
     StatSet statSet;
+
+    // Pre-registered hot-path stat handles (common/stats.hh): one add
+    // per event, no per-event string or map lookup. Declared after
+    // statSet so the references bind to live slots during construction.
+    StatSet::Counter &stInstructions;
+    StatSet::Counter &stDivergences;
+    StatSet::Counter &stL1LoadHits;
+    StatSet::Counter &stL1Fills;
+    StatSet::Counter &stMshrMerges;
+    StatSet::Counter &stWarpsLaunched;
+    StatSet::Counter &stWarpsFinished;
+    StatSet::Counter &stThrottleStalls;
+    StatSet::Counter &stTxBegins;
+    StatSet::Counter &stTxRetries;
+    StatSet::Counter &stTxAborts;
+    StatSet::Counter &stTxCommitLanes;
+    /** Per-AbortReason counters, indexed by reason (no string concat). */
+    std::array<StatSet::Counter *, numAbortReasons> stAbortsByReason{};
 
     friend class SimtCoreTestPeer;
 };

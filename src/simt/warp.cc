@@ -87,8 +87,7 @@ Warp::launch(GlobalWarpId gwid_, std::uint32_t slot_,
     for (auto &log : logs)
         log.clear();
     iwcd.clear();
-    for (auto &map : granted)
-        map.clear();
+    granted.clearAll();
     retriesThisTx = 0;
     txStartCycle = now;
     tcdOkLanes = 0;

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,63 @@ enum class EntryKind : std::uint8_t
 
 /** Sentinel meaning "this entry never reconverges by rpc". */
 constexpr Pc noRpc = 0xffffffffu;
+
+/**
+ * GETM granted-reservation table: per-lane maps of granule -> count.
+ *
+ * Lane maps are allocated lazily on first write, so warps running
+ * non-transactional protocols (or transactions that never store) pay
+ * for a pointer array instead of 32 empty unordered_maps. Once
+ * allocated, a lane's map lives for the warp slot's lifetime —
+ * clearAll() empties it in place — so insertion/rehash history, and
+ * therefore iteration order, is identical to the eagerly-allocated
+ * representation it replaced.
+ */
+class LaneGrantTable
+{
+  public:
+    using GrantMap = std::unordered_map<Addr, std::uint32_t>;
+
+    /** Lane map for writing; allocates on first use. */
+    GrantMap &
+    operator[](LaneId lane)
+    {
+        auto &slot = lanes[lane];
+        if (!slot)
+            slot = std::make_unique<GrantMap>();
+        return *slot;
+    }
+
+    /** Lane map for reading; a shared empty map if never written. */
+    const GrantMap &
+    forLane(LaneId lane) const
+    {
+        static const GrantMap empty;
+        return lanes[lane] ? *lanes[lane] : empty;
+    }
+
+    /** Empty every allocated lane map (keeps the allocations). */
+    void
+    clearAll()
+    {
+        for (auto &slot : lanes)
+            if (slot)
+                slot->clear();
+    }
+
+    /** Number of lanes whose map has been materialized. */
+    unsigned
+    allocatedLanes() const
+    {
+        unsigned count = 0;
+        for (const auto &slot : lanes)
+            count += slot != nullptr;
+        return count;
+    }
+
+  private:
+    std::array<std::unique_ptr<GrantMap>, warpSize> lanes;
+};
 
 /** One SIMT stack entry. */
 struct SimtEntry
@@ -85,7 +143,7 @@ class Warp
     IntraWarpCd iwcd;
     Backoff backoff;
     /** GETM: granted reservation counts per lane, per metadata granule. */
-    std::array<std::unordered_map<Addr, std::uint32_t>, warpSize> granted;
+    LaneGrantTable granted;
     unsigned retriesThisTx = 0;
 
     // --- WarpTM / EAPG commit-sequence state --------------------------------

@@ -10,7 +10,13 @@ namespace getm {
 WtmCoreTm::WtmCoreTm(SimtCore &core_, std::shared_ptr<WtmShared> shared_,
                      WtmMode mode_)
     : core(core_), shared(std::move(shared_)), mode(mode_),
-      sliceParts(core_.config().maxWarps)
+      sliceParts(core_.config().maxWarps),
+      stElEagerAborts(core_.stats().addCounter("wtm_el_eager_aborts")),
+      stLoadReqs(core_.stats().addCounter("wtm_load_reqs")),
+      stValidationAborts(core_.stats().addCounter("wtm_validation_aborts")),
+      stIntraWarpAborts(core_.stats().addCounter("wtm_intra_warp_aborts")),
+      stSilentCommits(core_.stats().addCounter("wtm_silent_commits")),
+      stValidations(core_.stats().addCounter("wtm_validations"))
 {
 }
 
@@ -51,7 +57,8 @@ WtmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
         Addr conflict = invalidAddr;
         const LaneMask failed = instantValidate(warp, lanes, &conflict);
         if (failed) {
-            core.stats().inc("wtm_el_eager_aborts", std::popcount(failed));
+            stElEagerAborts.add(
+                static_cast<std::uint64_t>(std::popcount(failed)));
             core.abortTxLanes(warp, failed, warp.warpts,
                               AbortReason::EagerValidation, conflict);
             lanes &= ~failed;
@@ -97,7 +104,7 @@ WtmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
         msg.bytes = 8 + 4 * static_cast<unsigned>(msg.ops.size());
         core.sendToPartition(std::move(msg));
         ++warp.outstanding;
-        core.stats().inc("wtm_load_reqs");
+        stLoadReqs.add();
     }
 }
 
@@ -156,8 +163,8 @@ WtmCoreTm::onResponse(Warp &warp, const MemMsg &msg)
             const LaneMask committed =
                 warp.wtmSilent | (warp.wtmValidating & ~warp.validationFailed);
             if (warp.validationFailed) {
-                core.stats().inc("wtm_validation_aborts",
-                                 std::popcount(warp.validationFailed));
+                stValidationAborts.add(static_cast<std::uint64_t>(
+                    std::popcount(warp.validationFailed)));
                 // The conflicting addresses were reported partition-side
                 // during validation; only the reason is known here.
                 core.abortTxLanes(warp, warp.validationFailed, warp.warpts,
@@ -188,7 +195,8 @@ WtmCoreTm::txCommitPoint(Warp &warp)
         const LaneMask failed =
             instantValidate(warp, warp.stack[txi].mask, &conflict);
         if (failed) {
-            core.stats().inc("wtm_el_eager_aborts", std::popcount(failed));
+            stElEagerAborts.add(
+                static_cast<std::uint64_t>(std::popcount(failed)));
             core.abortTxLanes(warp, failed, warp.warpts,
                               AbortReason::EagerValidation, conflict);
         }
@@ -201,7 +209,8 @@ WtmCoreTm::txCommitPoint(Warp &warp)
         warp.logs.data(), warpSize, committers);
     const LaneMask losers = committers & ~survivors;
     if (losers) {
-        core.stats().inc("wtm_intra_warp_aborts", std::popcount(losers));
+        stIntraWarpAborts.add(
+            static_cast<std::uint64_t>(std::popcount(losers)));
         core.abortTxLanes(warp, losers, warp.warpts,
                           AbortReason::IntraWarp, invalidAddr);
     }
@@ -224,7 +233,8 @@ WtmCoreTm::txCommitPoint(Warp &warp)
     warp.pendingAcks = 0;
 
     if (!warp.wtmValidating) {
-        core.stats().inc("wtm_silent_commits", std::popcount(silent));
+        stSilentCommits.add(
+            static_cast<std::uint64_t>(std::popcount(silent)));
         core.retireTxAttempt(warp, survivors);
         return;
     }
@@ -318,7 +328,7 @@ WtmCoreTm::startValidation(Warp &warp)
         msg.addr = 0;
         core.sendToPartitionDirect(std::move(msg));
     }
-    core.stats().inc("wtm_validations");
+    stValidations.add();
     core.changeState(warp, WarpState::CommitWait);
 }
 

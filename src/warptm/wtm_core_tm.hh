@@ -71,6 +71,14 @@ class WtmCoreTm : public TmCoreProtocol
     WtmMode mode;
     /** Partitions holding a validation slice, per warp slot. */
     std::vector<std::vector<PartitionId>> sliceParts;
+
+    // Hot-path stat handles: one add per access/commit event.
+    StatSet::Counter &stElEagerAborts;
+    StatSet::Counter &stLoadReqs;
+    StatSet::Counter &stValidationAborts;
+    StatSet::Counter &stIntraWarpAborts;
+    StatSet::Counter &stSilentCommits;
+    StatSet::Counter &stValidations;
 };
 
 } // namespace getm

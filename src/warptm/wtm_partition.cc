@@ -11,7 +11,11 @@ WtmPartitionUnit::WtmPartitionUnit(PartitionContext &context,
                                    std::string name)
     : ctx(context), cfg(config), unitName(std::move(name)),
       tcd(std::max(1u, config.tcdEntries / RecencyBloom::numWays),
-          config.seed)
+          config.seed),
+      stElCommits(context.stats().addCounter("wtm_el_commits")),
+      stValidations(context.stats().addCounter("wtm_validations")),
+      stValidationFails(context.stats().addCounter("wtm_validation_fails")),
+      stDecisions(context.stats().addCounter("wtm_decisions"))
 {
 }
 
@@ -94,7 +98,7 @@ WtmPartitionUnit::applyElSlice(const MemMsg &slice, Cycle now)
     ack.warpSlot = slice.warpSlot;
     ack.bytes = 8;
     ctx.scheduleToCore(std::move(ack), start + busy);
-    ctx.stats().inc("wtm_el_commits");
+    stElCommits.add();
     return busy;
 }
 
@@ -191,9 +195,9 @@ WtmPartitionUnit::validateSlice(MemMsg &&slice, Cycle now)
     resp.bytes = 8;
     ctx.scheduleToCore(std::move(resp), start + busy + ctx.llcLatency() +
                                             extra);
-    ctx.stats().inc("wtm_validations");
+    stValidations.add();
     if (failed)
-        ctx.stats().inc("wtm_validation_fails");
+        stValidationFails.add();
 
     if (has_writes)
         onValidationStart(slice, start);
@@ -237,7 +241,7 @@ WtmPartitionUnit::applyDecision(const MemMsg &decision, Cycle now)
     ack.warpSlot = slice.warpSlot;
     ack.bytes = 8;
     ctx.scheduleToCore(std::move(ack), start + busy);
-    ctx.stats().inc("wtm_decisions");
+    stDecisions.add();
     onDecisionApplied(decision.txId, start + busy);
 }
 

@@ -117,6 +117,12 @@ class WtmPartitionUnit : public TmPartitionProtocol
     std::unordered_map<Addr, unsigned> pendingWrites;
     std::uint64_t nextId = 1;
     Cycle vuFree = 0;
+
+    // Hot-path stat handles: one add per validated/decided slice.
+    StatSet::Counter &stElCommits;
+    StatSet::Counter &stValidations;
+    StatSet::Counter &stValidationFails;
+    StatSet::Counter &stDecisions;
 };
 
 } // namespace getm

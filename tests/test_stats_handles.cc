@@ -1,0 +1,178 @@
+/**
+ * @file
+ * StatSet handle API: register-once/bump-by-reference counters must be
+ * perfect aliases of the string-keyed slots, stay valid for the set's
+ * lifetime, and be invisible everywhere (dump/merge/query) until they
+ * first fire -- so pre-registering handles can never change a byte of
+ * simulator output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "gpu/gpu_system.hh"
+#include "workloads/workload.hh"
+
+namespace getm {
+namespace {
+
+TEST(StatsHandles, HandleAndStringPathsAliasTheSameSlot)
+{
+    StatSet stats("core0");
+    StatSet::Counter &instructions = stats.addCounter("instructions");
+
+    instructions.add(5);
+    stats.inc("instructions", 2);
+    EXPECT_EQ(stats.counter("instructions"), 7u);
+
+    // Registering the same name again yields the same slot.
+    EXPECT_EQ(&stats.addCounter("instructions"), &instructions);
+
+    StatSet::Maximum &peak = stats.addMaximum("occupancy");
+    peak.track(3);
+    stats.trackMax("occupancy", 9);
+    peak.track(6);
+    EXPECT_EQ(stats.maximum("occupancy"), 9u);
+
+    StatSet::Average &latency = stats.addAverage("latency");
+    latency.addSample(10.0);
+    stats.sample("latency", 30.0);
+    EXPECT_DOUBLE_EQ(stats.mean("latency"), 20.0);
+
+    HistogramData &depth = stats.addHistogram("depth");
+    depth.record(4);
+    stats.histSample("depth", 4);
+    ASSERT_NE(stats.histogram("depth"), nullptr);
+    EXPECT_EQ(stats.histogram("depth")->count, 2u);
+}
+
+TEST(StatsHandles, ReferencesSurviveLaterRegistrations)
+{
+    StatSet stats("core0");
+    StatSet::Counter &first = stats.addCounter("first");
+    first.add();
+
+    // Flood the registry; node-based storage must not move the slot.
+    for (int i = 0; i < 1000; ++i)
+        stats.addCounter("filler_" + std::to_string(i));
+
+    EXPECT_EQ(&stats.addCounter("first"), &first);
+    first.add();
+    EXPECT_EQ(stats.counter("first"), 2u);
+}
+
+TEST(StatsHandles, UntouchedSlotsAreInvisible)
+{
+    StatSet stats("core0");
+    stats.addCounter("registered_only");
+    stats.addMaximum("registered_max");
+    stats.addAverage("registered_avg");
+    stats.addHistogram("registered_hist");
+    stats.inc("fired");
+
+    const std::string dump = stats.dump();
+    EXPECT_EQ(dump.find("registered_"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("core0.fired 1"), std::string::npos) << dump;
+
+    // Merging must not materialize the untouched names either.
+    StatSet merged("run");
+    merged.merge(stats);
+    EXPECT_EQ(merged.dump().find("registered_"), std::string::npos);
+    EXPECT_EQ(merged.counter("fired"), 1u);
+}
+
+TEST(StatsHandles, MergeOfHandleRegisteredSets)
+{
+    StatSet a("part"), b("part");
+    StatSet::Counter &aHits = a.addCounter("hits");
+    StatSet::Counter &bHits = b.addCounter("hits");
+    aHits.add(3);
+    bHits.add(4);
+
+    StatSet merged("run");
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.counter("hits"), 7u);
+
+    // A handle-bumped set merges byte-identically to a string-bumped
+    // twin with the same recording history.
+    StatSet stringTwin("run");
+    stringTwin.inc("hits", 3);
+    stringTwin.inc("hits", 4);
+    EXPECT_EQ(merged.dump(), stringTwin.dump());
+}
+
+TEST(StatsHandles, ClearResetsValuesButKeepsHandlesLive)
+{
+    StatSet stats("core0");
+    StatSet::Counter &events = stats.addCounter("events");
+    events.add(10);
+    stats.clear();
+    EXPECT_EQ(stats.counter("events"), 0u);
+    EXPECT_EQ(stats.dump(), ""); // back to untouched
+
+    events.add(2);
+    EXPECT_EQ(stats.counter("events"), 2u);
+    EXPECT_EQ(&stats.addCounter("events"), &events);
+}
+
+// Golden equivalence at the system level: run a real transactional
+// workload (whose engines record through pre-registered handles) and
+// replay the merged stats through the legacy string-keyed API; the two
+// dumps must match byte for byte. A second identical run must also
+// reproduce the dump exactly (handles introduce no nondeterminism).
+TEST(StatsHandles, WorkloadDumpMatchesStringReplayAndIsDeterministic)
+{
+    auto runOnce = [] {
+        GpuConfig cfg = GpuConfig::testRig();
+        cfg.protocol = ProtocolKind::Getm;
+        GpuSystem gpu(cfg);
+        auto workload = makeWorkload(BenchId::HtH, 0.01, 123);
+        workload->setup(gpu, false);
+        RunResult result = gpu.run(workload->kernel(),
+                                   workload->numThreads(), 200'000'000);
+        std::string why;
+        EXPECT_TRUE(workload->verify(gpu, why)) << why;
+        return result.stats.dump();
+    };
+
+    const std::string dump = runOnce();
+    EXPECT_FALSE(dump.empty());
+    EXPECT_NE(dump.find("run.instructions"), std::string::npos);
+    EXPECT_NE(dump.find("run.tx_begins"), std::string::npos);
+    EXPECT_EQ(dump, runOnce());
+
+    // Replay every dumped counter line through the string API.
+    StatSet replay("run");
+    std::size_t pos = 0;
+    while (pos < dump.size()) {
+        const std::size_t eol = dump.find('\n', pos);
+        const std::string line = dump.substr(pos, eol - pos);
+        pos = eol + 1;
+        const std::size_t dot = line.find('.');
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(dot, std::string::npos) << line;
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string name = line.substr(dot + 1, space - dot - 1);
+        const std::string value = line.substr(space + 1);
+        if (name.find('.') != std::string::npos ||
+            value.find('.') != std::string::npos)
+            continue; // maxima/averages/histogram lines: counters only
+        replay.inc(name, std::strtoull(value.c_str(), nullptr, 10));
+    }
+    const std::string replayDump = replay.dump();
+    // Every counter line of the replay appears verbatim in the original.
+    std::size_t rpos = 0;
+    while (rpos < replayDump.size()) {
+        const std::size_t eol = replayDump.find('\n', rpos);
+        const std::string line = replayDump.substr(rpos, eol - rpos);
+        rpos = eol + 1;
+        EXPECT_NE(dump.find(line + "\n"), std::string::npos) << line;
+    }
+}
+
+} // namespace
+} // namespace getm

@@ -9,6 +9,9 @@
 #   CHECKER   - path to check_metrics.py ("" to skip validation)
 #   PYTHON    - python3 interpreter ("" to skip validation)
 #   OUT_DIR   - writable scratch directory
+#   GOLDEN    - optional checked-in golden sweep.json; when set, the
+#               serial merged output must be byte-identical to it, so
+#               any refactor that changes a single stat byte fails here
 
 set(serial_dir "${OUT_DIR}/sweep_check_serial")
 set(parallel_dir "${OUT_DIR}/sweep_check_parallel")
@@ -42,6 +45,22 @@ if(NOT same EQUAL 0)
             "per-point isolation or merge ordering is broken")
 endif()
 message(STATUS "serial and parallel sweep.json are byte-identical")
+
+if(DEFINED GOLDEN AND NOT GOLDEN STREQUAL "")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${serial_dir}/sweep.json" "${GOLDEN}"
+        RESULT_VARIABLE same_golden)
+    if(NOT same_golden EQUAL 0)
+        message(FATAL_ERROR
+                "sweep.json differs from the golden fixture ${GOLDEN}: "
+                "simulated behavior or the metrics schema changed. If "
+                "intentional, regenerate the fixture from "
+                "${serial_dir}/sweep.json and explain the change in the "
+                "commit message")
+    endif()
+    message(STATUS "sweep.json matches the golden fixture")
+endif()
 
 if(PYTHON AND CHECKER)
     execute_process(

@@ -1,0 +1,592 @@
+/**
+ * @file
+ * Checker implementation: shadow versions, Pearce-Kelly cycle
+ * detection, epoch GC, and end-of-run cross checks.
+ */
+
+#include "check/checker.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "check/fault.hh"
+
+namespace getm {
+
+bool
+parseCheckLevel(const std::string &text, CheckLevel &out)
+{
+    if (text == "off" || text == "0") {
+        out = CheckLevel::Off;
+    } else if (text == "read" || text == "1") {
+        out = CheckLevel::Read;
+    } else if (text == "serial" || text == "on" || text == "2") {
+        out = CheckLevel::Serial;
+    } else if (text == "ref" || text == "3") {
+        out = CheckLevel::Ref;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+checkLevelName(CheckLevel level)
+{
+    switch (level) {
+      case CheckLevel::Off: return "off";
+      case CheckLevel::Read: return "read";
+      case CheckLevel::Serial: return "serial";
+      case CheckLevel::Ref: return "ref";
+    }
+    return "?";
+}
+
+bool
+parseFaultKind(const std::string &text, FaultKind &out)
+{
+    for (unsigned k = 0; k < numFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        if (text == faultKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+CheckReport::summary() const
+{
+    std::ostringstream os;
+    os << "check[" << checkLevelName(level) << "]: ";
+    if (totalViolations == 0) {
+        os << "clean (" << txCommits << " commits, " << txAborts
+           << " aborts, " << readsChecked << " reads checked, "
+           << writesApplied << " writes applied, " << graphEdges
+           << " edges)";
+    } else {
+        os << totalViolations << " violation(s):";
+        for (unsigned k = 0; k < numViolationKinds; ++k) {
+            if (byKind[k]) {
+                os << ' ' << violationKindName(static_cast<ViolationKind>(k))
+                   << '=' << byKind[k];
+            }
+        }
+    }
+    return os.str();
+}
+
+Checker::Checker(CheckLevel level) : level_(level)
+{
+    report_.level = level;
+}
+
+void
+Checker::addViolation(ViolationKind kind, Addr addr, std::uint64_t tx,
+                      std::uint32_t expected, std::uint32_t actual,
+                      std::string detail)
+{
+    ++report_.byKind[static_cast<unsigned>(kind)];
+    ++report_.totalViolations;
+    if (report_.samples.size() < maxSamples) {
+        report_.samples.push_back(
+            {kind, addr, tx, expected, actual, std::move(detail)});
+    }
+}
+
+void
+Checker::attemptBegin(GlobalWarpId gwid, LaneMask lanes,
+                      std::uint32_t first_tid)
+{
+    for (LaneId lane = 0; lane < warpSize; ++lane) {
+        if (!(lanes & (1u << lane)))
+            continue;
+        LaneSlot &slot = slots[slotKey(gwid, lane)];
+        slot.active = true;
+        slot.cur = Attempt{};
+        slot.cur.id = ++txCounter;
+        slot.cur.tid = first_tid + lane;
+        ++report_.txBegins;
+    }
+}
+
+void
+Checker::readObserved(GlobalWarpId gwid, LaneId lane, Addr addr,
+                      std::uint32_t value)
+{
+    ++report_.readsChecked;
+    AddrState &st = shadow[addr];
+    LaneSlot &slot = slots[slotKey(gwid, lane)];
+    if (st.versions.empty()) {
+        // First touch: adopt the store's value as the initial version
+        // (workload setup writes host-side, below the hooks).
+        st.versions.push_back({0, value, ++eventSeq, {}});
+    } else if (st.versions.back().value != value) {
+        std::ostringstream os;
+        os << "tx read of 0x" << std::hex << addr << std::dec
+           << " observed a value the shadow never saw applied";
+        addViolation(ViolationKind::InconsistentRead, addr,
+                     slot.active ? slot.cur.id : 0,
+                     st.versions.back().value, value, os.str());
+        return; // do not bind the bogus value to a version
+    }
+    if (slot.active && level_ >= CheckLevel::Serial) {
+        const Version &v = st.versions.back();
+        slot.cur.reads.push_back({addr, value, v.installSeq, v.writer});
+    }
+}
+
+void
+Checker::attemptAborted(GlobalWarpId gwid, LaneMask lanes)
+{
+    for (LaneId lane = 0; lane < warpSize; ++lane) {
+        if (!(lanes & (1u << lane)))
+            continue;
+        LaneSlot &slot = slots[slotKey(gwid, lane)];
+        if (!slot.active)
+            continue;
+        ++report_.txAborts;
+        slot.active = false;
+        slot.cur = Attempt{};
+    }
+}
+
+void
+Checker::attemptCommitted(GlobalWarpId gwid, LaneId lane,
+                          const std::vector<LogEntry> &writes)
+{
+    ++report_.txCommits;
+    LaneSlot &slot = slots[slotKey(gwid, lane)];
+    if (!slot.active) {
+        // Commit without a begin: the hooks missed an attempt start.
+        slot.cur = Attempt{};
+        slot.cur.id = ++txCounter;
+    }
+    Attempt att = std::move(slot.cur);
+    slot.active = false;
+    slot.cur = Attempt{};
+
+    PendingApply pa;
+    pa.tx = att.id;
+    for (const LogEntry &e : writes)
+        pa.intents.push_back({e.addr, e.value, false});
+
+    // WarpTM-EL applied at the core before retiring: match those
+    // applies against the intent now.
+    for (const auto &[addr, value] : att.earlyApplies) {
+        WriteIntent *intent = nullptr;
+        for (WriteIntent &in : pa.intents) {
+            if (!in.applied && in.addr == addr) {
+                intent = &in;
+                break;
+            }
+        }
+        if (!intent) {
+            std::ostringstream os;
+            os << "T" << att.id << " (tid " << att.tid
+               << ") applied a write it never logged";
+            addViolation(ViolationKind::CorruptApply, addr, att.id, 0,
+                         value, os.str());
+            continue;
+        }
+        intent->applied = true;
+        if (intent->value != value) {
+            std::ostringstream os;
+            os << "T" << att.id << " (tid " << att.tid
+               << ") logged one value but memory got another";
+            addViolation(ViolationKind::CorruptApply, addr, att.id,
+                         intent->value, value, os.str());
+        }
+    }
+
+    if (level_ >= CheckLevel::Serial) {
+        ensureNode(att.id);
+        for (const ReadRec &r : att.reads) {
+            if (r.writer != 0 && r.writer != att.id)
+                addEdge(r.writer, att.id, "WR", r.addr);
+            auto shadow_it = shadow.find(r.addr);
+            if (shadow_it == shadow.end())
+                continue;
+            std::size_t idx = 0;
+            Version *v = findVersion(shadow_it->second, r.installSeq, &idx);
+            if (!v)
+                continue;
+            v->committedReaders.push_back(att.id);
+            auto &vs = shadow_it->second.versions;
+            if (idx + 1 < vs.size()) {
+                const std::uint64_t succ = vs[idx + 1].writer;
+                if (succ != 0 && succ != att.id)
+                    addEdge(att.id, succ, "RW", r.addr);
+            }
+        }
+    }
+
+    bool outstanding = false;
+    for (const WriteIntent &in : pa.intents)
+        outstanding |= !in.applied;
+    if (outstanding)
+        slot.pending.push_back(std::move(pa));
+
+    maybeGc();
+}
+
+void
+Checker::writeApplied(GlobalWarpId gwid, LaneId lane, Addr addr,
+                      std::uint32_t value)
+{
+    ++report_.writesApplied;
+    LaneSlot &slot = slots[slotKey(gwid, lane)];
+    std::uint64_t owner = 0;
+
+    // GETM / WarpTM-LL: applies land at the partitions after the lane
+    // retired; the oldest pending intent for this address owns it.
+    for (PendingApply &pa : slot.pending) {
+        for (WriteIntent &in : pa.intents) {
+            if (!in.applied && in.addr == addr) {
+                in.applied = true;
+                owner = pa.tx;
+                if (in.value != value) {
+                    std::ostringstream os;
+                    os << "T" << pa.tx
+                       << " logged one value but memory got another";
+                    addViolation(ViolationKind::CorruptApply, addr,
+                                 pa.tx, in.value, value, os.str());
+                }
+                break;
+            }
+        }
+        if (owner)
+            break;
+    }
+    if (!owner && slot.active) {
+        // WarpTM-EL: core-side apply before the attempt retires.
+        owner = slot.cur.id;
+        slot.cur.earlyApplies.emplace_back(addr, value);
+    }
+    if (!owner) {
+        addViolation(ViolationKind::CorruptApply, addr, 0, 0, value,
+                     "commit apply with no owning transaction attempt");
+    }
+    installVersion(addr, owner, value);
+
+    while (!slot.pending.empty()) {
+        const PendingApply &front = slot.pending.front();
+        bool done = true;
+        for (const WriteIntent &in : front.intents)
+            done &= in.applied;
+        if (!done)
+            break;
+        slot.pending.pop_front();
+    }
+}
+
+void
+Checker::externalWrite(Addr addr, std::uint32_t value)
+{
+    installVersion(addr, 0, value);
+}
+
+void
+Checker::installVersion(Addr addr, std::uint64_t writer,
+                        std::uint32_t value)
+{
+    AddrState &st = shadow[addr];
+    if (!st.versions.empty() && writer != 0 &&
+        level_ >= CheckLevel::Serial) {
+        const Version &prev = st.versions.back();
+        if (prev.writer != 0 && prev.writer != writer)
+            addEdge(prev.writer, writer, "WW", addr);
+        for (std::uint64_t reader : prev.committedReaders) {
+            if (reader != writer)
+                addEdge(reader, writer, "RW", addr);
+        }
+        ensureNode(writer);
+    }
+    st.versions.push_back({writer, value, ++eventSeq, {}});
+}
+
+Checker::TxNode &
+Checker::ensureNode(std::uint64_t tx)
+{
+    auto [it, fresh] = nodes.try_emplace(tx);
+    if (fresh)
+        it->second.ord = ++ordCounter;
+    return it->second;
+}
+
+Checker::Version *
+Checker::findVersion(AddrState &st, std::uint64_t install_seq,
+                     std::size_t *index)
+{
+    auto &vs = st.versions;
+    auto it = std::lower_bound(
+        vs.begin(), vs.end(), install_seq,
+        [](const Version &v, std::uint64_t s) { return v.installSeq < s; });
+    if (it == vs.end() || it->installSeq != install_seq)
+        return nullptr;
+    if (index)
+        *index = static_cast<std::size_t>(it - vs.begin());
+    return &*it;
+}
+
+void
+Checker::addEdge(std::uint64_t u, std::uint64_t v, const char *dep,
+                 Addr addr)
+{
+    if (u == v)
+        return;
+    TxNode &nu = ensureNode(u);
+    TxNode &nv = ensureNode(v); // references survive rehash
+    if (nu.out.count(v))
+        return;
+
+    if (nv.ord < nu.ord) {
+        // Affected region: does v already reach u? (Sound because ord
+        // is a valid topological order, so any v ->* u path stays
+        // within ord <= ord[u].)
+        const std::uint64_t ub = nu.ord;
+        std::unordered_map<std::uint64_t, std::uint64_t> parent;
+        std::vector<std::uint64_t> stack{v};
+        std::vector<std::uint64_t> deltaF;
+        parent.emplace(v, v);
+        bool cycle = false;
+        while (!stack.empty()) {
+            const std::uint64_t x = stack.back();
+            stack.pop_back();
+            if (x == u) {
+                cycle = true;
+                break;
+            }
+            deltaF.push_back(x);
+            for (std::uint64_t y : nodes[x].out) {
+                if (parent.count(y) || nodes[y].ord > ub)
+                    continue;
+                parent.emplace(y, x);
+                stack.push_back(y);
+            }
+        }
+        if (cycle) {
+            std::ostringstream os;
+            os << dep << " edge T" << u << "->T" << v << " on 0x"
+               << std::hex << addr << std::dec << " closes cycle: T" << u;
+            std::vector<std::uint64_t> path;
+            for (std::uint64_t x = u; x != v; x = parent[x])
+                path.push_back(x);
+            path.push_back(v);
+            for (auto it = path.rbegin(); it != path.rend(); ++it)
+                os << "->T" << *it;
+            addViolation(ViolationKind::SerializabilityCycle, addr, u, 0,
+                         0, os.str());
+            return; // keep the graph a DAG so detection stays alive
+        }
+        // Reorder (Pearce-Kelly): shift the region reaching u below
+        // the region reachable from v.
+        const std::uint64_t lb = nv.ord;
+        std::unordered_set<std::uint64_t> seen;
+        std::vector<std::uint64_t> deltaB;
+        stack.assign(1, u);
+        seen.insert(u);
+        while (!stack.empty()) {
+            const std::uint64_t x = stack.back();
+            stack.pop_back();
+            deltaB.push_back(x);
+            for (std::uint64_t y : nodes[x].in) {
+                if (seen.count(y) || nodes[y].ord < lb)
+                    continue;
+                seen.insert(y);
+                stack.push_back(y);
+            }
+        }
+        auto by_ord = [this](std::uint64_t a, std::uint64_t b) {
+            return nodes[a].ord < nodes[b].ord;
+        };
+        std::sort(deltaB.begin(), deltaB.end(), by_ord);
+        std::sort(deltaF.begin(), deltaF.end(), by_ord);
+        std::vector<std::uint64_t> pool;
+        pool.reserve(deltaB.size() + deltaF.size());
+        for (std::uint64_t x : deltaB)
+            pool.push_back(nodes[x].ord);
+        for (std::uint64_t x : deltaF)
+            pool.push_back(nodes[x].ord);
+        std::sort(pool.begin(), pool.end());
+        std::size_t slot = 0;
+        for (std::uint64_t x : deltaB)
+            nodes[x].ord = pool[slot++];
+        for (std::uint64_t x : deltaF)
+            nodes[x].ord = pool[slot++];
+    }
+
+    nu.out.insert(v);
+    nv.in.insert(u);
+    ++report_.graphEdges;
+}
+
+void
+Checker::maybeGc()
+{
+    if (++commitsSinceGc < gcPeriod)
+        return;
+    commitsSinceGc = 0;
+    gc();
+}
+
+void
+Checker::gc()
+{
+    ++report_.gcRuns;
+
+    // Pin everything a future event can still reference: in-flight
+    // attempts, committed attempts with outstanding applies, and the
+    // exact versions in-flight reads bound to.
+    std::unordered_set<std::uint64_t> pinned;
+    std::unordered_map<Addr, std::unordered_set<std::uint64_t>> keepSeqs;
+    for (auto &[key, slot] : slots) {
+        (void)key;
+        if (slot.active) {
+            pinned.insert(slot.cur.id);
+            for (const ReadRec &r : slot.cur.reads) {
+                keepSeqs[r.addr].insert(r.installSeq);
+                if (r.writer)
+                    pinned.insert(r.writer);
+            }
+        }
+        for (const PendingApply &pa : slot.pending)
+            pinned.insert(pa.tx);
+    }
+
+    // Prune version lists to the newest version plus pinned ones; the
+    // writers and committed readers of surviving versions stay in the
+    // graph because future WW / RW / WR edges can still name them.
+    for (auto &[addr, st] : shadow) {
+        auto &vs = st.versions;
+        if (vs.size() > 1) {
+            auto keep_it = keepSeqs.find(addr);
+            std::vector<Version> kept;
+            for (std::size_t i = 0; i < vs.size(); ++i) {
+                const bool keep =
+                    i + 1 == vs.size() ||
+                    (keep_it != keepSeqs.end() &&
+                     keep_it->second.count(vs[i].installSeq));
+                if (keep)
+                    kept.push_back(std::move(vs[i]));
+            }
+            vs = std::move(kept);
+        }
+        for (const Version &v : vs) {
+            if (v.writer)
+                pinned.insert(v.writer);
+            for (std::uint64_t r : v.committedReaders)
+                pinned.insert(r);
+        }
+    }
+
+    if (level_ < CheckLevel::Serial || nodes.empty())
+        return;
+
+    // Condense: future edges only attach to pinned nodes, but a future
+    // cycle may route *through* retired interior nodes, so preserve
+    // pinned-to-pinned reachability with direct edges before dropping
+    // them. An existing u ->* p path implies ord[u] < ord[p], so the
+    // shortcut edge needs no reordering.
+    for (auto &[id, node] : nodes) {
+        if (!pinned.count(id))
+            continue;
+        std::vector<std::uint64_t> stack;
+        std::unordered_set<std::uint64_t> visited;
+        std::vector<std::uint64_t> reached;
+        for (std::uint64_t s : node.out) {
+            if (!pinned.count(s) && visited.insert(s).second)
+                stack.push_back(s);
+        }
+        while (!stack.empty()) {
+            const std::uint64_t x = stack.back();
+            stack.pop_back();
+            for (std::uint64_t y : nodes[x].out) {
+                if (pinned.count(y)) {
+                    reached.push_back(y);
+                } else if (visited.insert(y).second) {
+                    stack.push_back(y);
+                }
+            }
+        }
+        for (std::uint64_t p : reached) {
+            if (p != id && !node.out.count(p)) {
+                node.out.insert(p);
+                nodes[p].in.insert(id);
+            }
+        }
+    }
+
+    std::uint64_t removed = 0;
+    auto prune_set = [&](std::unordered_set<std::uint64_t> &s) {
+        for (auto it = s.begin(); it != s.end();) {
+            if (!pinned.count(*it))
+                it = s.erase(it);
+            else
+                ++it;
+        }
+    };
+    for (auto it = nodes.begin(); it != nodes.end();) {
+        if (pinned.count(it->first)) {
+            prune_set(it->second.out);
+            prune_set(it->second.in);
+            ++it;
+        } else {
+            it = nodes.erase(it);
+            ++removed;
+        }
+    }
+    report_.nodesReclaimed += removed;
+}
+
+void
+Checker::finish(const BackingStore &store)
+{
+    for (const auto &[key, slot] : slots) {
+        (void)key;
+        for (const PendingApply &pa : slot.pending) {
+            for (const WriteIntent &in : pa.intents) {
+                if (in.applied)
+                    continue;
+                std::ostringstream os;
+                os << "T" << pa.tx << " committed a write to 0x"
+                   << std::hex << in.addr << std::dec
+                   << " that never reached memory";
+                addViolation(ViolationKind::LostWrite, in.addr, pa.tx,
+                             in.value, store.read(in.addr), os.str());
+            }
+        }
+    }
+    for (const auto &[addr, st] : shadow) {
+        const std::uint32_t actual = store.read(addr);
+        if (actual != st.versions.back().value) {
+            std::ostringstream os;
+            os << "memory at 0x" << std::hex << addr << std::dec
+               << " diverged from the applied-write shadow";
+            addViolation(ViolationKind::FinalStateMismatch, addr, 0,
+                         st.versions.back().value, actual, os.str());
+        }
+    }
+}
+
+void
+Checker::crossCheckReference(const BackingStore &ref,
+                             const BackingStore &actual)
+{
+    for (const auto &[addr, st] : shadow) {
+        (void)st;
+        const std::uint32_t want = ref.read(addr);
+        const std::uint32_t got = actual.read(addr);
+        if (want != got) {
+            std::ostringstream os;
+            os << "final memory at 0x" << std::hex << addr << std::dec
+               << " differs from the sequential reference execution";
+            addViolation(ViolationKind::RefMismatch, addr, 0, want, got,
+                         os.str());
+        }
+    }
+}
+
+} // namespace getm

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Online serializability & opacity checker.
+ *
+ * The Checker consumes the CheckSink event stream and maintains, in
+ * lockstep with functional memory, a *shadow* multi-version history of
+ * every address the simulation touches. Because every BackingStore
+ * mutation on a simulated path has an adjacent writeApplied() /
+ * externalWrite() hook, the newest shadow version always equals the
+ * store's content at the same simulation instant; a transactional read
+ * that disagrees with it proves a write bypassed an instrumented path
+ * or a value was corrupted in flight (opacity: even doomed attempts
+ * must observe consistent committed state).
+ *
+ * Committed transactions additionally enter an incremental conflict
+ * graph. Edges:
+ *
+ *   WR  version writer -> committed reader         (at reader commit)
+ *   WW  previous version writer -> new writer      (at version install)
+ *   RW  committed reader -> *immediate successor*  (at whichever of
+ *       reader-commit / successor-install happens second)
+ *
+ * RW anti-dependencies to later overwriters follow transitively via
+ * the WW chain, so immediate successors suffice. The graph is kept a
+ * DAG with the Pearce-Kelly incremental topological-order algorithm;
+ * an insertion that would close a cycle is reported as a
+ * SerializabilityCycle and *not* inserted, so detection keeps working
+ * afterwards. Epoch GC (every gcPeriod commits) prunes dead versions
+ * and condenses retired graph nodes while preserving reachability
+ * between the surviving ("pinned") nodes, so a pruned interior node
+ * can never hide a future cycle.
+ *
+ * Commit intent (the redo log captured at attemptCommitted) is
+ * cross-checked against the applies that actually hit memory:
+ * mismatched value => CorruptApply, never applied => LostWrite.
+ *
+ * The checker is a pure observer: it owns no stats counters, issues no
+ * memory traffic, and never perturbs simulated timing.
+ */
+
+#ifndef GETM_CHECK_CHECKER_HH
+#define GETM_CHECK_CHECKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "check/sink.hh"
+#include "check/violation.hh"
+#include "mem/backing_store.hh"
+
+namespace getm {
+
+class Checker : public CheckSink
+{
+  public:
+    explicit Checker(CheckLevel level);
+
+    // CheckSink events (see sink.hh for the placement contract).
+    void attemptBegin(GlobalWarpId gwid, LaneMask lanes,
+                      std::uint32_t first_tid) override;
+    void readObserved(GlobalWarpId gwid, LaneId lane, Addr addr,
+                      std::uint32_t value) override;
+    void attemptAborted(GlobalWarpId gwid, LaneMask lanes) override;
+    void attemptCommitted(GlobalWarpId gwid, LaneId lane,
+                          const std::vector<LogEntry> &writes) override;
+    void writeApplied(GlobalWarpId gwid, LaneId lane, Addr addr,
+                      std::uint32_t value) override;
+    void externalWrite(Addr addr, std::uint32_t value) override;
+
+    /**
+     * End-of-run pass: report LostWrite for commit intent that never
+     * reached memory and FinalStateMismatch where @p store disagrees
+     * with the shadow (a write escaped instrumentation entirely).
+     */
+    void finish(const BackingStore &store);
+
+    /**
+     * CheckLevel::Ref: diff @p actual against @p ref (a BackingStore
+     * the caller ran through check::referenceRun with identical
+     * initial contents) over every address the simulation touched.
+     */
+    void crossCheckReference(const BackingStore &ref,
+                             const BackingStore &actual);
+
+    const CheckReport &report() const { return report_; }
+    CheckLevel level() const { return level_; }
+
+    /** Commits between GC passes (test hook; default 4096). */
+    void setGcPeriod(std::uint64_t period) { gcPeriod = period ? period : 1; }
+
+  private:
+    /** One committed write of one version of one address. */
+    struct Version
+    {
+        std::uint64_t writer;    ///< Checker tx id; 0 = initial/external.
+        std::uint32_t value;
+        std::uint64_t installSeq; ///< Global event order of the install.
+        std::vector<std::uint64_t> committedReaders;
+    };
+
+    struct AddrState
+    {
+        std::vector<Version> versions; ///< installSeq-ascending.
+    };
+
+    /** A read bound at the partition, with the version it observed. */
+    struct ReadRec
+    {
+        Addr addr;
+        std::uint32_t value;
+        std::uint64_t installSeq;
+        std::uint64_t writer;
+    };
+
+    struct WriteIntent
+    {
+        Addr addr;
+        std::uint32_t value;
+        bool applied;
+    };
+
+    /** An in-flight transaction attempt of one lane slot. */
+    struct Attempt
+    {
+        std::uint64_t id = 0;
+        std::uint32_t tid = 0;
+        std::vector<ReadRec> reads;
+        /** Applies seen while still current (WarpTM-EL commits at the
+         *  core before the attempt retires). */
+        std::vector<std::pair<Addr, std::uint32_t>> earlyApplies;
+    };
+
+    /** A committed attempt whose applies are still in flight. */
+    struct PendingApply
+    {
+        std::uint64_t tx;
+        std::vector<WriteIntent> intents;
+    };
+
+    /**
+     * Per-(warp, lane) attempt attribution. Partition messages carry
+     * (gwid, lane) but no transaction id; the drain invariants of all
+     * protocols guarantee reads bind while the issuing attempt is
+     * still `cur`, while GETM / WarpTM-LL applies can land after the
+     * lane retired (hence the pending deque).
+     */
+    struct LaneSlot
+    {
+        bool active = false;
+        Attempt cur;
+        std::deque<PendingApply> pending;
+    };
+
+    /** Conflict-graph node, keyed by checker tx id. */
+    struct TxNode
+    {
+        std::uint64_t ord; ///< Pearce-Kelly topological index.
+        std::unordered_set<std::uint64_t> out;
+        std::unordered_set<std::uint64_t> in;
+    };
+
+    void addViolation(ViolationKind kind, Addr addr, std::uint64_t tx,
+                      std::uint32_t expected, std::uint32_t actual,
+                      std::string detail);
+
+    /** Append a version; wires WW + pending RW edges to the writer. */
+    void installVersion(Addr addr, std::uint64_t writer,
+                        std::uint32_t value);
+
+    TxNode &ensureNode(std::uint64_t tx);
+
+    /**
+     * Insert u -> v, maintaining the topological order (Pearce-Kelly).
+     * If the edge would close a cycle it is reported and dropped.
+     */
+    void addEdge(std::uint64_t u, std::uint64_t v, const char *dep,
+                 Addr addr);
+
+    Version *findVersion(AddrState &st, std::uint64_t install_seq,
+                         std::size_t *index = nullptr);
+
+    void maybeGc();
+    void gc();
+
+    static std::uint64_t
+    slotKey(GlobalWarpId gwid, LaneId lane)
+    {
+        return static_cast<std::uint64_t>(gwid) * warpSize + lane;
+    }
+
+    CheckLevel level_;
+    CheckReport report_;
+
+    std::uint64_t eventSeq = 0;
+    std::uint64_t txCounter = 0;
+    std::uint64_t gcPeriod = 4096;
+    std::uint64_t commitsSinceGc = 0;
+
+    std::unordered_map<Addr, AddrState> shadow;
+    std::unordered_map<std::uint64_t, LaneSlot> slots;
+    std::unordered_map<std::uint64_t, TxNode> nodes;
+    std::uint64_t ordCounter = 0;
+
+    static constexpr std::size_t maxSamples = 16;
+};
+
+} // namespace getm
+
+#endif // GETM_CHECK_CHECKER_HH

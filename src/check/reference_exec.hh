@@ -1,17 +1,23 @@
 /**
  * @file
- * Host-side reference executor for differential testing.
+ * Single-threaded reference executor.
  *
  * Runs a Kernel one thread at a time, sequentially, with no timing, no
- * warps, and no SIMT stack -- just plain per-thread control flow. For
- * race-free kernels (each thread touches disjoint data) the simulated
- * GPU must produce exactly the same memory image; this pins down the
- * PDOM reconvergence machinery against an implementation that cannot
- * possibly have divergence bugs.
+ * warps, and no SIMT stack -- just plain per-thread control flow. Two
+ * consumers:
+ *
+ *  - differential tests: for race-free kernels (each thread touches
+ *    disjoint data) the simulated GPU must produce exactly the same
+ *    memory image, pinning down the PDOM reconvergence machinery;
+ *  - the runtime checker at CheckLevel::Ref: a final-memory oracle for
+ *    workloads whose result is order-insensitive (commutative updates).
+ *    Order-sensitive kernels legitimately diverge -- the serialization
+ *    order the GPU picked need not be thread-id order -- so RefMismatch
+ *    is advisory there (see docs/CHECKING.md).
  */
 
-#ifndef GETM_TESTS_REFERENCE_EXEC_HH
-#define GETM_TESTS_REFERENCE_EXEC_HH
+#ifndef GETM_CHECK_REFERENCE_EXEC_HH
+#define GETM_CHECK_REFERENCE_EXEC_HH
 
 #include <array>
 #include <cstdint>
@@ -20,7 +26,7 @@
 #include "mem/backing_store.hh"
 
 namespace getm {
-namespace testing {
+namespace check {
 
 /** Execute @p kernel for threads [0, n) sequentially against @p mem. */
 inline void
@@ -184,7 +190,7 @@ referenceRun(const Kernel &kernel, std::uint64_t n_threads,
     }
 }
 
-} // namespace testing
+} // namespace check
 } // namespace getm
 
-#endif // GETM_TESTS_REFERENCE_EXEC_HH
+#endif // GETM_CHECK_REFERENCE_EXEC_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Event interface between the simulator and the runtime checker.
+ *
+ * Like ObsSink, a CheckSink is a nullable pointer installed on every
+ * SIMT core and memory partition; when no checker is configured the
+ * pointer is null and the hot paths pay a single predictable branch.
+ * Engines stay decoupled from the checker implementation: they report
+ * *what happened*, the checker decides what it means.
+ *
+ * Placement contract (this is what makes the checker sound):
+ *
+ *  - readObserved() fires where transactional load data is bound to a
+ *    value -- at the memory partition's serialization point (GETM
+ *    respondLoad, WarpTM WtmTxLoad), never at core delivery time.
+ *  - writeApplied() / externalWrite() fire adjacent to the actual
+ *    BackingStore mutation, so the checker's shadow memory advances in
+ *    lockstep with functional memory in simulation event order.
+ *  - attemptBegin/Aborted/Committed fire at the SIMT core's single
+ *    accounting points (execTxBegin, abortTxLanes, retireTxAttempt).
+ *    At retire the per-lane redo logs are still intact and carry the
+ *    committed write intent.
+ *
+ * Attribution: (gwid, lane) identifies a thread slot; the checker
+ * tracks attempts per slot because partition messages do not carry
+ * thread ids and global warp ids are reused across warp relaunches.
+ */
+
+#ifndef GETM_CHECK_SINK_HH
+#define GETM_CHECK_SINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "tm/tx_log.hh"
+
+namespace getm {
+
+/** Receiver of transaction-lifecycle and memory events. */
+class CheckSink
+{
+  public:
+    virtual ~CheckSink() = default;
+
+    /** Lanes in @p lanes of (core-assigned) warp @p gwid start a new
+     *  transaction attempt; lane 0 executes thread @p first_tid. */
+    virtual void attemptBegin(GlobalWarpId gwid, LaneMask lanes,
+                              std::uint32_t first_tid) = 0;
+
+    /** A transactional load bound @p value for @p addr at the
+     *  partition's serialization point. */
+    virtual void readObserved(GlobalWarpId gwid, LaneId lane, Addr addr,
+                              std::uint32_t value) = 0;
+
+    /** Lanes of the current attempt aborted (will retry or die). */
+    virtual void attemptAborted(GlobalWarpId gwid, LaneMask lanes) = 0;
+
+    /**
+     * One lane's attempt committed. @p writes is the lane's redo log
+     * (the write intent); the matching writeApplied() calls may come
+     * before (WarpTM-EL) or after (GETM, WarpTM-LL) this event.
+     */
+    virtual void attemptCommitted(GlobalWarpId gwid, LaneId lane,
+                                  const std::vector<LogEntry> &writes) = 0;
+
+    /** A committed transactional write of @p value hit memory. */
+    virtual void writeApplied(GlobalWarpId gwid, LaneId lane, Addr addr,
+                              std::uint32_t value) = 0;
+
+    /** A non-transactional store or atomic mutated memory. */
+    virtual void externalWrite(Addr addr, std::uint32_t value) = 0;
+};
+
+} // namespace getm
+
+#endif // GETM_CHECK_SINK_HH

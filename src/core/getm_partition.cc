@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/fault.hh"
+#include "check/sink.hh"
 #include "common/debug.hh"
 #include "common/log.hh"
 
@@ -50,8 +52,10 @@ GetmPartitionUnit::respondLoad(const MemMsg &msg, Cycle ready, Cycle now)
     Cycle extra = 0;
     for (const LaneOp &op : msg.ops) {
         // Data is bound at the serialization point (now), not delivery.
-        resp.ops.push_back(
-            {op.lane, op.addr, ctx.memory().read(op.addr), 0});
+        const std::uint32_t value = ctx.memory().read(op.addr);
+        if (CheckSink *cs = ctx.check())
+            cs->readObserved(msg.wid, op.lane, op.addr, value);
+        resp.ops.push_back({op.lane, op.addr, value, 0});
         extra = std::max(
             extra, ctx.accessLlc(op.addr, /*is_write=*/false, now));
     }
@@ -161,6 +165,20 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
             reason = AbortReason::WawTs;
         else
             reason = AbortReason::WarTs;
+        FaultInjector *fi = ctx.faults();
+        if (!is_load && !entry.locked() && fi &&
+            fi->fire(FaultKind::ForceStoreGrant)) {
+            // Injected isolation break: grant the conflicting store
+            // anyway. All reservation bookkeeping is kept so the commit
+            // unit stays consistent -- only the timestamp check lied.
+            entry.wts = warpts + 1;
+            entry.owner = msg.wid;
+            entry.numWrites += count;
+            meta.noteTimestamp(entry.wts);
+            respondStoreAck(msg, ready);
+            entry.approxSeeded = false;
+            return busy;
+        }
         respondAbort(msg, observed, ready, reason, granule, now);
         return busy;
     }
@@ -185,8 +203,11 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
 
     // Conflict-free access.
     if (is_load) {
-        entry.rts = std::max(entry.rts, warpts);
-        meta.noteTimestamp(entry.rts);
+        FaultInjector *fi = ctx.faults();
+        if (!(fi && fi->fire(FaultKind::SkipRtsBump))) {
+            entry.rts = std::max(entry.rts, warpts);
+            meta.noteTimestamp(entry.rts);
+        }
         respondLoad(msg, ready, now);
     } else {
         entry.wts = warpts + 1;
@@ -217,7 +238,18 @@ GetmPartitionUnit::processCommit(const MemMsg &msg, Cycle now)
                static_cast<unsigned long long>(op.addr), op.value,
                op.aux);
         if (committing) {
-            ctx.memory().write(op.addr, op.value);
+            FaultInjector *fi = ctx.faults();
+            if (fi && fi->fire(FaultKind::DropCommitWrite)) {
+                // Injected lost write: neither memory nor the checker's
+                // shadow sees it; only the commit intent remembers.
+            } else {
+                std::uint32_t value = op.value;
+                if (fi && fi->fire(FaultKind::CorruptCommit))
+                    value ^= 1u;
+                ctx.memory().write(op.addr, value);
+                if (CheckSink *cs = ctx.check())
+                    cs->writeApplied(msg.wid, op.lane, op.addr, value);
+            }
             ctx.accessLlc(op.addr, /*is_write=*/true, now);
             granule = granuleOf(op.addr);
         } else {

@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <bit>
 
+// Checker/fault-injection coverage: EAPG adds only the broadcast
+// machinery below on top of WarpTM-LL; loads, validation, and commit
+// applies all run through the inherited WtmPartitionUnit /
+// WtmCoreTm paths, whose CheckSink hooks and FaultInjector sites
+// (commit-stale-read, corrupt-commit, drop-commit-write) therefore
+// cover EAPG with no additional instrumentation here.
+
 namespace getm {
 
 void

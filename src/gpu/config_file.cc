@@ -1,8 +1,12 @@
 #include "gpu/config_file.hh"
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "check/fault.hh"
+#include "check/violation.hh"
 
 namespace getm {
 
@@ -78,6 +82,40 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
     return true;
 }
 
+/**
+ * Keys whose values are words, tried before the numeric parser. The
+ * checker/injection keys are deliberately absent from
+ * configProvenance(): enabling validation must not change a run's
+ * reported configuration or sweep spec hashes.
+ */
+bool
+applyStringKey(GpuConfig &cfg, const std::string &key,
+               const std::string &value_text, bool &handled)
+{
+    handled = true;
+    if (key == "check") {
+        CheckLevel level;
+        if (!parseCheckLevel(value_text, level))
+            return false;
+        cfg.checkLevel = static_cast<unsigned>(level);
+    } else if (key == "inject") {
+        FaultKind kind;
+        if (!parseFaultKind(value_text, kind))
+            return false;
+        cfg.injectFault = static_cast<unsigned>(kind);
+    } else if (key == "inject_prob") {
+        char *end = nullptr;
+        const double prob = std::strtod(value_text.c_str(), &end);
+        if (value_text.empty() || (end && *end != '\0') || prob < 0.0 ||
+            prob > 1.0)
+            return false;
+        cfg.injectProb = prob;
+    } else {
+        handled = false;
+    }
+    return true;
+}
+
 } // namespace
 
 bool
@@ -103,6 +141,14 @@ applyConfigText(const std::string &text, GpuConfig &cfg,
         }
         const std::string key = trim(line.substr(0, eq));
         const std::string value_text = trim(line.substr(eq + 1));
+        bool handled = false;
+        if (!applyStringKey(cfg, key, value_text, handled)) {
+            error = "line " + std::to_string(line_no) +
+                    ": bad value for '" + key + "'";
+            return false;
+        }
+        if (handled)
+            continue;
         char *end = nullptr;
         const std::uint64_t value =
             std::strtoull(value_text.c_str(), &end, 0);

@@ -76,6 +76,20 @@ struct GpuConfig
     /** Rows kept in the exported hot-address conflict table. */
     unsigned hotAddrTopN = 16;
 
+    /**
+     * Runtime checker level (CheckLevel numeric value; 0 = off). Plain
+     * unsigned so this header needs no src/check dependency; GpuSystem
+     * interprets it. Never part of config provenance: a checked run
+     * must hash and report identically to an unchecked one.
+     */
+    unsigned checkLevel = 0;
+
+    /** Injected protocol fault (FaultKind numeric value; 0 = none). */
+    unsigned injectFault = 0;
+
+    /** Probability of each injected fault decision firing. */
+    double injectProb = 1.0;
+
     std::uint64_t seed = 12345;
 
     /**

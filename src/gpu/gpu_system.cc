@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "check/checker.hh"
+#include "check/fault.hh"
 #include "common/log.hh"
 #include "core/getm_core_tm.hh"
 #include "eapg/eapg.hh"
@@ -94,6 +96,24 @@ GpuSystem::GpuSystem(const GpuConfig &config)
         core->setObserver(&observability);
     for (auto &part : partArray)
         part->setObserver(&observability);
+    if (cfg.checkLevel > 0) {
+        checker = std::make_unique<Checker>(
+            static_cast<CheckLevel>(cfg.checkLevel));
+        for (auto &core : coreArray)
+            core->setChecker(checker.get());
+        for (auto &part : partArray)
+            part->setChecker(checker.get());
+    }
+    if (cfg.injectFault > 0 &&
+        cfg.injectFault < static_cast<unsigned>(FaultKind::Count)) {
+        faultInjector = std::make_unique<FaultInjector>(
+            static_cast<FaultKind>(cfg.injectFault), cfg.injectProb,
+            cfg.seed);
+        for (auto &core : coreArray)
+            core->setFaults(faultInjector.get());
+        for (auto &part : partArray)
+            part->setFaults(faultInjector.get());
+    }
     wireProtocol();
     setupTelemetry();
 }
@@ -531,6 +551,10 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
     result.stallPeakOccupancy = stallTracker.peak;
     result.stallWaitersPerAddr = result.stats.mean("waiters_per_addr");
     result.obs = observability.report(cfg.hotAddrTopN);
+    if (checker) {
+        checker->finish(store);
+        result.check = checker->report();
+    }
     if (!cfg.timelinePath.empty()) {
         if (timeline.writeJson(cfg.timelinePath))
             inform("wrote transaction timeline to %s",

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/violation.hh"
 #include "core/getm_partition.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/mem_partition.hh"
@@ -28,6 +29,9 @@
 #include "warptm/wtm_common.hh"
 
 namespace getm {
+
+class Checker;
+class FaultInjector;
 
 /** Aggregate results of one kernel run. */
 struct RunResult
@@ -46,6 +50,7 @@ struct RunResult
     LogicalTs maxLogicalTs = 0;    ///< Highest warpts reached (GETM).
     StatSet stats{"run"};          ///< Everything else, merged.
     ObsReport obs;                 ///< Attribution, profiler, telemetry.
+    CheckReport check;             ///< Runtime checker verdict (if on).
 
     /**
      * Cycles per logical-timestamp increment (paper Sec. V-B1 reports
@@ -99,6 +104,12 @@ class GpuSystem
     /** Live observability hub (every protocol reports into it). */
     Observability &observabilityHub() { return observability; }
 
+    /** Runtime checker, when cfg.checkLevel > 0 (else nullptr). */
+    Checker *checkerPtr() { return checker.get(); }
+
+    /** Fault injector, when cfg.injectFault > 0 (else nullptr). */
+    FaultInjector *faultInjectorPtr() { return faultInjector.get(); }
+
   private:
     void wireProtocol();
     void setupTelemetry();
@@ -132,6 +143,8 @@ class GpuSystem
     StallOccupancyTracker stallTracker;
     Timeline timeline;
     Observability observability;
+    std::unique_ptr<Checker> checker;
+    std::unique_ptr<FaultInjector> faultInjector;
 
     bool rolloverPending = false;
     std::uint64_t rollovers = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/sink.hh"
 #include "common/log.hh"
 #include "gpu/gpu_config.hh"
 
@@ -118,6 +119,8 @@ MemPartition::handleLocal(MemMsg &&msg, Cycle now)
             // serialization point; apply, notify TCD, and ack.
             for (const LaneOp &op : msg.ops) {
                 store.write(op.addr, op.value);
+                if (checkSink)
+                    checkSink->externalWrite(op.addr, op.value);
                 if (proto)
                     proto->noteDataWrite(op.addr, now);
             }
@@ -157,6 +160,8 @@ MemPartition::handleLocal(MemMsg &&msg, Cycle now)
                 old = store.atomicAdd(op.addr, op.value);
                 break;
             }
+            if (checkSink)
+                checkSink->externalWrite(op.addr, store.read(op.addr));
             if (proto)
                 proto->noteDataWrite(op.addr, now);
             resp.ops.push_back({op.lane, op.addr, old, 0});

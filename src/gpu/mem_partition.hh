@@ -54,6 +54,12 @@ class MemPartition : public PartitionContext
     /** Install the observability sink (may be null). */
     void setObserver(ObsSink *s) { sink = s; }
 
+    /** Install the runtime checker sink (may be null). */
+    void setChecker(CheckSink *s) { checkSink = s; }
+
+    /** Install the fault injector (may be null). */
+    void setFaults(FaultInjector *f) { faultInj = f; }
+
     /** Apply a rollover stall penalty to the unit's pipeline. */
     void
     addPipelineStall(Cycle now, Cycle penalty)
@@ -71,6 +77,8 @@ class MemPartition : public PartitionContext
     BackingStore &memory() override { return store; }
     StatSet &stats() override { return statSet; }
     ObsSink *obs() override { return sink; }
+    CheckSink *check() override { return checkSink; }
+    FaultInjector *faults() override { return faultInj; }
 
   private:
     /** Handle non-transactional reads/writes and atomics locally. */
@@ -101,6 +109,8 @@ class MemPartition : public PartitionContext
     DramModel dram;
     std::unique_ptr<TmPartitionProtocol> proto;
     ObsSink *sink = nullptr;
+    CheckSink *checkSink = nullptr;
+    FaultInjector *faultInj = nullptr;
 
     Cycle popFree = 0;
     std::uint64_t outSeq = 0;

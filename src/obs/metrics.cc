@@ -187,6 +187,20 @@ metricsToJson(const MetricsMeta &meta, const StatSet &stats,
     w.member("depth_samples", obs.stallDepthCount);
     w.endObject();
 
+    if (!meta.checkViolations.empty()) {
+        std::uint64_t total = 0;
+        for (const auto &[kind, count] : meta.checkViolations)
+            total += count;
+        w.key("check").beginObject();
+        w.member("level", meta.checkLevel);
+        w.member("total_violations", total);
+        w.key("violations_by_kind").beginObject();
+        for (const auto &[kind, count] : meta.checkViolations)
+            w.member(kind, count);
+        w.endObject();
+        w.endObject();
+    }
+
     w.member("distinct_conflict_addrs", obs.distinctConflictAddrs);
     emitHotAddrs(w, obs);
     emitTimeseries(w, obs.samples);

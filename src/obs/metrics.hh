@@ -54,6 +54,17 @@ struct MetricsMeta
 
     /** Config provenance: ordered key/value pairs (values pre-rendered). */
     std::vector<std::pair<std::string, std::string>> config;
+
+    /**
+     * Runtime-checker verdict, pre-rendered by the caller as
+     * violation-kind → count rows (this layer stays independent of
+     * src/check just as it is of src/gpu). Left empty on clean or
+     * unchecked runs, in which case no "check" section is emitted and
+     * the document stays byte-identical to a checker-off run.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> checkViolations;
+    /** Checker level name ("read"/"serial"/"ref"); set with violations. */
+    std::string checkLevel;
 };
 
 /** Render the full metrics document as a JSON string. */

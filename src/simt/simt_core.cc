@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check/sink.hh"
 #include "common/log.hh"
 #include "gpu/timeline.hh"
 
@@ -523,6 +524,8 @@ SimtCore::execMemory(Warp &warp, const Instruction &inst, LaneMask active)
                 if (!bypass) {
                     // Private data: serialize at the core (see DESIGN.md).
                     store.write(addrs[lane], value);
+                    if (checkSink)
+                        checkSink->externalWrite(addrs[lane], value);
                 }
                 msg.ops.push_back({static_cast<std::uint8_t>(lane),
                                    addrs[lane], value, 0});
@@ -616,6 +619,8 @@ SimtCore::execTxBegin(Warp &warp, LaneMask active)
     warp.pendingValidations = 0;
     warp.pendingAcks = 0;
     stTxBegins.add();
+    if (checkSink)
+        checkSink->attemptBegin(warp.gwid, active, warp.firstTid);
     if (timeline)
         timeline->begin(coreId, warp.slot, "tx", currentCycle);
     if (protocol)
@@ -679,6 +684,8 @@ SimtCore::abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts,
     warp.aborts += aborted;
     stTxAborts.add(aborted);
     stAbortsByReason[static_cast<unsigned>(reason)]->add(aborted);
+    if (checkSink)
+        checkSink->attemptAborted(warp.gwid, lanes);
     if (sink)
         sink->abortEvent(reason, addr,
                          addr == invalidAddr ? 0
@@ -742,6 +749,13 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
     const LaneMask retry_mask = warp.stack[ri].mask;
     warp.commits += popcount(committed_lanes);
     stTxCommitLanes.add(popcount(committed_lanes));
+    if (checkSink) {
+        // The redo logs (the commit intent) are still intact here.
+        for (LaneId lane = 0; lane < warpSize; ++lane)
+            if (committed_lanes & (1u << lane))
+                checkSink->attemptCommitted(warp.gwid, lane,
+                                            warp.logs[lane].writeLog());
+    }
 
     warp.stack.pop_back(); // Transaction
 
@@ -766,6 +780,10 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
         warp.tcdOkLanes = retry_mask;
         warp.txStartCycle = currentCycle;
         warp.commitPointFired = false;
+        // Retries re-enter the transaction body without re-executing
+        // TxBegin, so the checker learns about the new attempt here.
+        if (checkSink)
+            checkSink->attemptBegin(warp.gwid, retry_mask, warp.firstTid);
         const Cycle delay = warp.backoff.nextDelay(randomGen);
         changeState(warp, WarpState::BackoffWait);
         setWake(warp, currentCycle + delay);

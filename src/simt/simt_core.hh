@@ -31,6 +31,9 @@
 
 namespace getm {
 
+class CheckSink;
+class FaultInjector;
+
 /** Configuration of one SIMT core. */
 struct CoreConfig
 {
@@ -183,6 +186,18 @@ class SimtCore
     /** Observability sink for protocol engines (may be null). */
     ObsSink *observer() { return sink; }
 
+    /** Install the runtime checker sink (may be null). */
+    void setChecker(CheckSink *s) { checkSink = s; }
+
+    /** Runtime checker sink for protocol engines (may be null). */
+    CheckSink *checker() { return checkSink; }
+
+    /** Install the fault injector (may be null). */
+    void setFaults(FaultInjector *f) { faultInj = f; }
+
+    /** Fault injector for protocol engines (may be null). */
+    FaultInjector *faults() { return faultInj; }
+
     // --- telemetry gauges -------------------------------------------------
     /** Warps currently resident and not finished. */
     unsigned activeWarps() const;
@@ -257,6 +272,8 @@ class SimtCore
     bool txFrozen = false;
     class Timeline *timeline = nullptr;
     ObsSink *sink = nullptr;
+    CheckSink *checkSink = nullptr;
+    FaultInjector *faultInj = nullptr;
     Cycle currentCycle = 0;
     Rng randomGen;
     StatSet statSet;

@@ -62,6 +62,10 @@ simulatePoint(const SweepPoint &point, bool &verified)
 
     std::string why;
     verified = workload->verify(gpu, why);
+    // A runtime-checker violation is a verification failure: the point
+    // ran, but its execution was provably not serializable/opaque.
+    if (result.check.totalViolations)
+        verified = false;
 
     MetricsMeta meta;
     meta.bench = benchName(point.bench);
@@ -79,6 +83,15 @@ simulatePoint(const SweepPoint &point, bool &verified)
     meta.rollovers = result.rollovers;
     meta.maxLogicalTs = result.maxLogicalTs;
     meta.config = configProvenance(point.config);
+    if (result.check.totalViolations) {
+        meta.checkLevel = checkLevelName(result.check.level);
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(ViolationKind::Count); ++i)
+            if (result.check.byKind[i])
+                meta.checkViolations.emplace_back(
+                    violationKindName(static_cast<ViolationKind>(i)),
+                    result.check.byKind[i]);
+    }
     return metricsToJson(meta, result.stats, result.obs);
 }
 

@@ -20,6 +20,9 @@
 
 namespace getm {
 
+class CheckSink;
+class FaultInjector;
+
 /** Services a partition provides to its protocol unit. */
 class PartitionContext
 {
@@ -50,6 +53,12 @@ class PartitionContext
 
     /** Observability sink; may be nullptr when reporting is disabled. */
     virtual ObsSink *obs() { return nullptr; }
+
+    /** Runtime checker sink; nullptr unless --check is enabled. */
+    virtual CheckSink *check() { return nullptr; }
+
+    /** Fault injector; nullptr unless --inject is enabled. */
+    virtual FaultInjector *faults() { return nullptr; }
 };
 
 /** Partition-side protocol unit (validation + commit units). */

@@ -3,6 +3,8 @@
 #include <bit>
 #include <map>
 
+#include "check/fault.hh"
+#include "check/sink.hh"
 #include "common/log.hh"
 
 namespace getm {
@@ -30,6 +32,9 @@ WtmCoreTm::instantValidate(const Warp &warp, LaneMask lanes,
             continue;
         for (const LogEntry &entry : warp.logs[lane].readLog()) {
             if (core.memory().read(entry.addr) != entry.value) {
+                FaultInjector *fi = core.faults();
+                if (fi && fi->fire(FaultKind::SkipValidation))
+                    continue; // injected: ignore the failed entry
                 failed |= 1u << lane;
                 if (conflict_addr && *conflict_addr == invalidAddr)
                     *conflict_addr = core.granuleOf(entry.addr);
@@ -275,9 +280,19 @@ WtmCoreTm::startValidation(Warp &warp)
         // with the (instant) final validation, so the functional apply
         // happens here; the write-log messages and acks model the
         // single-round-trip commit timing only.
-        for (auto &[part, msg] : slices)
-            for (const LaneOp &op : msg.ops)
-                core.memory().write(op.addr, op.value);
+        for (auto &[part, msg] : slices) {
+            for (const LaneOp &op : msg.ops) {
+                FaultInjector *fi = core.faults();
+                if (fi && fi->fire(FaultKind::DropCommitWrite))
+                    continue; // injected lost write
+                std::uint32_t value = op.value;
+                if (fi && fi->fire(FaultKind::CorruptCommit))
+                    value ^= 1u;
+                core.memory().write(op.addr, value);
+                if (CheckSink *cs = core.checker())
+                    cs->writeApplied(warp.gwid, op.lane, op.addr, value);
+            }
+        }
         for (auto &[part, msg] : slices) {
             msg.kind = MsgKind::WtmValidate;
             msg.flag = true; // eager-lazy: apply immediately

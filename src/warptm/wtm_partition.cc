@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/fault.hh"
+#include "check/sink.hh"
 #include "common/log.hh"
 
 namespace getm {
@@ -40,8 +42,10 @@ WtmPartitionUnit::handleRequest(MemMsg &&msg, Cycle now)
         Cycle extra = 0;
         for (const LaneOp &op : msg.ops) {
             const Cycle last = tcd.lookup(op.addr).first;
-            resp.ops.push_back({op.lane, op.addr,
-                                ctx.memory().read(op.addr),
+            const std::uint32_t value = ctx.memory().read(op.addr);
+            if (CheckSink *cs = ctx.check())
+                cs->readObserved(msg.wid, op.lane, op.addr, value);
+            resp.ops.push_back({op.lane, op.addr, value,
                                 static_cast<std::uint32_t>(std::min<Cycle>(
                                     last, 0xffffffffu))});
             extra = std::max(extra, ctx.accessLlc(op.addr, false, now));
@@ -183,6 +187,9 @@ WtmPartitionUnit::validateSlice(MemMsg &&slice, Cycle now)
         }
         extra = std::max(extra, ctx.accessLlc(op.addr, false, now));
         if (ctx.memory().read(op.addr) != op.value) {
+            FaultInjector *fi = ctx.faults();
+            if (fi && fi->fire(FaultKind::CommitStaleRead))
+                continue; // injected: pretend the stale read validated
             failed |= 1u << op.lane;
             if (ObsSink *sink = ctx.obs())
                 sink->conflictEvent(AbortReason::Validation, op.addr,
@@ -224,7 +231,17 @@ WtmPartitionUnit::applyDecision(const MemMsg &decision, Cycle now)
             pendingWrites.erase(it);
         if (!(pass & (1u << op.lane)))
             continue;
-        ctx.memory().write(op.addr, op.value);
+        FaultInjector *fi = ctx.faults();
+        if (fi && fi->fire(FaultKind::DropCommitWrite)) {
+            // Injected lost write; timing still charged below.
+        } else {
+            std::uint32_t value = op.value;
+            if (fi && fi->fire(FaultKind::CorruptCommit))
+                value ^= 1u;
+            ctx.memory().write(op.addr, value);
+            if (CheckSink *cs = ctx.check())
+                cs->writeApplied(slice.wid, op.lane, op.addr, value);
+        }
         tcd.insert(op.addr, start, 0);
         ctx.accessLlc(op.addr, true, now);
         bytes += 12;

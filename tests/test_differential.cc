@@ -11,10 +11,10 @@
 
 #include <vector>
 
+#include "check/reference_exec.hh"
 #include "common/rng.hh"
 #include "gpu/gpu_system.hh"
 #include "isa/kernel_builder.hh"
-#include "reference_exec.hh"
 
 namespace getm {
 namespace {
@@ -149,7 +149,7 @@ TEST_P(DifferentialTest, RandomStructuredKernelMatchesReference)
     const Kernel kernel = kb.build();
 
     gpu.run(kernel, n, 400'000'000);
-    testing::referenceRun(kernel, n, reference);
+    check::referenceRun(kernel, n, reference);
 
     for (unsigned t = 0; t < n; ++t)
         ASSERT_EQ(gpu.memory().read(out + 4 * t),

@@ -30,11 +30,13 @@ struct Outcome
 };
 
 Outcome
-runWith(BenchId bench, ProtocolKind protocol, bool legacy)
+runWith(BenchId bench, ProtocolKind protocol, bool legacy,
+        unsigned check_level = 0)
 {
     GpuConfig cfg = GpuConfig::testRig();
     cfg.protocol = protocol;
     cfg.legacyLoop = legacy;
+    cfg.checkLevel = check_level;
     GpuSystem gpu(cfg);
     auto workload = makeWorkload(bench, 0.01, 123);
     workload->setup(gpu, protocol == ProtocolKind::FgLock);
@@ -64,6 +66,31 @@ expectIdentical(BenchId bench, ProtocolKind protocol)
     EXPECT_EQ(event.run.rollovers, legacy.run.rollovers) << name;
     EXPECT_EQ(event.run.maxLogicalTs, legacy.run.maxLogicalTs) << name;
     EXPECT_EQ(event.statsDump, legacy.statsDump) << name;
+}
+
+/**
+ * The runtime checker (src/check) must be a pure observer: enabling it
+ * may not perturb a single simulated cycle or statistic. Same
+ * comparison set as the scheduler equivalence above, but toggling
+ * GpuConfig::checkLevel instead of the loop flavour.
+ */
+void
+expectCheckerInvisible(BenchId bench, ProtocolKind protocol)
+{
+    const Outcome off = runWith(bench, protocol, false, 0);
+    const Outcome on = runWith(bench, protocol, false, 2);
+    const char *name = protocolName(protocol);
+
+    EXPECT_EQ(on.run.cycles, off.run.cycles) << name;
+    EXPECT_EQ(on.run.commits, off.run.commits) << name;
+    EXPECT_EQ(on.run.aborts, off.run.aborts) << name;
+    EXPECT_EQ(on.run.xbarFlits, off.run.xbarFlits) << name;
+    EXPECT_EQ(on.run.txExecCycles, off.run.txExecCycles) << name;
+    EXPECT_EQ(on.run.txWaitCycles, off.run.txWaitCycles) << name;
+    EXPECT_EQ(on.statsDump, off.statsDump) << name;
+    EXPECT_EQ(on.run.check.totalViolations, 0u)
+        << name << ": " << on.run.check.summary();
+    EXPECT_GT(on.run.check.txCommits, 0u) << name;
 }
 
 class SchedulerEquivalence : public ::testing::Test
@@ -108,6 +135,26 @@ TEST_F(SchedulerEquivalence, WarpTmEL)
 TEST_F(SchedulerEquivalence, Eapg)
 {
     expectIdentical(BenchId::Atm, ProtocolKind::Eapg);
+}
+
+TEST_F(SchedulerEquivalence, CheckerInvisibleGetm)
+{
+    expectCheckerInvisible(BenchId::HtH, ProtocolKind::Getm);
+}
+
+TEST_F(SchedulerEquivalence, CheckerInvisibleWarpTmLL)
+{
+    expectCheckerInvisible(BenchId::Atm, ProtocolKind::WarpTmLL);
+}
+
+TEST_F(SchedulerEquivalence, CheckerInvisibleWarpTmEL)
+{
+    expectCheckerInvisible(BenchId::HtH, ProtocolKind::WarpTmEL);
+}
+
+TEST_F(SchedulerEquivalence, CheckerInvisibleEapg)
+{
+    expectCheckerInvisible(BenchId::Atm, ProtocolKind::Eapg);
 }
 
 } // namespace

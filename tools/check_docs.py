@@ -48,8 +48,9 @@ DIR_RE = re.compile(
 BARE_MD_RE = re.compile(r"(?<![\w/.-])([A-Z][A-Z_]+\.md)\b")
 FLAG_RE = re.compile(r"(--[A-Za-z][A-Za-z0-9-]*)")
 INLINE_CODE_RE = re.compile(r"`([^`]+)`")
-# `--flag`, `--flag N`, `--flag FILE` style inline spans.
-FLAG_SPAN_RE = re.compile(r"^(--[A-Za-z][A-Za-z0-9-]*)(\s+\S+)?$")
+# `--flag`, `--flag N`, `--flag FILE`, `--flag=VALUE` style inline
+# spans.
+FLAG_SPAN_RE = re.compile(r"^(--[A-Za-z][A-Za-z0-9-]*)(=\S+|\s+\S+)?$")
 
 IGNORED_PREFIXES = ("build/", "out/", "/")
 

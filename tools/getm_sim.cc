@@ -18,6 +18,9 @@
 #include <optional>
 #include <string>
 
+#include "check/checker.hh"
+#include "check/fault.hh"
+#include "check/reference_exec.hh"
 #include "gpu/config_file.hh"
 #include "gpu/gpu_system.hh"
 #include "obs/metrics.hh"
@@ -55,6 +58,15 @@ usage(const char *argv0)
         "                      (default 512 when --metrics is given,\n"
         "                      else 0 = off)\n"
         "  --hot-addrs N       rows in the hot-address table (def. 16)\n"
+        "  --check[=LEVEL]     runtime correctness checker: read |\n"
+        "                      serial (default) | ref. Violations go to\n"
+        "                      stderr and fail the run; timing and all\n"
+        "                      reported stats are unchanged\n"
+        "  --inject=FAULT[@P]  inject a protocol fault with probability\n"
+        "                      P (default 1): skip-rts-bump |\n"
+        "                      force-store-grant | commit-stale-read |\n"
+        "                      skip-validation | corrupt-commit |\n"
+        "                      drop-commit-write\n"
         "  --stats             dump all statistics\n"
         "  --json              machine-readable result summary\n"
         "  --disasm            print the kernel disassembly and exit\n"
@@ -166,6 +178,33 @@ main(int argc, char **argv)
             sample_interval_set = true;
         } else if (arg == "--hot-addrs") {
             cfg.hotAddrTopN = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--check" || arg.rfind("--check=", 0) == 0) {
+            const std::string text =
+                arg == "--check" ? "on" : arg.substr(8);
+            CheckLevel level;
+            if (!parseCheckLevel(text, level)) {
+                std::fprintf(stderr, "bad check level '%s'\n",
+                             text.c_str());
+                return 2;
+            }
+            cfg.checkLevel = static_cast<unsigned>(level);
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            std::string text = arg.substr(9);
+            double prob = 1.0;
+            const auto at = text.find('@');
+            if (at != std::string::npos) {
+                prob = std::atof(text.c_str() + at + 1);
+                text.erase(at);
+            }
+            FaultKind kind;
+            if (!parseFaultKind(text, kind) || prob < 0.0 ||
+                prob > 1.0) {
+                std::fprintf(stderr, "bad fault spec '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
+            cfg.injectFault = static_cast<unsigned>(kind);
+            cfg.injectProb = prob;
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--json") {
@@ -227,11 +266,46 @@ main(int argc, char **argv)
                     benchName(bench), protocolName(protocol), scale,
                     static_cast<unsigned long long>(
                         workload->numThreads()));
-    const RunResult result =
+    RunResult result =
         gpu.run(workload->kernel(), workload->numThreads());
 
+    Checker *checker = gpu.checkerPtr();
+    if (checker && checker->level() >= CheckLevel::Ref) {
+        // Ref level: replay the kernel on a single-threaded reference
+        // executor over an identically-seeded memory image and compare
+        // final contents. Order-sensitive workloads can legitimately
+        // diverge (see check/reference_exec.hh).
+        GpuConfig ref_cfg = cfg;
+        ref_cfg.checkLevel = 0;
+        ref_cfg.injectFault = 0;
+        GpuSystem ref_gpu(ref_cfg);
+        auto ref_workload = makeWorkload(bench, scale, seed);
+        ref_workload->setup(ref_gpu, protocol == ProtocolKind::FgLock);
+        check::referenceRun(ref_workload->kernel(),
+                            ref_workload->numThreads(), ref_gpu.memory());
+        checker->crossCheckReference(ref_gpu.memory(), gpu.memory());
+        result.check = checker->report();
+    }
+
+    const bool check_clean = result.check.totalViolations == 0;
+    if (checker) {
+        std::fprintf(stderr, "%s\n", result.check.summary().c_str());
+        for (const Violation &v : result.check.samples)
+            std::fprintf(stderr,
+                         "  %s addr=%#llx tx=%llu expected=%u actual=%u"
+                         "%s%s\n",
+                         violationKindName(v.kind),
+                         static_cast<unsigned long long>(v.addr),
+                         static_cast<unsigned long long>(v.tx),
+                         v.expected, v.actual,
+                         v.detail.empty() ? "" : ": ",
+                         v.detail.c_str());
+    }
+
     std::string why;
-    const bool ok = workload->verify(gpu, why);
+    const bool ok = workload->verify(gpu, why) && check_clean;
+    if (!check_clean && why.empty())
+        why = "runtime checker reported violations";
 
     if (!metrics_path.empty()) {
         MetricsMeta meta;
@@ -250,6 +324,15 @@ main(int argc, char **argv)
         meta.rollovers = result.rollovers;
         meta.maxLogicalTs = result.maxLogicalTs;
         meta.config = configProvenance(cfg);
+        if (result.check.totalViolations) {
+            meta.checkLevel = checkLevelName(result.check.level);
+            for (unsigned i = 0;
+                 i < static_cast<unsigned>(ViolationKind::Count); ++i)
+                if (result.check.byKind[i])
+                    meta.checkViolations.emplace_back(
+                        violationKindName(static_cast<ViolationKind>(i)),
+                        result.check.byKind[i]);
+        }
         std::string error;
         if (!writeMetricsFile(metrics_path, meta, result.stats,
                               result.obs, error)) {

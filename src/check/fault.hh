@@ -45,6 +45,15 @@ enum class FaultKind : std::uint8_t
     CorruptCommit,
     /** Any protocol: silently drop one committed write at apply. */
     DropCommitWrite,
+    /**
+     * GETM: skip releasing a granule's write reservation at commit, so
+     * the granule stays locked by a retired warp forever. Unlike the
+     * isolation faults above, this one corrupts *liveness*: waiters
+     * park indefinitely and the run ends in a DEADLOCK/LIVELOCK
+     * SimError. It exists to stress the forward-progress watchdog and
+     * the sweep harness's failure isolation (docs/ROBUSTNESS.md).
+     */
+    LeakLock,
     Count
 };
 
@@ -62,6 +71,7 @@ faultKindName(FaultKind kind)
       case FaultKind::SkipValidation: return "skip-validation";
       case FaultKind::CorruptCommit: return "corrupt-commit";
       case FaultKind::DropCommitWrite: return "drop-commit-write";
+      case FaultKind::LeakLock: return "leak-lock";
       case FaultKind::Count: break;
     }
     return "?";

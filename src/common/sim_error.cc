@@ -1,0 +1,127 @@
+#include "common/sim_error.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace getm {
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Deadlock: return "DEADLOCK";
+      case SimErrorKind::Livelock: return "LIVELOCK";
+      case SimErrorKind::CycleLimit: return "CYCLE_LIMIT";
+      case SimErrorKind::WallTimeout: return "WALL_TIMEOUT";
+      case SimErrorKind::Config: return "CONFIG";
+      case SimErrorKind::Internal: return "INTERNAL";
+    }
+    return "?";
+}
+
+const char *
+simErrorStatus(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Deadlock: return "deadlock";
+      case SimErrorKind::Livelock: return "livelock";
+      case SimErrorKind::CycleLimit: return "cycle-limit";
+      case SimErrorKind::WallTimeout: return "timeout";
+      case SimErrorKind::Config: return "config";
+      case SimErrorKind::Internal: return "error";
+    }
+    return "error";
+}
+
+std::string
+SimDiagnostic::toText() const
+{
+    std::ostringstream os;
+    os << simErrorKindName(kind) << ": " << message << "\n";
+    os << "  cycle " << cycle;
+    if (sinceProgressCycles)
+        os << " (no progress for " << sinceProgressCycles << " cycles)";
+    os << "\n";
+    os << "  progress: " << instructions << " instructions retired, "
+       << commitLanes << " tx lanes committed\n";
+    os << "  noc in flight: " << nocInFlightUp << " up, "
+       << nocInFlightDown << " down\n";
+    if (!warpStates.empty()) {
+        os << "  warp states:";
+        for (const auto &[state, count] : warpStates)
+            os << " " << state << "=" << count;
+        os << "\n";
+    }
+    for (const StarvingWarp &w : starvingWarps)
+        os << "  starving: core " << w.core << " slot " << w.slot
+           << " gwid " << w.gwid << " (" << w.consecutiveAborts
+           << " consecutive aborts, " << w.state << ")\n";
+    for (const PartitionRow &p : partitions)
+        os << "  partition " << p.partition << ": metadata "
+           << p.metaOccupancy << " entries / " << p.metaLocked
+           << " locked, stall buffer " << p.stallOccupancy << "\n";
+    for (const HotAddr &h : hotAddrs) {
+        char buf[2 + 16 + 1];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(h.addr));
+        os << "  hot addr " << buf << ": " << h.total
+           << " conflict events\n";
+    }
+    return os.str();
+}
+
+std::string
+SimDiagnostic::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("kind", simErrorKindName(kind));
+    w.member("message", message);
+    w.member("cycle", cycle);
+    w.member("since_progress_cycles", sinceProgressCycles);
+    w.member("instructions", instructions);
+    w.member("commit_lanes", commitLanes);
+    w.key("noc_in_flight").beginObject();
+    w.member("up", nocInFlightUp);
+    w.member("down", nocInFlightDown);
+    w.endObject();
+    w.key("warp_states").beginObject();
+    for (const auto &[state, count] : warpStates)
+        w.member(state, count);
+    w.endObject();
+    w.key("starving_warps").beginArray();
+    for (const StarvingWarp &sw : starvingWarps) {
+        w.beginObject();
+        w.member("core", sw.core);
+        w.member("slot", sw.slot);
+        w.member("gwid", sw.gwid);
+        w.member("consecutive_aborts", sw.consecutiveAborts);
+        w.member("state", sw.state);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("getm_partitions").beginArray();
+    for (const PartitionRow &p : partitions) {
+        w.beginObject();
+        w.member("partition", p.partition);
+        w.member("meta_occupancy", p.metaOccupancy);
+        w.member("meta_locked", p.metaLocked);
+        w.member("stall_occupancy", p.stallOccupancy);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("hot_addresses").beginArray();
+    for (const HotAddr &h : hotAddrs) {
+        w.beginObject();
+        w.member("addr", h.addr);
+        w.member("total", h.total);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
+}
+
+} // namespace getm

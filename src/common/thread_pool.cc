@@ -52,6 +52,11 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mtx);
     allIdle.wait(lock, [this] { return inFlight == 0; });
+    if (firstError) {
+        std::exception_ptr error = std::move(firstError);
+        firstError = nullptr;
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -70,10 +75,17 @@ ThreadPool::workerLoop()
             queue.pop_front();
         }
         queueNotFull.notify_one();
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
         {
             std::unique_lock<std::mutex> lock(mtx);
             --inFlight;
+            if (error && !firstError)
+                firstError = std::move(error);
         }
         allIdle.notify_all();
     }

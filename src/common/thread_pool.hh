@@ -9,8 +9,11 @@
  * bounds memory when a producer enumerates thousands of points, and
  * wait() gives the producer a completion barrier.
  *
- * Tasks must not throw: the simulator's error paths are panic()/
- * fatal(), and a worker thread has nowhere sensible to rethrow to.
+ * Tasks may throw: an exception escaping a task is captured on the
+ * worker thread and rethrown from the next wait() (first one wins;
+ * later ones are dropped). The pool itself stays usable -- remaining
+ * tasks still run -- so a caller that wants per-task isolation (like
+ * the sweep runner) should catch inside the task instead.
  */
 
 #ifndef GETM_COMMON_THREAD_POOL_HH
@@ -19,6 +22,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -52,7 +56,11 @@ class ThreadPool
      */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished running. */
+    /**
+     * Block until every submitted task has finished running. If any
+     * task threw since the last wait(), rethrows the first captured
+     * exception (the destructor swallows one that is never collected).
+     */
     void wait();
 
     unsigned numThreads() const
@@ -73,6 +81,7 @@ class ThreadPool
     std::deque<std::function<void()>> queue;
     std::size_t capacity;
     std::size_t inFlight = 0; ///< Queued + currently executing.
+    std::exception_ptr firstError; ///< First escaped task exception.
     bool stopping = false;
     std::vector<std::thread> workerThreads;
 };

@@ -267,8 +267,16 @@ GetmPartitionUnit::processCommit(const MemMsg &msg, Cycle now)
                   static_cast<unsigned long long>(granule));
         entry->numWrites -= op.aux;
         if (entry->numWrites == 0) {
-            entry->owner = invalidWarp;
-            busy += releaseWaiters(granule, now + busy);
+            FaultInjector *fi = ctx.faults();
+            if (fi && fi->fire(FaultKind::LeakLock)) {
+                // Injected liveness fault: the reservation is never
+                // released, so the granule stays locked by a retired
+                // warp and its waiters park forever. The watchdog /
+                // no-future-events guard must catch the result.
+            } else {
+                entry->owner = invalidWarp;
+                busy += releaseWaiters(granule, now + busy);
+            }
         }
     }
     (committing ? stCommitMsgs : stAbortMsgs).add();

@@ -73,6 +73,8 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
             value == 0 ? ~static_cast<LogicalTs>(0) : value;
     else if (key == "sample_interval")
         cfg.sampleInterval = value;
+    else if (key == "watchdog_cycles")
+        cfg.watchdogCycles = value;
     else if (key == "hot_addrs")
         cfg.hotAddrTopN = static_cast<unsigned>(value);
     else if (key == "seed")
@@ -84,9 +86,11 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
 
 /**
  * Keys whose values are words, tried before the numeric parser. The
- * checker/injection keys are deliberately absent from
- * configProvenance(): enabling validation must not change a run's
- * reported configuration or sweep spec hashes.
+ * checker/injection/timeout keys are deliberately absent from
+ * configProvenance(): enabling validation or a safety net must not
+ * change a run's reported configuration or sweep spec hashes
+ * (watchdog_cycles, handled by the numeric parser, is excluded for
+ * the same reason).
  */
 bool
 applyStringKey(GpuConfig &cfg, const std::string &key,
@@ -110,6 +114,12 @@ applyStringKey(GpuConfig &cfg, const std::string &key,
             prob > 1.0)
             return false;
         cfg.injectProb = prob;
+    } else if (key == "timeout_sec") {
+        char *end = nullptr;
+        const double secs = std::strtod(value_text.c_str(), &end);
+        if (value_text.empty() || (end && *end != '\0') || secs < 0.0)
+            return false;
+        cfg.timeoutSec = secs;
     } else {
         handled = false;
     }
@@ -163,6 +173,36 @@ applyConfigText(const std::string &text, GpuConfig &cfg,
             return false;
         }
     }
+    return validateGpuConfig(cfg, error);
+}
+
+bool
+validateGpuConfig(const GpuConfig &cfg, std::string &error)
+{
+    const auto reject = [&error](const std::string &why) {
+        error = "invalid config: " + why;
+        return false;
+    };
+    if (cfg.numCores == 0)
+        return reject("cores must be nonzero");
+    if (cfg.numPartitions == 0)
+        return reject("partitions must be nonzero");
+    if (cfg.core.maxWarps == 0)
+        return reject("warps_per_core must be nonzero");
+    if (cfg.core.issueWidth == 0)
+        return reject("issue_width must be nonzero");
+    if (cfg.lineBytes == 0)
+        return reject("line_bytes must be nonzero");
+    if (cfg.getmGranule == 0)
+        return reject("getm_granule must be nonzero");
+    if (cfg.core.backoff.baseWindow == 0)
+        return reject("backoff base window must be nonzero");
+    if (cfg.core.backoff.maxWindow < cfg.core.backoff.baseWindow)
+        return reject("backoff max window smaller than base window");
+    if (cfg.injectProb < 0.0 || cfg.injectProb > 1.0)
+        return reject("inject_prob must be within [0, 1]");
+    if (cfg.timeoutSec < 0.0)
+        return reject("timeout_sec must be non-negative");
     return true;
 }
 

@@ -48,6 +48,18 @@ bool loadConfigFile(const std::string &path, GpuConfig &cfg,
                     std::string &error);
 
 /**
+ * Sanity-check @p cfg for values that would misbehave downstream
+ * (zero core/partition/warp counts, zero line/granule sizes, a
+ * degenerate Backoff::Config). Called at the end of applyConfigText()
+ * so bad files are rejected at load time, and by the GpuSystem
+ * constructor (which turns a failure into SimError CONFIG) so
+ * programmatic configs get the same screening.
+ *
+ * @return false with @p error describing the first offending value.
+ */
+bool validateGpuConfig(const GpuConfig &cfg, std::string &error);
+
+/**
  * Flatten @p cfg into ordered key/value pairs using the same key names
  * the config-file parser accepts (plus the protocol). This is the
  * config-provenance block of the exported metrics document: feeding the

@@ -90,6 +90,19 @@ struct GpuConfig
     /** Probability of each injected fault decision firing. */
     double injectProb = 1.0;
 
+    /**
+     * Forward-progress watchdog: throw SimError(LIVELOCK) when no
+     * instruction retires and no transaction lane commits for this
+     * many simulated cycles (0 = off). Like checkLevel/injectFault,
+     * never part of config provenance: the watchdog only observes, so
+     * tuning it must not rehash sweeps or change reported configs.
+     */
+    Cycle watchdogCycles = 2'000'000;
+
+    /** Wall-clock budget in seconds for one run; 0 = unlimited. Throws
+     *  SimError(WALL_TIMEOUT). Also excluded from provenance. */
+    double timeoutSec = 0.0;
+
     std::uint64_t seed = 12345;
 
     /**

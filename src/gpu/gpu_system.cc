@@ -1,12 +1,16 @@
 #include "gpu/gpu_system.hh"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdlib>
+#include <string>
 
 #include "check/checker.hh"
 #include "check/fault.hh"
 #include "common/log.hh"
 #include "core/getm_core_tm.hh"
+#include "gpu/config_file.hh"
 #include "eapg/eapg.hh"
 #include "warptm/wtm_core_tm.hh"
 #include "warptm/wtm_partition.hh"
@@ -66,8 +70,27 @@ GpuConfig::testRig()
     return cfg;
 }
 
+namespace {
+
+/**
+ * Screen a configuration before any member construction touches it (a
+ * zero partition count would already break the AddressMap). Rejections
+ * are recoverable CONFIG errors, not process aborts.
+ */
+const GpuConfig &
+validatedConfig(const GpuConfig &config)
+{
+    std::string error;
+    if (!validateGpuConfig(config, error))
+        throw SimError(SimErrorKind::Config, error);
+    return config;
+}
+
+} // namespace
+
 GpuSystem::GpuSystem(const GpuConfig &config)
-    : cfg(config), addrMap(cfg.numPartitions, cfg.lineBytes),
+    : cfg(validatedConfig(config)),
+      addrMap(cfg.numPartitions, cfg.lineBytes),
       xbarUp("xbar.up", cfg.numCores, cfg.numPartitions, cfg.xbar),
       xbarDown("xbar.down", cfg.numPartitions, cfg.numCores, cfg.xbar)
 {
@@ -333,6 +356,126 @@ GpuSystem::maybeRollover(Cycle now)
            static_cast<unsigned long long>(now));
 }
 
+std::uint64_t
+GpuSystem::progressSample() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : coreArray)
+        total += core->instructionsRetired() + core->commitLaneCount();
+    return total;
+}
+
+void
+GpuSystem::checkGuards(const Kernel &kernel, Cycle now, Cycle max_cycles,
+                       GuardState &guard)
+{
+    if (now >= max_cycles)
+        throw SimError(buildDiagnostic(
+            SimErrorKind::CycleLimit,
+            "kernel " + kernel.name() + " exceeded max cycles (" +
+                std::to_string(max_cycles) + ")",
+            now, now - guard.lastProgressCycle));
+
+    // Livelock watchdog: sampled only once the window has elapsed, so
+    // a passing run pays one counter sum per cfg.watchdogCycles.
+    if (cfg.watchdogCycles &&
+        now - guard.lastProgressCycle >= cfg.watchdogCycles) {
+        const std::uint64_t sample = progressSample();
+        if (sample != guard.lastProgressValue) {
+            guard.lastProgressValue = sample;
+            guard.lastProgressCycle = now;
+        } else {
+            throw SimError(buildDiagnostic(
+                SimErrorKind::Livelock,
+                "no instruction retired and no transaction committed "
+                "for " +
+                    std::to_string(now - guard.lastProgressCycle) +
+                    " cycles",
+                now, now - guard.lastProgressCycle));
+        }
+    }
+
+    // Wall-clock budget, checked every 256 loop iterations so the
+    // clock read stays off the per-cycle path.
+    if (cfg.timeoutSec > 0.0 && (++guard.iterations & 255) == 0) {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - guard.wallStart)
+                .count();
+        if (elapsed >= cfg.timeoutSec)
+            throw SimError(buildDiagnostic(
+                SimErrorKind::WallTimeout,
+                "wall-clock budget of " +
+                    std::to_string(cfg.timeoutSec) + " s exceeded",
+                now, now - guard.lastProgressCycle));
+    }
+}
+
+SimDiagnostic
+GpuSystem::buildDiagnostic(SimErrorKind kind, std::string message,
+                           Cycle now, Cycle since_progress)
+{
+    SimDiagnostic diag;
+    diag.kind = kind;
+    diag.message = std::move(message);
+    diag.cycle = now;
+    diag.sinceProgressCycles = since_progress;
+    for (const auto &core : coreArray) {
+        diag.instructions += core->instructionsRetired();
+        diag.commitLanes += core->commitLaneCount();
+    }
+    diag.nocInFlightUp = xbarUp.inFlight();
+    diag.nocInFlightDown = xbarDown.inFlight();
+
+    // Scheduler-state histogram and the worst consecutive-abort
+    // streaks (warps at or past a quarter of the starvation ceiling).
+    constexpr unsigned num_states =
+        static_cast<unsigned>(WarpState::Idle) + 1;
+    std::array<unsigned, num_states> state_counts{};
+    const unsigned starve_floor =
+        std::max(1u, cfg.core.starvationAbortCeiling / 4);
+    for (auto &core : coreArray) {
+        for (const Warp &warp : core->allWarps()) {
+            ++state_counts[static_cast<unsigned>(warp.state)];
+            if (warp.inTx &&
+                warp.backoff.consecutiveAborts() >= starve_floor) {
+                SimDiagnostic::StarvingWarp row;
+                row.core = core->id();
+                row.slot = warp.slot;
+                row.gwid = warp.gwid;
+                row.consecutiveAborts = warp.backoff.consecutiveAborts();
+                row.state = warpStateName(warp.state);
+                diag.starvingWarps.push_back(std::move(row));
+            }
+        }
+    }
+    for (unsigned s = 0; s < num_states; ++s)
+        if (state_counts[s])
+            diag.warpStates.emplace_back(
+                warpStateName(static_cast<WarpState>(s)),
+                state_counts[s]);
+    std::sort(diag.starvingWarps.begin(), diag.starvingWarps.end(),
+              [](const SimDiagnostic::StarvingWarp &a,
+                 const SimDiagnostic::StarvingWarp &b) {
+                  return a.consecutiveAborts > b.consecutiveAborts;
+              });
+    if (diag.starvingWarps.size() > 16)
+        diag.starvingWarps.resize(16);
+
+    for (std::size_t p = 0; p < getmUnits.size(); ++p) {
+        SimDiagnostic::PartitionRow row;
+        row.partition = static_cast<unsigned>(p);
+        row.metaOccupancy = getmUnits[p]->metadata().occupancy();
+        row.metaLocked = getmUnits[p]->metadata().lockedCount();
+        row.stallOccupancy = getmUnits[p]->stallBuffer().occupancy();
+        diag.partitions.push_back(row);
+    }
+
+    for (const HotAddrRow &row : observability.profiler().topN(8))
+        diag.hotAddrs.push_back({row.addr, row.total});
+    return diag;
+}
+
 Cycle
 GpuSystem::runLegacyLoop(const Kernel &kernel, Cycle max_cycles)
 {
@@ -340,12 +483,11 @@ GpuSystem::runLegacyLoop(const Kernel &kernel, Cycle max_cycles)
     const bool getm_rollover =
         cfg.protocol == ProtocolKind::Getm &&
         cfg.rolloverThreshold != ~static_cast<LogicalTs>(0);
+    GuardState guard;
+    guard.wallStart = std::chrono::steady_clock::now();
 
     while (!allDone() || !drained(now)) {
-        if (now >= max_cycles)
-            panic("kernel %s exceeded max cycles (%llu)",
-                  kernel.name().c_str(),
-                  static_cast<unsigned long long>(max_cycles));
+        checkGuards(kernel, now, max_cycles, guard);
 
         for (auto &part : partArray)
             part->tick(now);
@@ -379,8 +521,10 @@ GpuSystem::runLegacyLoop(const Kernel &kernel, Cycle max_cycles)
                 now = now + 1; // draining towards quiescence
                 continue;
             }
-            panic("deadlock: no future events at cycle %llu",
-                  static_cast<unsigned long long>(now));
+            throw SimError(buildDiagnostic(
+                SimErrorKind::Deadlock,
+                "no future events at cycle " + std::to_string(now),
+                now, now - guard.lastProgressCycle));
         }
         now = next;
     }
@@ -411,12 +555,11 @@ GpuSystem::runEventLoop(const Kernel &kernel, Cycle max_cycles)
     const bool getm_rollover =
         cfg.protocol == ProtocolKind::Getm &&
         cfg.rolloverThreshold != ~static_cast<LogicalTs>(0);
+    GuardState guard;
+    guard.wallStart = std::chrono::steady_clock::now();
 
     while (!allDone() || !drained(now)) {
-        if (now >= max_cycles)
-            panic("kernel %s exceeded max cycles (%llu)",
-                  kernel.name().c_str(),
-                  static_cast<unsigned long long>(max_cycles));
+        checkGuards(kernel, now, max_cycles, guard);
 
         for (PartitionId p = 0; p < nparts; ++p) {
             if (partWake[p] <= now || xbarUp.hasReady(p, now)) {
@@ -482,8 +625,10 @@ GpuSystem::runEventLoop(const Kernel &kernel, Cycle max_cycles)
                 now = now + 1; // draining towards quiescence
                 continue;
             }
-            panic("deadlock: no future events at cycle %llu",
-                  static_cast<unsigned long long>(now));
+            throw SimError(buildDiagnostic(
+                SimErrorKind::Deadlock,
+                "no future events at cycle " + std::to_string(now),
+                now, now - guard.lastProgressCycle));
         }
         now = next;
     }

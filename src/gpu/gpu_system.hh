@@ -12,10 +12,12 @@
 #ifndef GETM_GPU_GPU_SYSTEM_HH
 #define GETM_GPU_GPU_SYSTEM_HH
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
 #include "check/violation.hh"
+#include "common/sim_error.hh"
 #include "core/getm_partition.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/mem_partition.hh"
@@ -90,7 +92,18 @@ class GpuSystem
     /**
      * Run @p kernel over @p num_threads threads to completion.
      *
-     * @param max_cycles Safety bound; the run panics if exceeded.
+     * Simulation pathologies throw SimError (common/sim_error.hh)
+     * with a diagnostic snapshot instead of killing the process:
+     *  - CYCLE_LIMIT when @p max_cycles is exceeded;
+     *  - DEADLOCK when no future events exist but the run is not done;
+     *  - LIVELOCK when events keep firing but no instruction retires
+     *    and no transaction lane commits for cfg.watchdogCycles;
+     *  - WALL_TIMEOUT when cfg.timeoutSec of wall clock elapses.
+     * The watchdog and timeout only *observe* progress counters at
+     * already-visited cycles, so enabling them never changes the
+     * cycle-accurate behaviour of a passing run.
+     *
+     * @param max_cycles Safety bound; SimError CYCLE_LIMIT if exceeded.
      */
     RunResult run(const Kernel &kernel, std::uint64_t num_threads,
                   Cycle max_cycles = 2'000'000'000ull);
@@ -130,6 +143,36 @@ class GpuSystem
 
     /** GETM timestamp-rollover coordination; returns true if mid-flush. */
     void maybeRollover(Cycle now);
+
+    /**
+     * Monotone forward-progress measure: instructions retired plus tx
+     * lanes committed, summed over every core. The watchdog declares
+     * livelock when this stops moving for cfg.watchdogCycles.
+     */
+    std::uint64_t progressSample() const;
+
+    /** Per-run state of the safety guards (one instance per loop). */
+    struct GuardState
+    {
+        std::uint64_t lastProgressValue = 0;
+        Cycle lastProgressCycle = 0;
+        std::chrono::steady_clock::time_point wallStart;
+        std::uint64_t iterations = 0;
+    };
+
+    /**
+     * Run the safety guards for one visited cycle: the max_cycles
+     * bound, the forward-progress watchdog (cfg.watchdogCycles), and
+     * the wall-clock budget (cfg.timeoutSec). Throws the matching
+     * SimError; on the happy path it only reads counters, so it can
+     * never perturb simulated timing.
+     */
+    void checkGuards(const Kernel &kernel, Cycle now, Cycle max_cycles,
+                     GuardState &guard);
+
+    /** Snapshot the stuck machine into a SimError diagnostic. */
+    SimDiagnostic buildDiagnostic(SimErrorKind kind, std::string message,
+                                  Cycle now, Cycle since_progress);
 
     GpuConfig cfg;
     BackingStore store;

@@ -210,12 +210,47 @@ metricsToJson(const MetricsMeta &meta, const StatSet &stats,
     return w.take();
 }
 
-bool
-writeMetricsFile(const std::string &path, const MetricsMeta &meta,
-                 const StatSet &stats, const ObsReport &obs,
-                 std::string &error)
+std::string
+failureToJson(const MetricsMeta &meta, const MetricsFailure &failure)
 {
-    const std::string doc = metricsToJson(meta, stats, obs);
+    JsonWriter w;
+    w.beginObject();
+    w.member("schema", metricsSchemaName);
+    w.member("version", metricsSchemaVersion);
+
+    w.key("meta").beginObject();
+    w.member("bench", meta.bench);
+    w.member("protocol", meta.protocol);
+    w.member("scale", meta.scale);
+    w.member("seed", meta.seed);
+    w.member("threads", meta.threads);
+    w.member("verified", false);
+    w.endObject();
+
+    w.key("config").beginObject();
+    for (const auto &[k, v] : meta.config)
+        w.member(k, v);
+    w.endObject();
+
+    w.key("failure").beginObject();
+    w.member("status", failure.status);
+    w.member("kind", failure.kind);
+    w.member("message", failure.message);
+    w.member("attempts", failure.attempts);
+    if (!failure.diagnosticJson.empty())
+        w.key("diagnostic").rawValue(failure.diagnosticJson);
+    w.endObject();
+
+    w.endObject();
+    return w.take();
+}
+
+namespace {
+
+bool
+writeDocument(const std::string &path, const std::string &doc,
+              std::string &error)
+{
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f) {
         error = "cannot open " + path + " for writing";
@@ -228,6 +263,23 @@ writeMetricsFile(const std::string &path, const MetricsMeta &meta,
     if (!ok)
         error = "short write to " + path;
     return ok;
+}
+
+} // namespace
+
+bool
+writeMetricsFile(const std::string &path, const MetricsMeta &meta,
+                 const StatSet &stats, const ObsReport &obs,
+                 std::string &error)
+{
+    return writeDocument(path, metricsToJson(meta, stats, obs), error);
+}
+
+bool
+writeFailureFile(const std::string &path, const MetricsMeta &meta,
+                 const MetricsFailure &failure, std::string &error)
+{
+    return writeDocument(path, failureToJson(meta, failure), error);
 }
 
 } // namespace getm

@@ -67,9 +67,33 @@ struct MetricsMeta
     std::string checkLevel;
 };
 
+/**
+ * A failed run, pre-flattened by the caller (this layer stays
+ * independent of common/sim_error just as it is of src/gpu): the
+ * typed status/kind strings come from simErrorStatus()/
+ * simErrorKindName() and @c diagnosticJson is the pre-rendered
+ * SimDiagnostic::toJson() object, spliced verbatim.
+ */
+struct MetricsFailure
+{
+    std::string status;  ///< "deadlock", "livelock", "timeout", ...
+    std::string kind;    ///< "DEADLOCK", "LIVELOCK", ...
+    std::string message; ///< Human-readable one-liner.
+    std::uint64_t attempts = 1; ///< Tries the sweep made (1 + retries).
+    std::string diagnosticJson; ///< Rendered SimDiagnostic, may be "".
+};
+
 /** Render the full metrics document as a JSON string. */
 std::string metricsToJson(const MetricsMeta &meta, const StatSet &stats,
                           const ObsReport &obs);
+
+/**
+ * Render a failure document: same schema/meta/config head as a full
+ * metrics document, but a "failure" section in place of run/stats
+ * (meta carries identity only; headline numbers stay zero).
+ */
+std::string failureToJson(const MetricsMeta &meta,
+                          const MetricsFailure &failure);
 
 /**
  * Render and write the metrics document to @p path.
@@ -78,6 +102,13 @@ std::string metricsToJson(const MetricsMeta &meta, const StatSet &stats,
 bool writeMetricsFile(const std::string &path, const MetricsMeta &meta,
                       const StatSet &stats, const ObsReport &obs,
                       std::string &error);
+
+/**
+ * Render and write a failure document to @p path.
+ * @return false (with @p error set) on I/O failure.
+ */
+bool writeFailureFile(const std::string &path, const MetricsMeta &meta,
+                      const MetricsFailure &failure, std::string &error);
 
 } // namespace getm
 

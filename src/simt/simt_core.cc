@@ -37,7 +37,8 @@ SimtCore::SimtCore(CoreId id, const CoreConfig &config, const AddressMap &map,
       stTxBegins(statSet.addCounter("tx_begins")),
       stTxRetries(statSet.addCounter("tx_retries")),
       stTxAborts(statSet.addCounter("tx_aborts")),
-      stTxCommitLanes(statSet.addCounter("tx_commit_lanes"))
+      stTxCommitLanes(statSet.addCounter("tx_commit_lanes")),
+      stTxStarvation(statSet.addCounter("tx_starvation_events"))
 {
     for (unsigned r = 0; r < numAbortReasons; ++r)
         stAbortsByReason[r] = &statSet.addCounter(
@@ -785,6 +786,13 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
         if (checkSink)
             checkSink->attemptBegin(warp.gwid, retry_mask, warp.firstTid);
         const Cycle delay = warp.backoff.nextDelay(randomGen);
+        // Starvation guard (counted once per streak, at the crossing):
+        // a warp this deep into backoff is no longer making progress
+        // through ordinary contention. Livelock diagnostics name these
+        // warps; the counter surfaces them in the stats/metrics export.
+        if (warp.backoff.consecutiveAborts() ==
+            cfg.starvationAbortCeiling)
+            stTxStarvation.add();
         changeState(warp, WarpState::BackoffWait);
         setWake(warp, currentCycle + delay);
         stTxRetries.add();

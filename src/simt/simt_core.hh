@@ -55,6 +55,14 @@ struct CoreConfig
     /** Metadata granule for transactional coalescing (paper: 32 B). */
     unsigned txGranule = 32;
     Backoff::Config backoff;
+    /**
+     * Starvation guard: a warp whose consecutive-abort streak reaches
+     * this ceiling is counted in the "tx_starvation_events" stat and
+     * named in livelock diagnostics. Must be <= 63 (the Backoff
+     * attempt cap); the default sits well past the backoff window
+     * saturation point, so healthy contention never trips it.
+     */
+    unsigned starvationAbortCeiling = 48;
     std::uint64_t seed = 1;
 };
 
@@ -214,6 +222,19 @@ class SimtCore
     /** True when no warp holds outstanding memory responses. */
     bool quiescent() const;
 
+    // --- forward-progress accounting (watchdog, diagnostics) --------------
+    /** Warp instructions retired so far. */
+    std::uint64_t instructionsRetired() const
+    {
+        return stInstructions.value;
+    }
+
+    /** Lane-level transaction commits so far. */
+    std::uint64_t commitLaneCount() const
+    {
+        return stTxCommitLanes.value;
+    }
+
   private:
     // --- execution --------------------------------------------------------
     void maybeLaunchWarps(Cycle now);
@@ -293,6 +314,9 @@ class SimtCore
     StatSet::Counter &stTxRetries;
     StatSet::Counter &stTxAborts;
     StatSet::Counter &stTxCommitLanes;
+    /** Warps whose consecutive-abort streak hit the starvation
+     *  ceiling (registered up front; invisible until it fires). */
+    StatSet::Counter &stTxStarvation;
     /** Per-AbortReason counters, indexed by reason (no string concat). */
     std::array<StatSet::Counter *, numAbortReasons> stAbortsByReason{};
 

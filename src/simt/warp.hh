@@ -112,6 +112,23 @@ enum class WarpState : std::uint8_t
     Idle,         ///< Slot has no work assigned.
 };
 
+/** Stable scheduler-state name, for diagnostics and dumps. */
+constexpr const char *
+warpStateName(WarpState state)
+{
+    switch (state) {
+      case WarpState::Ready: return "ready";
+      case WarpState::MemWait: return "mem-wait";
+      case WarpState::ThrottleWait: return "throttle-wait";
+      case WarpState::CommitWait: return "commit-wait";
+      case WarpState::BackoffWait: return "backoff-wait";
+      case WarpState::PipelineWait: return "pipeline-wait";
+      case WarpState::Finished: return "finished";
+      case WarpState::Idle: return "idle";
+    }
+    return "?";
+}
+
 /** Per-warp execution context. */
 class Warp
 {

@@ -1,5 +1,6 @@
 #include "sweep/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -9,6 +10,7 @@
 #include <sstream>
 
 #include "common/json.hh"
+#include "common/sim_error.hh"
 #include "common/thread_pool.hh"
 #include "gpu/config_file.hh"
 #include "gpu/gpu_system.hh"
@@ -95,6 +97,33 @@ simulatePoint(const SweepPoint &point, bool &verified)
     return metricsToJson(meta, result.stats, result.obs);
 }
 
+/** Identity-only meta for a point that never produced a result. */
+MetricsMeta
+failureMeta(const SweepPoint &point)
+{
+    MetricsMeta meta;
+    meta.bench = benchName(point.bench);
+    meta.protocol = protocolName(point.protocol);
+    meta.scale = point.scale;
+    meta.seed = point.seed;
+    meta.config = configProvenance(point.config);
+    return meta;
+}
+
+/**
+ * Deterministic reseed for retry attempt @p attempt (1-based): fold
+ * the attempt index into the workload/GPU seed so the retry explores
+ * a different schedule while staying reproducible.
+ */
+SweepPoint
+reseededPoint(const SweepPoint &point, unsigned attempt)
+{
+    SweepPoint retry = point;
+    retry.seed = point.seed + 0x9e3779b97f4a7c15ull * attempt;
+    retry.config.seed = retry.seed;
+    return retry;
+}
+
 } // namespace
 
 bool
@@ -176,22 +205,73 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
             }
         }
 
+        // Attempt the point, retrying with a deterministic reseed
+        // after a typed simulation failure, up to the manifest's
+        // `retries` budget. Failures are isolated: the point records
+        // a failure document and the sweep continues.
         bool verified = false;
-        const std::string doc = simulatePoint(point, verified);
+        std::string doc;
+        MetricsFailure failure;
+        bool failed = false;
+        unsigned attempt = 0;
+        for (;;) {
+            const SweepPoint &attempt_point =
+                attempt == 0 ? point : reseededPoint(point, attempt);
+            try {
+                doc = simulatePoint(attempt_point, verified);
+                failed = false;
+            } catch (const SimError &e) {
+                failed = true;
+                failure.status = simErrorStatus(e.kind());
+                failure.kind = simErrorKindName(e.kind());
+                failure.message = e.diagnostic().message;
+                failure.diagnosticJson = e.diagnostic().toJson();
+            } catch (const std::exception &e) {
+                failed = true;
+                failure.status = "error";
+                failure.kind = "INTERNAL";
+                failure.message = e.what();
+                failure.diagnosticJson.clear();
+            }
+            if (!failed || attempt >= point.retries)
+                break;
+            ++attempt;
+            std::lock_guard<std::mutex> lock(mtx);
+            progress("retry", point,
+                     "  attempt " + std::to_string(attempt + 1) +
+                         " after " + failure.status);
+        }
+        if (failed) {
+            failure.attempts = attempt + 1;
+            doc = failureToJson(failureMeta(point), failure);
+        }
 
+        // A failed point stores a poisoned hash, so resume always
+        // reruns it (the failure document stays inspectable
+        // meanwhile); a successful point stores the real hash.
         std::string write_error;
-        const bool wrote = writeFile(json_path, doc, write_error) &&
-                           writeFile(hash_path, hash, write_error);
+        const bool wrote =
+            writeFile(json_path, doc, write_error) &&
+            writeFile(hash_path, failed ? "failed " + hash : hash,
+                      write_error);
 
         std::lock_guard<std::mutex> lock(mtx);
         ++outcome.ran;
         ++done;
-        if (!verified)
+        if (failed) {
+            ++outcome.failed;
+            outcome.failures.push_back(SweepFailure{
+                point.id, failure.status, failure.message,
+                attempt + 1});
+        } else if (!verified) {
             ++outcome.unverified;
+        }
         if (!wrote && worker_error.empty())
             worker_error = write_error;
-        progress("ran", point,
-                 verified ? "" : "  VERIFICATION FAILED");
+        progress(failed ? "FAILED" : "ran", point,
+                 failed ? "  (" + failure.status + ")"
+                 : verified ? ""
+                            : "  VERIFICATION FAILED");
     };
 
     if (jobs <= 1) {
@@ -230,6 +310,20 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
     }
     w.member("num_points",
              static_cast<std::uint64_t>(points.size()));
+    // Emitted only when something failed, so a clean sweep document
+    // stays byte-identical to the pre-failure-isolation format.
+    if (!outcome.failures.empty()) {
+        std::sort(outcome.failures.begin(), outcome.failures.end(),
+                  [](const SweepFailure &a, const SweepFailure &b) {
+                      return a.id < b.id;
+                  });
+        w.member("num_failed",
+                 static_cast<std::uint64_t>(outcome.failures.size()));
+        w.key("failures").beginObject();
+        for (const SweepFailure &f : outcome.failures)
+            w.member(f.id, f.status);
+        w.endObject();
+    }
     w.endObject();
     w.key("points").beginObject();
     for (const auto &[id, point] : by_id) {

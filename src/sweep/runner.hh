@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sweep/manifest.hh"
 
@@ -47,6 +48,15 @@ struct SweepOptions
     bool progress = true;          ///< Per-point progress on stderr.
 };
 
+/** One point that ended in a typed simulation failure. */
+struct SweepFailure
+{
+    std::string id;      ///< Point id.
+    std::string status;  ///< "deadlock", "livelock", "timeout", ...
+    std::string message; ///< The failure's one-line description.
+    unsigned attempts = 1; ///< Tries made (1 + granted retries).
+};
+
 /** What happened, for reporting and tests. */
 struct SweepOutcome
 {
@@ -54,6 +64,8 @@ struct SweepOutcome
     unsigned ran = 0;      ///< Simulated this invocation.
     unsigned skipped = 0;  ///< Resumed from matching state.
     unsigned unverified = 0; ///< Ran but failed workload verification.
+    unsigned failed = 0;   ///< Ended in a typed simulation failure.
+    std::vector<SweepFailure> failures; ///< One row per failed point.
 };
 
 /** Current getm-sweep merged-document schema. */
@@ -64,10 +76,22 @@ inline constexpr int sweepSchemaVersion = 1;
  * Run @p manifest under @p options: enumerate, execute (or resume)
  * every point, and write the merged document.
  *
+ * Simulation pathologies (SimError: deadlock, livelock, cycle limit,
+ * wall timeout, bad config) are isolated per point: the point is
+ * retried up to the manifest's `retries` budget with a
+ * deterministically reseeded workload, and if every attempt fails it
+ * is recorded as a failure document (getm-metrics with a "failure"
+ * section) in points/<id>.json while the rest of the sweep continues.
+ * Failed points store a poisoned state hash, so a resumed sweep
+ * always reruns exactly them. Successful points are byte-identical to
+ * a failure-free sweep.
+ *
  * @return false with @p error set on enumeration or I/O failure.
  *         Workload verification failures do not fail the sweep; they
  *         are counted in @p outcome and flagged per point in the
- *         metrics (`meta.verified`).
+ *         metrics (`meta.verified`). Typed simulation failures are
+ *         likewise counted (`failed`, `failures`) without failing the
+ *         sweep; callers decide the exit status.
  */
 bool runSweep(const SweepManifest &manifest, const SweepOptions &options,
               SweepOutcome &outcome, std::string &error);

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <unistd.h>
 
 #include "common/json.hh"
@@ -105,6 +106,43 @@ TEST(ThreadPool, DestructorDrainsPendingTasks)
     EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPool, TaskExceptionsRethrowAtWaitAndPoolSurvives)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&count, i] {
+            ++count;
+            if (i == 7)
+                throw std::runtime_error("task 7 exploded");
+        });
+    try {
+        pool.wait();
+        FAIL() << "wait() swallowed the task exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 7 exploded");
+    }
+    // Every task ran despite the throw, and the pool stays usable:
+    // the error slot was cleared by the rethrow.
+    EXPECT_EQ(count.load(), 20);
+    pool.submit([&count] { ++count; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(count.load(), 21);
+}
+
+TEST(ThreadPool, OnlyTheFirstTaskExceptionIsKept)
+{
+    ThreadPool pool(1); // serial worker: deterministic first thrower
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::runtime_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() swallowed the task exceptions";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
 // --------------------------------------------------------------------------
 // Manifest parsing
 // --------------------------------------------------------------------------
@@ -185,6 +223,29 @@ TEST(SweepManifest, ConcurrencyOptResolvesTheTableIVOptimum)
     EXPECT_EQ(points[1].config.core.txWarpLimit, 2u);
 }
 
+TEST(SweepManifest, ParsesRetriesAndKeepsThemOutOfTheSpecHash)
+{
+    SweepManifest manifest;
+    std::string error;
+    ASSERT_TRUE(manifest.parse("name = r\nbench = ATM\nretries = 2\n",
+                               "", error))
+        << error;
+    std::vector<SweepPoint> points;
+    ASSERT_TRUE(manifest.enumerate(points, error)) << error;
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].retries, 2u);
+
+    // Retries change scheduling, not the point's spec: the hash (and
+    // therefore resume state) must not depend on them.
+    SweepManifest plain;
+    ASSERT_TRUE(plain.parse("name = r\nbench = ATM\n", "", error));
+    std::vector<SweepPoint> base;
+    ASSERT_TRUE(plain.enumerate(base, error));
+    EXPECT_EQ(points[0].specHash(), base[0].specHash());
+    // The manifest hash does change (it describes the whole run).
+    EXPECT_NE(manifest.manifestHash(), plain.manifestHash());
+}
+
 TEST(SweepManifest, RejectsBadInput)
 {
     const std::pair<const char *, const char *> cases[] = {
@@ -196,6 +257,7 @@ TEST(SweepManifest, RejectsBadInput)
         {"name = x\nseed = 3 3\nseed = 4\n", "duplicate axis"},
         {"name = x\nbench\n", "expected 'key = value'"},
         {"name = x\nbench =\n", "empty value"},
+        {"name = x\nretries = 99\n", "bad retries"},
     };
     for (const auto &[text, want] : cases) {
         SweepManifest manifest;
@@ -342,4 +404,137 @@ TEST_F(SweepRunTest, MergedDocumentIsValidAndSorted)
     ASSERT_TRUE(runSweep(manifest, serial, outcome, error)) << error;
     EXPECT_EQ(readAll(serial.dir + "/sweep.json"), merged);
     std::filesystem::remove_all(serial.dir);
+}
+
+// --------------------------------------------------------------------------
+// Failure isolation
+// --------------------------------------------------------------------------
+
+namespace {
+
+/** tinyManifest plus an inject axis: point 2 leaks GETM reservations
+ *  at commit and therefore deadlocks (see tests/test_robustness.cc). */
+const char *const faultyManifest =
+    "name = faulty\n"
+    "bench = ATM\n"
+    "protocol = getm\n"
+    "scale = 0.02\n"
+    "cores = 2\n"
+    "partitions = 2\n"
+    "warps_per_core = 4\n"
+    "sample_interval = 256\n"
+    "max_cycles = 30000000\n"
+    "inject = none leak-lock\n";
+
+} // namespace
+
+class FaultySweepTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ASSERT_TRUE(manifest.parse(faultyManifest, "", error)) << error;
+        options.dir = scratchDir("faulty");
+        options.jobs = 1;
+        options.progress = false;
+    }
+
+    void TearDown() override { std::filesystem::remove_all(options.dir); }
+
+    SweepManifest manifest;
+    SweepOptions options;
+    SweepOutcome outcome;
+    std::string error;
+};
+
+TEST_F(FaultySweepTest, FailedPointIsIsolatedAndRecorded)
+{
+    // The sweep itself succeeds: the pathological point is recorded,
+    // not fatal, and the clean point still completes.
+    ASSERT_TRUE(runSweep(manifest, options, outcome, error)) << error;
+    EXPECT_EQ(outcome.total, 2u);
+    EXPECT_EQ(outcome.ran, 2u);
+    ASSERT_EQ(outcome.failed, 1u);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].id, "ATM+GETM+inject=leak-lock");
+    EXPECT_EQ(outcome.failures[0].status, "deadlock");
+    EXPECT_EQ(outcome.failures[0].attempts, 1u);
+
+    const std::string merged = readAll(options.dir + "/sweep.json");
+    std::string json_error;
+    EXPECT_TRUE(jsonValidate(merged, json_error)) << json_error;
+    EXPECT_NE(merged.find("\"num_failed\":1"), std::string::npos);
+    EXPECT_NE(merged.find("\"failure\":"), std::string::npos);
+    EXPECT_NE(merged.find("\"status\":\"deadlock\""), std::string::npos);
+    EXPECT_NE(merged.find("\"diagnostic\":"), std::string::npos);
+    // The clean point's full document is embedded alongside.
+    EXPECT_NE(merged.find("\"ATM+GETM+inject=none\""),
+              std::string::npos);
+    EXPECT_NE(merged.find("\"run\":"), std::string::npos);
+}
+
+TEST_F(FaultySweepTest, FailedPointAlwaysRerunsOnResume)
+{
+    ASSERT_TRUE(runSweep(manifest, options, outcome, error)) << error;
+    EXPECT_EQ(outcome.failed, 1u);
+    const std::string merged = readAll(options.dir + "/sweep.json");
+
+    // Resume: the clean point is skipped, the failed point reruns
+    // (its state hash is poisoned), and the bytes are reproduced.
+    ASSERT_TRUE(runSweep(manifest, options, outcome, error)) << error;
+    EXPECT_EQ(outcome.skipped, 1u);
+    EXPECT_EQ(outcome.ran, 1u);
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_EQ(readAll(options.dir + "/sweep.json"), merged);
+}
+
+TEST_F(FaultySweepTest, RetriesAreGrantedAndCounted)
+{
+    SweepManifest retrying;
+    ASSERT_TRUE(retrying.parse(std::string(faultyManifest) +
+                                   "retries = 2\n",
+                               "", error))
+        << error;
+    ASSERT_TRUE(runSweep(retrying, options, outcome, error)) << error;
+    ASSERT_EQ(outcome.failed, 1u);
+    // leak-lock at probability 1 deadlocks every attempt: the original
+    // run plus both reseeded retries.
+    EXPECT_EQ(outcome.failures[0].attempts, 3u);
+    const std::string merged = readAll(options.dir + "/sweep.json");
+    EXPECT_NE(merged.find("\"attempts\":3"), std::string::npos);
+}
+
+TEST_F(FaultySweepTest, SuccessfulPointBytesAreUnaffectedByFailures)
+{
+    ASSERT_TRUE(runSweep(manifest, options, outcome, error)) << error;
+    const std::string with_failure =
+        readAll(options.dir + "/points/ATM+GETM+inject=none.json");
+
+    // The same clean point from a manifest without the faulty sibling
+    // must produce byte-identical output: failure isolation cannot
+    // leak into successful points.
+    SweepManifest clean;
+    ASSERT_TRUE(clean.parse("name = faulty\n"
+                            "bench = ATM\n"
+                            "protocol = getm\n"
+                            "scale = 0.02\n"
+                            "cores = 2\n"
+                            "partitions = 2\n"
+                            "warps_per_core = 4\n"
+                            "sample_interval = 256\n"
+                            "max_cycles = 30000000\n"
+                            "inject = none\n",
+                            "", error))
+        << error;
+    SweepOptions clean_options = options;
+    clean_options.dir = scratchDir("faulty_clean");
+    ASSERT_TRUE(runSweep(clean, clean_options, outcome, error)) << error;
+    EXPECT_EQ(outcome.failed, 0u);
+    // (The single-value inject axis drops out of the id, so the same
+    // point is named ATM+GETM here; the document bytes are what must
+    // match.)
+    EXPECT_EQ(readAll(clean_options.dir + "/points/ATM+GETM.json"),
+              with_failure);
+    std::filesystem::remove_all(clean_options.dir);
 }

@@ -14,9 +14,16 @@ the simulator guarantees:
     and sample cycles are strictly increasing, at least one interval
     apart.
 
+A getm-metrics *failure* document (a "failure" section in place of
+run/stats, written for points that ended in a typed simulation error;
+see docs/ROBUSTNESS.md) is validated against its own reduced shape:
+schema/meta/config plus a failure section with a known status.
+
 For a getm-sweep document (written by getm-sweep, see docs/SWEEPS.md),
 checks the sweep header and that every embedded point is itself a
-valid getm-metrics document, keyed and sorted by point id.
+valid getm-metrics document (full or failure), keyed and sorted by
+point id, and that the header's failures index agrees with the
+embedded failure documents.
 
 Usage: check_metrics.py METRICS_OR_SWEEP.json [more.json ...]
 Exits non-zero with a message on the first violation.
@@ -48,6 +55,12 @@ RUN_KEYS = [
     "xbar_flits", "rollovers", "max_logical_ts", "aborts_per_1k_commits",
 ]
 STATS_KEYS = ["counters", "maxima", "averages", "histograms"]
+
+FAILURE_TOP_LEVEL = ["schema", "version", "meta", "config", "failure"]
+FAILURE_KEYS = ["status", "kind", "message", "attempts"]
+FAILURE_STATUSES = [
+    "deadlock", "livelock", "cycle-limit", "timeout", "config", "error",
+]
 
 
 class CheckError(Exception):
@@ -112,6 +125,32 @@ def check_timeseries(ts):
         require(interval > 0, "samples recorded with interval 0")
 
 
+def check_failure_document(doc):
+    for key in FAILURE_TOP_LEVEL:
+        require(key in doc, f"failure document lacks top-level '{key}'")
+    require("run" not in doc and "stats" not in doc,
+            "failure document carries run/stats sections")
+    for key in ("bench", "protocol", "scale", "seed"):
+        require(key in doc["meta"], f"meta lacks '{key}'")
+    require(doc["meta"].get("verified") is False,
+            "failure document claims verified")
+    require(isinstance(doc["config"], dict) and doc["config"],
+            "config provenance is missing or empty")
+    failure = doc["failure"]
+    for key in FAILURE_KEYS:
+        require(key in failure, f"failure lacks '{key}'")
+    require(failure["status"] in FAILURE_STATUSES,
+            f"unknown failure status {failure['status']!r}")
+    require(isinstance(failure["attempts"], int)
+            and failure["attempts"] >= 1,
+            "failure.attempts is not a positive integer")
+    diag = failure.get("diagnostic")
+    if diag is not None:
+        for key in ("kind", "message", "cycle"):
+            require(key in diag, f"failure.diagnostic lacks '{key}'")
+    return doc
+
+
 def check_sweep_document(doc):
     require(doc.get("version") == SWEEP_VERSION,
             f"sweep version is {doc.get('version')!r}, "
@@ -129,11 +168,25 @@ def check_sweep_document(doc):
     require(len(points) > 0, "sweep document has no points")
     ids = list(points)  # json.load preserves document order
     require(ids == sorted(ids), "point ids are not sorted")
+    failed_ids = set()
     for point_id, point in points.items():
         try:
             check_document(point)
         except CheckError as err:
             raise CheckError(f"point {point_id}: {err}") from err
+        if "failure" in point:
+            failed_ids.add(point_id)
+    declared = header.get("failures", {})
+    require(set(declared) == failed_ids,
+            f"sweep header declares failures {sorted(declared)}, "
+            f"embedded failure documents are {sorted(failed_ids)}")
+    if failed_ids:
+        require(header.get("num_failed") == len(failed_ids),
+                "sweep header num_failed disagrees with failures")
+        for point_id, status in declared.items():
+            require(points[point_id]["failure"]["status"] == status,
+                    f"header status for {point_id} disagrees with its "
+                    f"failure document")
     return doc
 
 
@@ -144,6 +197,8 @@ def check_document(doc):
             f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     require(doc.get("version") == VERSION,
             f"version is {doc.get('version')!r}, want {VERSION}")
+    if "failure" in doc:
+        return check_failure_document(doc)
     for key in TOP_LEVEL:
         require(key in doc, f"document lacks top-level '{key}'")
     for key in META_KEYS:
@@ -185,9 +240,16 @@ def main(argv):
             print(f"check_metrics: {path}: {err}", file=sys.stderr)
             return 1
         if doc.get("schema") == SWEEP_SCHEMA:
+            failed = sum("failure" in p for p in doc["points"].values())
             print(f"check_metrics: {path}: OK "
                   f"(sweep {doc['sweep']['name']!r}, "
-                  f"{len(doc['points'])} valid points)")
+                  f"{len(doc['points'])} valid points"
+                  + (f", {failed} failed" if failed else "") + ")")
+        elif "failure" in doc:
+            failure = doc["failure"]
+            print(f"check_metrics: {path}: OK "
+                  f"(failure document: {failure['status']}, "
+                  f"{failure['attempts']} attempts)")
         else:
             run = doc["run"]
             print(f"check_metrics: {path}: OK "

@@ -21,6 +21,7 @@
 #include "check/checker.hh"
 #include "check/fault.hh"
 #include "check/reference_exec.hh"
+#include "common/sim_error.hh"
 #include "gpu/config_file.hh"
 #include "gpu/gpu_system.hh"
 #include "obs/metrics.hh"
@@ -66,7 +67,14 @@ usage(const char *argv0)
         "                      P (default 1): skip-rts-bump |\n"
         "                      force-store-grant | commit-stale-read |\n"
         "                      skip-validation | corrupt-commit |\n"
-        "                      drop-commit-write\n"
+        "                      drop-commit-write | leak-lock\n"
+        "  --max-cycles N      per-run simulation safety bound\n"
+        "                      (default 2000000000)\n"
+        "  --watchdog-cycles N declare livelock after N visited cycles\n"
+        "                      without an instruction retiring or a tx\n"
+        "                      lane committing (default 2000000; 0 off)\n"
+        "  --timeout-sec S     abort the run after S seconds of wall\n"
+        "                      clock (default 0 = unlimited)\n"
         "  --stats             dump all statistics\n"
         "  --json              machine-readable result summary\n"
         "  --disasm            print the kernel disassembly and exit\n"
@@ -102,6 +110,12 @@ parseProtocol(std::string name)
     return std::nullopt;
 }
 
+int
+runSimulation(BenchId bench, ProtocolKind protocol, double scale,
+              std::uint64_t seed, GpuConfig &cfg, bool dump_stats,
+              bool disasm, bool json, const std::string &metrics_path,
+              std::uint64_t max_cycles);
+
 } // namespace
 
 int
@@ -117,6 +131,7 @@ main(int argc, char **argv)
     bool json = false;
     std::string metrics_path;
     bool sample_interval_set = false;
+    std::uint64_t max_cycles = 2'000'000'000ull;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -205,6 +220,12 @@ main(int argc, char **argv)
             }
             cfg.injectFault = static_cast<unsigned>(kind);
             cfg.injectProb = prob;
+        } else if (arg == "--max-cycles") {
+            max_cycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--watchdog-cycles") {
+            cfg.watchdogCycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--timeout-sec") {
+            cfg.timeoutSec = std::atof(next());
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--json") {
@@ -252,6 +273,47 @@ main(int argc, char **argv)
         cfg.sampleInterval == 0)
         cfg.sampleInterval = 512;
 
+    try {
+        return runSimulation(bench, protocol, scale, seed, cfg,
+                             dump_stats, disasm, json, metrics_path,
+                             max_cycles);
+    } catch (const SimError &e) {
+        // A typed simulation pathology: dump the diagnostic snapshot,
+        // export a failure document when metrics were requested, and
+        // exit with a status distinct from verification failure (1)
+        // and usage errors (2).
+        std::fprintf(stderr, "%s\n", e.diagnostic().toText().c_str());
+        if (!metrics_path.empty()) {
+            MetricsMeta meta;
+            meta.bench = benchName(bench);
+            meta.protocol = protocolName(protocol);
+            meta.scale = scale;
+            meta.seed = seed;
+            meta.config = configProvenance(cfg);
+            MetricsFailure failure;
+            failure.status = simErrorStatus(e.kind());
+            failure.kind = simErrorKindName(e.kind());
+            failure.message = e.diagnostic().message;
+            failure.diagnosticJson = e.diagnostic().toJson();
+            std::string error;
+            if (!writeFailureFile(metrics_path, meta, failure, error))
+                std::fprintf(stderr, "metrics: %s\n", error.c_str());
+            else if (!json)
+                std::printf("wrote failure document to %s\n",
+                            metrics_path.c_str());
+        }
+        return 3;
+    }
+}
+
+namespace {
+
+int
+runSimulation(BenchId bench, ProtocolKind protocol, double scale,
+              std::uint64_t seed, GpuConfig &cfg, bool dump_stats,
+              bool disasm, bool json, const std::string &metrics_path,
+              std::uint64_t max_cycles)
+{
     GpuSystem gpu(cfg);
     auto workload = makeWorkload(bench, scale, seed);
     workload->setup(gpu, protocol == ProtocolKind::FgLock);
@@ -266,8 +328,8 @@ main(int argc, char **argv)
                     benchName(bench), protocolName(protocol), scale,
                     static_cast<unsigned long long>(
                         workload->numThreads()));
-    RunResult result =
-        gpu.run(workload->kernel(), workload->numThreads());
+    RunResult result = gpu.run(workload->kernel(),
+                               workload->numThreads(), max_cycles);
 
     Checker *checker = gpu.checkerPtr();
     if (checker && checker->level() >= CheckLevel::Ref) {
@@ -390,3 +452,5 @@ main(int argc, char **argv)
         std::printf("\n%s", result.stats.dump().c_str());
     return ok ? 0 : 1;
 }
+
+} // namespace

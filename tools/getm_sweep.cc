@@ -136,13 +136,27 @@ main(int argc, char **argv)
     std::printf("%s: %u points (%u ran, %u resumed) -> %s\n",
                 manifest.name().c_str(), outcome.total, outcome.ran,
                 outcome.skipped, out_path.c_str());
+    int status = 0;
     if (outcome.unverified) {
         std::fprintf(stderr,
                      "getm-sweep: %u point%s FAILED workload "
                      "verification (see meta.verified)\n",
                      outcome.unverified,
                      outcome.unverified == 1 ? "" : "s");
-        return 1;
+        status = 1;
     }
-    return 0;
+    if (outcome.failed) {
+        std::fprintf(stderr,
+                     "getm-sweep: %u point%s FAILED to simulate "
+                     "(failure documents in %s/points):\n",
+                     outcome.failed, outcome.failed == 1 ? "" : "s",
+                     options.dir.c_str());
+        for (const SweepFailure &f : outcome.failures)
+            std::fprintf(stderr, "  %-10s %s (%u attempt%s): %s\n",
+                         f.status.c_str(), f.id.c_str(), f.attempts,
+                         f.attempts == 1 ? "" : "s",
+                         f.message.c_str());
+        status = 3;
+    }
+    return status;
 }

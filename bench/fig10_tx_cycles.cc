@@ -6,9 +6,18 @@
  * Paper claim: GETM reduces both components for most workloads; even
  * where its abort rate is higher (CC, AP), cheap commits/aborts keep it
  * ahead of WarpTM and EAPG.
+ *
+ * With GETM_FIG10_TRACE=1 every run is additionally traced at sample
+ * rate 1 and the tracer's raw scheduler-state totals are cross-checked
+ * against the aggregate tx_exec/tx_wait counters the figure is built
+ * from: the tracer clips at txbegin and excludes pre-begin throttling,
+ * so its totals must be bounded by the counters, and its exec/wait
+ * split is printed beside the counter-derived one. A violated bound
+ * exits non-zero.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -21,10 +30,12 @@ main()
 {
     const double scale = benchScale();
     const std::uint64_t seed = benchSeed();
+    const char *trace_env = std::getenv("GETM_FIG10_TRACE");
+    const bool traced = trace_env && trace_env[0] == '1';
 
     std::printf("Fig. 10 reproduction: tx exec+wait cycles normalized to "
-                "WarpTM (scale %.3g)\n",
-                scale);
+                "WarpTM (scale %.3g%s)\n",
+                scale, traced ? ", traced" : "");
     std::printf("%-8s %10s %10s %10s  (exec%% / wait%% of WTM total)\n",
                 "bench", "WTM", "EAPG", "GETM");
 
@@ -32,6 +43,8 @@ main()
     for (BenchId bench : allBenchIds()) {
         double totals[3] = {};
         double execs[3] = {};
+        double trace_execs[3] = {};
+        double trace_waits[3] = {};
         int col = 0;
         for (ProtocolKind proto :
              {ProtocolKind::WarpTmLL, ProtocolKind::Eapg,
@@ -41,10 +54,34 @@ main()
             spec.protocol = proto;
             spec.scale = scale;
             spec.seed = seed;
+            if (traced)
+                spec.gpu.traceTx = 1;
             const BenchOutcome outcome = runBench(spec);
             execs[col] = static_cast<double>(outcome.run.txExecCycles);
             totals[col] = static_cast<double>(outcome.run.txExecCycles +
                                               outcome.run.txWaitCycles);
+            if (traced) {
+                const TxTraceReport &t = outcome.run.obs.txTrace;
+                const std::uint64_t texec = t.rawExec + t.rawMem;
+                const std::uint64_t twait = t.rawValidate + t.rawBackoff;
+                if (texec > outcome.run.txExecCycles ||
+                    twait > outcome.run.txWaitCycles) {
+                    std::fprintf(
+                        stderr,
+                        "fig10: %s/%s: tracer totals exceed counters "
+                        "(exec %llu > %llu or wait %llu > %llu)\n",
+                        benchName(bench), protocolName(proto),
+                        static_cast<unsigned long long>(texec),
+                        static_cast<unsigned long long>(
+                            outcome.run.txExecCycles),
+                        static_cast<unsigned long long>(twait),
+                        static_cast<unsigned long long>(
+                            outcome.run.txWaitCycles));
+                    return 1;
+                }
+                trace_execs[col] = static_cast<double>(texec);
+                trace_waits[col] = static_cast<double>(twait);
+            }
             ++col;
         }
         std::printf("%-8s %10.3f %10.3f %10.3f  (", benchName(bench),
@@ -54,6 +91,14 @@ main()
                         100.0 * execs[i] / totals[0],
                         100.0 * (totals[i] - execs[i]) / totals[0]);
         std::printf(")\n");
+        if (traced) {
+            std::printf("%-8s %32s  (", "", "tracer-derived:");
+            for (int i = 0; i < 3; ++i)
+                std::printf("%s%.0f/%.0f", i ? "  " : "",
+                            100.0 * trace_execs[i] / totals[0],
+                            100.0 * trace_waits[i] / totals[0]);
+            std::printf(")\n");
+        }
         norm_eapg.push_back(totals[1] / totals[0]);
         norm_getm.push_back(totals[2] / totals[0]);
     }

@@ -33,6 +33,12 @@ GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
                 obs->conflictEvent(
                     AbortReason::IntraWarp, core.granuleOf(addr),
                     core.addressMap().partitionOf(addr), core.now());
+            if (ObsSink *tracer = core.tracer())
+                tracer->txConflict(warp.gwid, warp.gwid,
+                                   AbortReason::IntraWarp,
+                                   core.granuleOf(addr),
+                                   core.addressMap().partitionOf(addr),
+                                   core.now());
             warp.iwcd.dropLane(lane);
             stIntraWarpAborts.add();
             continue;
@@ -81,6 +87,9 @@ GetmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
             pending &= ~(1u << lane);
         }
         msg.bytes = 12; // address + warpts + warp id
+        if (ObsSink *tracer = core.tracer())
+            tracer->txAccessIssue(warp.gwid, granule, is_store,
+                                  core.now());
         core.sendToPartition(std::move(msg));
         if (is_store) {
             ++warp.outstandingTxStores;
@@ -101,6 +110,9 @@ GetmCoreTm::onResponse(Warp &warp, const MemMsg &msg)
     LaneMask lanes = 0;
     for (const LaneOp &op : msg.ops)
         lanes |= 1u << op.lane;
+
+    if (ObsSink *tracer = core.tracer())
+        tracer->txAccessResponse(warp.gwid, msg.addr, core.now());
 
     switch (msg.kind) {
       case MsgKind::GetmLoadResp:

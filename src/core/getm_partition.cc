@@ -26,6 +26,11 @@ GetmPartitionUnit::GetmPartitionUnit(PartitionContext &context,
 Cycle
 GetmPartitionUnit::handleRequest(MemMsg &&msg, Cycle now)
 {
+    // Tracer charges use the true pop cycle, not the serialized
+    // now + busy offsets threaded through processCommit/releaseWaiters:
+    // the tracer's per-warp cursor must never run ahead of simulated
+    // time or the exact-sum invariant breaks (see TxTracer::charge).
+    traceNow = now;
     switch (msg.kind) {
       case MsgKind::GetmTxLoad:
       case MsgKind::GetmTxStore:
@@ -100,6 +105,9 @@ GetmPartitionUnit::respondAbort(const MemMsg &msg, LogicalTs observed,
     stVuAborts.add();
     if (ObsSink *sink = ctx.obs())
         sink->conflictEvent(reason, granule, ctx.partitionId(), now);
+    if (ObsSink *tracer = ctx.trace())
+        tracer->txAccessDecision(msg.wid, msg.addr, ctx.partitionId(),
+                                 /*ok=*/false, now, ready);
     ctx.scheduleToCore(std::move(resp), ready);
 }
 
@@ -142,6 +150,9 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
             entry.numWrites += count;
             respondStoreAck(msg, ready);
         }
+        if (ObsSink *tracer = ctx.trace())
+            tracer->txAccessDecision(msg.wid, msg.addr, ctx.partitionId(),
+                                     /*ok=*/true, now, ready);
         entry.approxSeeded = false;
         stOwnerHits.add();
         return busy;
@@ -176,9 +187,19 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
             entry.numWrites += count;
             meta.noteTimestamp(entry.wts);
             respondStoreAck(msg, ready);
+            if (ObsSink *tracer = ctx.trace())
+                tracer->txAccessDecision(msg.wid, msg.addr,
+                                         ctx.partitionId(), /*ok=*/true,
+                                         now, ready);
             entry.approxSeeded = false;
             return busy;
         }
+        // Genealogy: when the granule is still reserved, the current
+        // owner is the logically-later transaction this one lost to.
+        if (ObsSink *tracer = ctx.trace())
+            tracer->txConflict(msg.wid,
+                               entry.locked() ? entry.owner : invalidWarp,
+                               reason, granule, ctx.partitionId(), now);
         respondAbort(msg, observed, ready, reason, granule, now);
         return busy;
     }
@@ -188,7 +209,11 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
         // commits (or abort if the stall buffer is full).
         MemMsg queued = std::move(msg);
         const MemMsg probe = queued; // copy for potential abort response
-        if (!stall.enqueue(granule, std::move(queued))) {
+        if (!stall.enqueue(granule, std::move(queued), now)) {
+            if (ObsSink *tracer = ctx.trace())
+                tracer->txConflict(probe.wid, entry.owner,
+                                   AbortReason::StallBufferFull, granule,
+                                   ctx.partitionId(), now);
             respondAbort(probe, observed, ready,
                          AbortReason::StallBufferFull, granule, now);
         } else {
@@ -197,6 +222,9 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
                 sink->stallEvent(AbortReason::LockedByWriter, granule,
                                  ctx.partitionId(),
                                  stall.waitersOn(granule), now);
+            if (ObsSink *tracer = ctx.trace())
+                tracer->txStallEnter(probe.wid, granule,
+                                     ctx.partitionId(), traceNow);
         }
         return busy;
     }
@@ -216,6 +244,9 @@ GetmPartitionUnit::processAccess(MemMsg &&msg, Cycle now)
         meta.noteTimestamp(entry.wts);
         respondStoreAck(msg, ready);
     }
+    if (ObsSink *tracer = ctx.trace())
+        tracer->txAccessDecision(msg.wid, msg.addr, ctx.partitionId(),
+                                 /*ok=*/true, now, ready);
     entry.approxSeeded = false;
     return busy;
 }
@@ -293,9 +324,13 @@ GetmPartitionUnit::releaseWaiters(Addr granule, Cycle now)
         TxMetadata *entry = meta.findPrecise(granule);
         if (entry && entry->locked())
             break;
-        MemMsg queued = stall.popOldest(granule);
+        Cycle enqueued_at = 0;
+        MemMsg queued = stall.popOldest(granule, &enqueued_at);
         if (ObsSink *sink = ctx.obs())
             sink->stallRelease(ctx.partitionId(), now + busy);
+        if (ObsSink *tracer = ctx.trace())
+            tracer->txStallExit(queued.wid, granule, ctx.partitionId(),
+                                enqueued_at, traceNow);
         busy += processAccess(std::move(queued), now + busy);
         stStallGrants.add();
     }
@@ -303,12 +338,20 @@ GetmPartitionUnit::releaseWaiters(Addr granule, Cycle now)
 }
 
 void
-GetmPartitionUnit::flushForRollover()
+GetmPartitionUnit::flushForRollover(Cycle now)
 {
+    traceNow = now;
     // Balance the sink's live-occupancy gauge for dropped waiters.
     if (ObsSink *sink = ctx.obs())
         for (unsigned i = stall.occupancy(); i > 0; --i)
             sink->stallRelease(ctx.partitionId(), 0);
+    // Close the tracer's open dwell spans: rollover drops the waiters,
+    // so their stall time ends here (the cores restart them fresh).
+    if (ObsSink *tracer = ctx.trace())
+        stall.forEachWaiter([&](const MemMsg &msg, Cycle enqueued_at) {
+            tracer->txStallExit(msg.wid, granuleOf(msg.addr),
+                                ctx.partitionId(), enqueued_at, now);
+        });
     stall.flush();
     meta.flush();
 }

@@ -45,8 +45,8 @@ class GetmPartitionUnit : public TmPartitionProtocol
     /** Highest logical timestamp seen (rollover detection). */
     LogicalTs maxTimestamp() const { return meta.maxTimestamp(); }
 
-    /** Reset all metadata (timestamp rollover). */
-    void flushForRollover();
+    /** Reset all metadata (timestamp rollover) at cycle @p now. */
+    void flushForRollover(Cycle now = 0);
 
     MetadataTable &metadata() { return meta; }
     StallBuffer &stallBuffer() { return stall; }
@@ -80,6 +80,14 @@ class GetmPartitionUnit : public TmPartitionProtocol
     GetmPartitionConfig cfg;
     MetadataTable meta;
     StallBuffer stall;
+
+    /**
+     * True cycle of the message being handled. Tracer charges use this
+     * instead of the serialized now + busy offsets inside
+     * processCommit/releaseWaiters, so the tracer's per-warp cursor
+     * never runs ahead of simulated time.
+     */
+    Cycle traceNow = 0;
 
     // Hot-path stat handles: one add per validated/committed request.
     StatSet::Counter &stVuAborts;

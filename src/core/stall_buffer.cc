@@ -35,7 +35,7 @@ StallBuffer::findLine(Addr key) const
 }
 
 bool
-StallBuffer::enqueue(Addr key, MemMsg &&msg)
+StallBuffer::enqueue(Addr key, MemMsg &&msg, Cycle now)
 {
     Line *line = findLine(key);
     if (!line) {
@@ -51,7 +51,7 @@ StallBuffer::enqueue(Addr key, MemMsg &&msg)
         stFullRejections.add();
         return false;
     }
-    line->entries.push_back(std::move(msg));
+    line->entries.push_back(Waiter{std::move(msg), now});
     if (tracker)
         tracker->add();
     stEnqueues.add();
@@ -69,21 +69,32 @@ StallBuffer::hasWaiters(Addr key) const
 }
 
 MemMsg
-StallBuffer::popOldest(Addr key)
+StallBuffer::popOldest(Addr key, Cycle *enqueued_at)
 {
     Line *line = findLine(key);
     if (!line)
         panic("popOldest on empty stall-buffer line");
     std::size_t best = 0;
     for (std::size_t i = 1; i < line->entries.size(); ++i)
-        if (line->entries[i].ts < line->entries[best].ts)
+        if (line->entries[i].msg.ts < line->entries[best].msg.ts)
             best = i;
-    MemMsg msg = std::move(line->entries[best]);
+    MemMsg msg = std::move(line->entries[best].msg);
+    if (enqueued_at)
+        *enqueued_at = line->entries[best].enqueuedAt;
     line->entries.erase(line->entries.begin() +
                         static_cast<std::ptrdiff_t>(best));
     if (tracker)
         tracker->remove();
     return msg;
+}
+
+void
+StallBuffer::forEachWaiter(
+    const std::function<void(const MemMsg &, Cycle)> &visit) const
+{
+    for (const Line &line : lines)
+        for (const Waiter &waiter : line.entries)
+            visit(waiter.msg, waiter.enqueuedAt);
 }
 
 unsigned

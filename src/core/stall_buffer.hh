@@ -15,6 +15,7 @@
 #define GETM_CORE_STALL_BUFFER_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/stats.hh"
@@ -57,20 +58,27 @@ class StallBuffer
     StallBuffer(std::string name, const Config &config);
 
     /**
-     * Try to queue @p msg (a request whose granule is @p key).
+     * Try to queue @p msg (a request whose granule is @p key) at cycle
+     * @p now; the timestamp is kept so dequeues can report the dwell.
      * @return false if the buffer is full (the caller must abort the
      *         requester).
      */
-    bool enqueue(Addr key, MemMsg &&msg);
+    bool enqueue(Addr key, MemMsg &&msg, Cycle now = 0);
 
     /** Any requests waiting on @p key? */
     bool hasWaiters(Addr key) const;
 
     /**
      * Remove and return the minimum-warpts request waiting on @p key.
-     * Must only be called when hasWaiters(key).
+     * Must only be called when hasWaiters(key). When @p enqueued_at is
+     * non-null it receives the cycle the request entered the buffer.
      */
-    MemMsg popOldest(Addr key);
+    MemMsg popOldest(Addr key, Cycle *enqueued_at = nullptr);
+
+    /** Visit every queued request (tracer drain before flush()). */
+    void forEachWaiter(
+        const std::function<void(const MemMsg &, Cycle enqueued_at)>
+            &visit) const;
 
     /** Total queued requests (Fig. 15 metric). */
     unsigned occupancy() const;
@@ -87,10 +95,16 @@ class StallBuffer
     void setTracker(StallOccupancyTracker *t) { tracker = t; }
 
   private:
+    struct Waiter
+    {
+        MemMsg msg;
+        Cycle enqueuedAt;
+    };
+
     struct Line
     {
         Addr key = invalidAddr;
-        std::vector<MemMsg> entries;
+        std::vector<Waiter> entries;
     };
 
     Line *findLine(Addr key);

@@ -22,6 +22,10 @@ EapgPartitionUnit::onValidationStart(const MemMsg &slice, Cycle now)
     proto.kind = MsgKind::EapgSignature;
     proto.partition = ctx.partitionId();
     proto.txId = slice.txId;
+    // Carry the committing writer's id so early-aborted readers can
+    // name their aborter (genealogy only; msg.bytes stays the idealized
+    // 64-bit flit, so the NoC model is untouched).
+    proto.wid = slice.wid;
     for (const LaneOp &op : slice.ops)
         if (op.aux)
             proto.ops.push_back({0, op.addr, 0, 0});
@@ -94,6 +98,12 @@ EapgCoreTm::onBroadcast(const MemMsg &msg)
                     if (ObsSink *obs = core.observer())
                         obs->conflictEvent(
                             AbortReason::EarlyAbort,
+                            core.granuleOf(entry.addr),
+                            core.addressMap().partitionOf(entry.addr),
+                            core.now());
+                    if (ObsSink *tracer = core.tracer())
+                        tracer->txConflict(
+                            warp.gwid, msg.wid, AbortReason::EarlyAbort,
                             core.granuleOf(entry.addr),
                             core.addressMap().partitionOf(entry.addr),
                             core.now());

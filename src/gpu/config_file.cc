@@ -73,6 +73,8 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
             value == 0 ? ~static_cast<LogicalTs>(0) : value;
     else if (key == "sample_interval")
         cfg.sampleInterval = value;
+    else if (key == "trace_tx")
+        cfg.traceTx = value;
     else if (key == "watchdog_cycles")
         cfg.watchdogCycles = value;
     else if (key == "hot_addrs")
@@ -89,8 +91,8 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
  * checker/injection/timeout keys are deliberately absent from
  * configProvenance(): enabling validation or a safety net must not
  * change a run's reported configuration or sweep spec hashes
- * (watchdog_cycles, handled by the numeric parser, is excluded for
- * the same reason).
+ * (watchdog_cycles and trace_tx, handled by the numeric parser, are
+ * excluded for the same reason — both are observe-only).
  */
 bool
 applyStringKey(GpuConfig &cfg, const std::string &key,

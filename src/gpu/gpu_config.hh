@@ -84,6 +84,15 @@ struct GpuConfig
      */
     unsigned checkLevel = 0;
 
+    /**
+     * Per-transaction lifecycle tracing: trace every Nth transaction
+     * (0 = off, 1 = all). Strictly observe-only — the tracer adds no
+     * wake sources and no messages, so enabling it cannot change a
+     * single simulated cycle (the TracerInvisible tests enforce this).
+     * Like checkLevel, never part of config provenance.
+     */
+    std::uint64_t traceTx = 0;
+
     /** Injected protocol fault (FaultKind numeric value; 0 = none). */
     unsigned injectFault = 0;
 

@@ -119,6 +119,23 @@ GpuSystem::GpuSystem(const GpuConfig &config)
         core->setObserver(&observability);
     for (auto &part : partArray)
         part->setObserver(&observability);
+    if (cfg.traceTx > 0) {
+        txTracer = std::make_unique<TxTracer>(cfg.traceTx);
+        for (auto &core : coreArray)
+            core->setTracer(txTracer.get());
+        for (auto &part : partArray)
+            part->setTracer(txTracer.get());
+        // Passive hop observer: delivery cycles are already decided
+        // when the hook runs, so the NoC model cannot be perturbed.
+        xbarUp.setSendHook(
+            [this](const MemMsg &msg, Cycle sent, Cycle arrived) {
+                txTracer->nocHop(true, sent, arrived, msg.bytes);
+            });
+        xbarDown.setSendHook(
+            [this](const MemMsg &msg, Cycle sent, Cycle arrived) {
+                txTracer->nocHop(false, sent, arrived, msg.bytes);
+            });
+    }
     if (cfg.checkLevel > 0) {
         checker = std::make_unique<Checker>(
             static_cast<CheckLevel>(cfg.checkLevel));
@@ -156,6 +173,31 @@ GpuSystem::setupTelemetry()
                                     "warp slot " + std::to_string(s));
         }
         timeline.nameProcess(telemetry_pid, "telemetry");
+        if (txTracer) {
+            // Validation-unit spans live on their own pseudo-process,
+            // one thread per partition, after the telemetry tracks.
+            const std::uint32_t vu_pid = cfg.numCores + 1;
+            timeline.nameProcess(vu_pid, "validation units");
+            for (PartitionId p = 0; p < cfg.numPartitions; ++p)
+                timeline.nameThread(vu_pid, p,
+                                    "partition " + std::to_string(p));
+            TxTraceEmit emit;
+            emit.warpSpan = [this](CoreId core, std::uint32_t slot,
+                                   const std::string &name, Cycle ts,
+                                   Cycle dur) {
+                timeline.complete(core, slot, name, ts, dur);
+            };
+            emit.warpInstant = [this](CoreId core, std::uint32_t slot,
+                                      const std::string &name, Cycle ts) {
+                timeline.instant(core, slot, name.c_str(), ts);
+            };
+            emit.vuSpan = [this, vu_pid](PartitionId partition,
+                                         const std::string &name,
+                                         Cycle ts, Cycle dur) {
+                timeline.complete(vu_pid, partition, name, ts, dur);
+            };
+            txTracer->setEmit(std::move(emit));
+        }
     }
 
     if (cfg.sampleInterval == 0)
@@ -340,7 +382,7 @@ GpuSystem::maybeRollover(Cycle now)
             return;
 
     for (GetmPartitionUnit *unit : getmUnits)
-        unit->flushForRollover();
+        unit->flushForRollover(now);
     for (auto &part : partArray)
         part->addPipelineStall(now, cfg.rolloverPenalty);
     for (auto &core : coreArray) {
@@ -695,7 +737,11 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
     result.metaAccessCycles = result.stats.mean("access_cycles");
     result.stallPeakOccupancy = stallTracker.peak;
     result.stallWaitersPerAddr = result.stats.mean("waiters_per_addr");
+    // Record the final partial telemetry window before snapshotting.
+    observability.cycleSampler().finalize(now);
     result.obs = observability.report(cfg.hotAddrTopN);
+    if (txTracer)
+        result.obs.txTrace = txTracer->report(now);
     if (checker) {
         checker->finish(store);
         result.check = checker->report();

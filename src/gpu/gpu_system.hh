@@ -27,6 +27,7 @@
 #include "mem/backing_store.hh"
 #include "noc/crossbar.hh"
 #include "obs/observability.hh"
+#include "obs/tx_tracer.hh"
 #include "simt/simt_core.hh"
 #include "warptm/wtm_common.hh"
 
@@ -120,6 +121,9 @@ class GpuSystem
     /** Runtime checker, when cfg.checkLevel > 0 (else nullptr). */
     Checker *checkerPtr() { return checker.get(); }
 
+    /** Transaction tracer, when cfg.traceTx > 0 (else nullptr). */
+    TxTracer *tracerPtr() { return txTracer.get(); }
+
     /** Fault injector, when cfg.injectFault > 0 (else nullptr). */
     FaultInjector *faultInjectorPtr() { return faultInjector.get(); }
 
@@ -186,6 +190,7 @@ class GpuSystem
     StallOccupancyTracker stallTracker;
     Timeline timeline;
     Observability observability;
+    std::unique_ptr<TxTracer> txTracer;
     std::unique_ptr<Checker> checker;
     std::unique_ptr<FaultInjector> faultInjector;
 

@@ -54,6 +54,9 @@ class MemPartition : public PartitionContext
     /** Install the observability sink (may be null). */
     void setObserver(ObsSink *s) { sink = s; }
 
+    /** Install the transaction tracer (may be null). */
+    void setTracer(ObsSink *t) { traceSink = t; }
+
     /** Install the runtime checker sink (may be null). */
     void setChecker(CheckSink *s) { checkSink = s; }
 
@@ -77,6 +80,7 @@ class MemPartition : public PartitionContext
     BackingStore &memory() override { return store; }
     StatSet &stats() override { return statSet; }
     ObsSink *obs() override { return sink; }
+    ObsSink *trace() override { return traceSink; }
     CheckSink *check() override { return checkSink; }
     FaultInjector *faults() override { return faultInj; }
 
@@ -109,6 +113,7 @@ class MemPartition : public PartitionContext
     DramModel dram;
     std::unique_ptr<TmPartitionProtocol> proto;
     ObsSink *sink = nullptr;
+    ObsSink *traceSink = nullptr;
     CheckSink *checkSink = nullptr;
     FaultInjector *faultInj = nullptr;
 

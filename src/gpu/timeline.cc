@@ -33,6 +33,11 @@ Timeline::toJson() const
             out << ",\"ph\":\"i\",\"s\":\"t\",\"name\":\""
                 << jsonEscape(event.name) << "\"";
             break;
+          case Kind::Complete:
+            out << ",\"ph\":\"X\",\"dur\":"
+                << static_cast<std::uint64_t>(event.value)
+                << ",\"name\":\"" << jsonEscape(event.name) << "\"";
+            break;
           case Kind::Counter:
             out << ",\"ph\":\"C\",\"name\":\"" << jsonEscape(event.name)
                 << "\",\"args\":{\"value\":" << jsonNumber(event.value)

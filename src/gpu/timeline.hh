@@ -56,6 +56,15 @@ class Timeline
         events.push_back({Kind::Instant, core, slot, name, ts, 0.0});
     }
 
+    /** Record a complete span (Chrome "X": start + duration). */
+    void
+    complete(std::uint32_t pid, std::uint32_t tid,
+             const std::string &name, Cycle ts, Cycle dur)
+    {
+        events.push_back({Kind::Complete, pid, tid, name, ts,
+                          static_cast<double>(dur)});
+    }
+
     /** Record a counter sample (Chrome "C"; one track per name). */
     void
     counter(std::uint32_t pid, const std::string &name, Cycle ts,
@@ -93,6 +102,7 @@ class Timeline
         Begin,
         End,
         Instant,
+        Complete,
         Counter,
         ProcessName,
         ThreadName,

@@ -17,6 +17,7 @@
 #define GETM_NOC_CROSSBAR_HH
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <string>
 #include <vector>
@@ -86,17 +87,31 @@ class Crossbar
     {
     }
 
+    /**
+     * Observer invoked for every send with the routed message and its
+     * send/arrival cycles. Purely passive — it sees timing that is
+     * already decided, so installing one cannot perturb the NoC model
+     * (the transaction tracer's hop-latency accounting hangs here).
+     */
+    using SendHook =
+        std::function<void(const MsgT &, Cycle sent, Cycle arrived)>;
+
     /** Send @p msg; returns its delivery cycle. */
     Cycle
     send(unsigned src, unsigned dst, unsigned bytes, Cycle now, MsgT msg)
     {
         const Cycle when = timing.route(src, dst, bytes, now);
+        if (sendHook)
+            sendHook(msg, now, when);
         inbox[dst].push(Entry{when, seq++, std::move(msg)});
         ++pending;
         if (!arrivalDirty && when < cachedArrival)
             cachedArrival = when;
         return when;
     }
+
+    /** Install (or clear, with nullptr) the passive send observer. */
+    void setSendHook(SendHook hook) { sendHook = std::move(hook); }
 
     /** True if a message for @p dst has arrived by @p now. */
     bool
@@ -158,6 +173,7 @@ class Crossbar
     };
 
     CrossbarTiming timing;
+    SendHook sendHook;
     std::uint64_t seq = 0;
     std::size_t pending = 0;
     mutable Cycle cachedArrival = ~static_cast<Cycle>(0);

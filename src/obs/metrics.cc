@@ -201,6 +201,12 @@ metricsToJson(const MetricsMeta &meta, const StatSet &stats,
         w.endObject();
     }
 
+    // Like "check", the tx_trace section only exists when the tracer
+    // ran, so untraced documents stay byte-identical to the pre-tracer
+    // shape (modulo the version bump).
+    if (obs.txTrace.enabled)
+        w.key("tx_trace").rawValue(txTraceSectionJson(obs.txTrace));
+
     w.member("distinct_conflict_addrs", obs.distinctConflictAddrs);
     emitHotAddrs(w, obs);
     emitTimeseries(w, obs.samples);

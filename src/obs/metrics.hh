@@ -25,12 +25,13 @@
 
 #include "common/stats.hh"
 #include "obs/observability.hh"
+#include "obs/schema_version.hh"
 
 namespace getm {
 
-/** Schema identity stamped into every metrics document. */
+/** Schema identity stamped into every metrics document (version in
+ *  obs/schema_version.hh, shared with tools/check_metrics.py). */
 inline constexpr const char *metricsSchemaName = "getm-metrics";
-inline constexpr int metricsSchemaVersion = 1;
 
 /** Run identity, headline results, and config provenance. */
 struct MetricsMeta

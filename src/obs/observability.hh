@@ -20,6 +20,7 @@
 #include "obs/conflict_profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/sink.hh"
+#include "obs/tx_tracer.hh"
 
 namespace getm {
 
@@ -44,6 +45,9 @@ struct ObsReport
 
     /** Cycle-sampled telemetry (empty when sampling is disabled). */
     SampleSeries samples;
+
+    /** Per-transaction lifecycle trace (enabled == false when off). */
+    TxTraceReport txTrace;
 
     std::uint64_t
     totalAbortLanes() const

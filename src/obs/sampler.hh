@@ -71,11 +71,14 @@ class CycleSampler
      * First interval boundary strictly after @p now. With idle-cycle
      * skipping the simulation may jump several boundaries at once; the
      * sampler then takes a single sample and realigns here, so sample
-     * spacing is always >= one interval.
+     * spacing is always >= one interval. A zero @p interval (sampling
+     * disabled) has no boundaries: never, not a division by zero.
      */
     static Cycle
     alignNext(Cycle now, Cycle interval)
     {
+        if (interval == 0)
+            return ~static_cast<Cycle>(0);
         return (now / interval + 1) * interval;
     }
 
@@ -98,6 +101,22 @@ class CycleSampler
 
     /** Unconditionally record one row at @p now. */
     void sample(Cycle now);
+
+    /**
+     * End-of-run flush: record the final partial window at @p now when
+     * the run ended between boundaries (otherwise a run shorter than
+     * one interval would export nothing past the cycle-0 row, and any
+     * run would silently drop its tail). The final two samples may
+     * therefore be closer than one interval apart.
+     */
+    void
+    finalize(Cycle now)
+    {
+        if (!enabled())
+            return;
+        if (series.cycles.empty() || series.cycles.back() < now)
+            sample(now);
+    }
 
     const SampleSeries &data() const { return series; }
 

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Single source of truth for the exported document schema versions.
+ *
+ * Both the C++ exporters (obs/metrics.cc, sweep/runner.cc) and the
+ * Python validator (tools/check_metrics.py, which parses this header
+ * at startup) read the constants below, so a schema bump cannot leave
+ * the two sides disagreeing. Keep each constant on its own line in the
+ * exact `inline constexpr int NAME = N;` shape — the Python side
+ * matches that pattern textually.
+ */
+
+#ifndef GETM_OBS_SCHEMA_VERSION_HH
+#define GETM_OBS_SCHEMA_VERSION_HH
+
+namespace getm {
+
+/** "getm-metrics" document version (bumped for the tx_trace section). */
+inline constexpr int metricsSchemaVersion = 2;
+
+/** "getm-sweep" merged-document version. */
+inline constexpr int sweepSchemaVersion = 1;
+
+/** Version of the "tx_trace" section / standalone trace documents. */
+inline constexpr int txTraceSchemaVersion = 1;
+
+} // namespace getm
+
+#endif // GETM_OBS_SCHEMA_VERSION_HH

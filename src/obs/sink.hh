@@ -19,6 +19,14 @@
  *    site than the abort accounting, e.g. partition-side validation).
  *    Feeds the hot-address profiler.
  *  - stallEvent()/stallRelease(): a request entered/left a stall buffer.
+ *
+ * Beyond the three aggregate flavours, the interface carries a family
+ * of default-bodied per-transaction lifecycle events (txAttemptBegin,
+ * txPhase, txAccess*, txStall*, txConflict, txAbort, txCommitHandoff,
+ * txValidation, txRetire) consumed by the TxTracer (obs/tx_tracer.hh).
+ * They are reported through a *separate* trace pointer that stays null
+ * unless tracing is enabled, so the disabled path costs one untaken
+ * null check per site and the Observability hub never sees them.
  */
 
 #ifndef GETM_OBS_SINK_HH
@@ -28,6 +36,21 @@
 #include "obs/abort_reason.hh"
 
 namespace getm {
+
+/**
+ * Coarse transaction lifecycle phase, mapped from the warp scheduler
+ * state by the reporting core. The tracer charges wall-clock slices of
+ * a transaction attempt to exactly one phase at a time (with an
+ * overlay for stall-buffer dwell), so the per-phase cycle accounting
+ * telescopes to the attempt's lifetime with no gaps or overlaps.
+ */
+enum class TxPhase : std::uint8_t
+{
+    Exec,     ///< Ready/PipelineWait: issuing transactional work.
+    Mem,      ///< MemWait: NoC round-trips outstanding.
+    Validate, ///< CommitWait: commit/validation sequence in flight.
+    Backoff,  ///< BackoffWait/ThrottleWait: waiting to retry.
+};
 
 /** Receiver for attribution events from every protocol. */
 class ObsSink
@@ -58,6 +81,129 @@ class ObsSink
 
     /** A previously queued request left the stall buffer. */
     virtual void stallRelease(PartitionId partition, Cycle now) = 0;
+
+    // ------------------------------------------------------------------
+    // Per-transaction lifecycle events (TxTracer). Default-bodied so
+    // the aggregate Observability hub and test mocks implementing only
+    // the pure virtuals above keep compiling unchanged.
+    // ------------------------------------------------------------------
+
+    /**
+     * Warp @p gwid on @p core / @p slot starts transaction attempt
+     * @p attempt (0 = first; retries re-enter here from the retire
+     * path with the same cycle as the preceding txRetire, so attempt
+     * accounting telescopes across retries).
+     */
+    virtual void
+    txAttemptBegin(GlobalWarpId gwid, CoreId core, std::uint32_t slot,
+                   unsigned attempt, unsigned lanes, Cycle now)
+    {
+        (void)gwid; (void)core; (void)slot;
+        (void)attempt; (void)lanes; (void)now;
+    }
+
+    /** The warp's scheduler state changed; charge up to @p now. */
+    virtual void
+    txPhase(GlobalWarpId gwid, TxPhase phase, Cycle now)
+    {
+        (void)gwid; (void)phase; (void)now;
+    }
+
+    /** A transactional access for @p granule left the core. */
+    virtual void
+    txAccessIssue(GlobalWarpId gwid, Addr granule, bool store, Cycle now)
+    {
+        (void)gwid; (void)granule; (void)store; (void)now;
+    }
+
+    /**
+     * The owning partition decided the access: @p arrival is when the
+     * request reached the unit, @p ready when the response (grant or
+     * abort) was scheduled back to the core.
+     */
+    virtual void
+    txAccessDecision(GlobalWarpId gwid, Addr granule,
+                     PartitionId partition, bool ok, Cycle arrival,
+                     Cycle ready)
+    {
+        (void)gwid; (void)granule; (void)partition;
+        (void)ok; (void)arrival; (void)ready;
+    }
+
+    /** The response for @p granule arrived back at the core. */
+    virtual void
+    txAccessResponse(GlobalWarpId gwid, Addr granule, Cycle now)
+    {
+        (void)gwid; (void)granule; (void)now;
+    }
+
+    /** One of the warp's accesses was parked in a stall buffer. */
+    virtual void
+    txStallEnter(GlobalWarpId gwid, Addr granule, PartitionId partition,
+                 Cycle now)
+    {
+        (void)gwid; (void)granule; (void)partition; (void)now;
+    }
+
+    /** A parked access left the stall buffer (queued at @p enqueued). */
+    virtual void
+    txStallExit(GlobalWarpId gwid, Addr granule, PartitionId partition,
+                Cycle enqueued, Cycle now)
+    {
+        (void)gwid; (void)granule; (void)partition;
+        (void)enqueued; (void)now;
+    }
+
+    /**
+     * Genealogy: @p victim is about to be aborted because of
+     * @p aborter (invalidWarp when the killer is unknown, e.g.
+     * value-based validation). Reported at the conflict site; the
+     * tracer merges it with the core-side txAbort that follows.
+     */
+    virtual void
+    txConflict(GlobalWarpId victim, GlobalWarpId aborter,
+               AbortReason reason, Addr addr, PartitionId partition,
+               Cycle now)
+    {
+        (void)victim; (void)aborter; (void)reason;
+        (void)addr; (void)partition; (void)now;
+    }
+
+    /** Core-side abort accounting point (SimtCore::abortTxLanes). */
+    virtual void
+    txAbort(GlobalWarpId gwid, AbortReason reason, Addr addr,
+            unsigned lanes, Cycle now)
+    {
+        (void)gwid; (void)reason; (void)addr; (void)lanes; (void)now;
+    }
+
+    /** The warp reached its commit point and handed off to the protocol. */
+    virtual void
+    txCommitHandoff(GlobalWarpId gwid, Cycle now)
+    {
+        (void)gwid; (void)now;
+    }
+
+    /** A validation unit was busy on @p gwid over [@p start, @p end). */
+    virtual void
+    txValidation(GlobalWarpId gwid, PartitionId partition, bool pass,
+                 Cycle start, Cycle end)
+    {
+        (void)gwid; (void)partition; (void)pass; (void)start; (void)end;
+    }
+
+    /**
+     * The attempt retired: @p committedLanes lanes committed and, when
+     * @p willRetry, the surviving lanes re-enter via txAttemptBegin at
+     * the same cycle. A retire with willRetry == false closes the
+     * transaction.
+     */
+    virtual void
+    txRetire(GlobalWarpId gwid, unsigned committedLanes, bool willRetry,
+             Cycle now)
+    {
+        (void)gwid; (void)committedLanes; (void)willRetry; (void)now;
+    }
 };
 
 } // namespace getm

@@ -16,6 +16,23 @@ popcount(LaneMask mask)
     return static_cast<unsigned>(std::popcount(mask));
 }
 
+/** Scheduler state -> tracer phase (obs/sink.hh TxPhase). */
+TxPhase
+phaseOf(WarpState state)
+{
+    switch (state) {
+      case WarpState::MemWait:
+        return TxPhase::Mem;
+      case WarpState::CommitWait:
+        return TxPhase::Validate;
+      case WarpState::BackoffWait:
+      case WarpState::ThrottleWait:
+        return TxPhase::Backoff;
+      default:
+        return TxPhase::Exec;
+    }
+}
+
 } // namespace
 
 SimtCore::SimtCore(CoreId id, const CoreConfig &config, const AddressMap &map,
@@ -126,6 +143,8 @@ SimtCore::changeState(Warp &warp, WarpState state)
     warp.state = state;
     stateOf[warp.slot] = state;
     warp.stateSince = currentCycle;
+    if (traceSink && warp.inTx)
+        traceSink->txPhase(warp.gwid, phaseOf(state), currentCycle);
 }
 
 void
@@ -622,6 +641,9 @@ SimtCore::execTxBegin(Warp &warp, LaneMask active)
     stTxBegins.add();
     if (checkSink)
         checkSink->attemptBegin(warp.gwid, active, warp.firstTid);
+    if (traceSink)
+        traceSink->txAttemptBegin(warp.gwid, coreId, warp.slot, 0,
+                                  popcount(active), currentCycle);
     if (timeline)
         timeline->begin(coreId, warp.slot, "tx", currentCycle);
     if (protocol)
@@ -639,6 +661,8 @@ SimtCore::execTxCommit(Warp &warp)
         return;
     }
     warp.commitPointFired = true;
+    if (traceSink)
+        traceSink->txCommitHandoff(warp.gwid, currentCycle);
     protocol->txCommitPoint(warp);
 }
 
@@ -692,6 +716,8 @@ SimtCore::abortTxLanes(Warp &warp, LaneMask lanes, LogicalTs observed_ts,
                          addr == invalidAddr ? 0
                                              : addrMap.partitionOf(addr),
                          aborted, currentCycle);
+    if (traceSink)
+        traceSink->txAbort(warp.gwid, reason, addr, aborted, currentCycle);
     warp.abortLanesOnStack(lanes);
     for (LaneId lane = 0; lane < warpSize; ++lane)
         if (lanes & (1u << lane))
@@ -733,6 +759,8 @@ SimtCore::checkAllAbortedCommitPoint(Warp &warp)
     if (warp.outstanding || warp.outstandingTxStores)
         return;
     warp.commitPointFired = true;
+    if (traceSink)
+        traceSink->txCommitHandoff(warp.gwid, currentCycle);
     protocol->txCommitPoint(warp);
 }
 
@@ -748,6 +776,9 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
 
     const Pc commit_pc = warp.stack[txi].pc;
     const LaneMask retry_mask = warp.stack[ri].mask;
+    if (traceSink)
+        traceSink->txRetire(warp.gwid, popcount(committed_lanes),
+                            retry_mask != 0, currentCycle);
     warp.commits += popcount(committed_lanes);
     stTxCommitLanes.add(popcount(committed_lanes));
     if (checkSink) {
@@ -785,6 +816,12 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
         // TxBegin, so the checker learns about the new attempt here.
         if (checkSink)
             checkSink->attemptBegin(warp.gwid, retry_mask, warp.firstTid);
+        // Retry attempts begin at the retire cycle, so the tracer's
+        // per-attempt slices telescope exactly over the tx lifetime.
+        if (traceSink)
+            traceSink->txAttemptBegin(warp.gwid, coreId, warp.slot,
+                                      warp.retriesThisTx,
+                                      popcount(retry_mask), currentCycle);
         const Cycle delay = warp.backoff.nextDelay(randomGen);
         // Starvation guard (counted once per streak, at the crossing):
         // a warp this deep into backoff is no longer making progress

@@ -194,6 +194,17 @@ class SimtCore
     /** Observability sink for protocol engines (may be null). */
     ObsSink *observer() { return sink; }
 
+    /**
+     * Install the transaction tracer (may be null). Deliberately a
+     * second ObsSink pointer rather than a flag on the main sink: the
+     * disabled path costs one untaken null check per lifecycle site,
+     * and the aggregate hub never pays for tx* virtual dispatch.
+     */
+    void setTracer(ObsSink *t) { traceSink = t; }
+
+    /** Transaction tracer for protocol engines (may be null). */
+    ObsSink *tracer() { return traceSink; }
+
     /** Install the runtime checker sink (may be null). */
     void setChecker(CheckSink *s) { checkSink = s; }
 
@@ -293,6 +304,7 @@ class SimtCore
     bool txFrozen = false;
     class Timeline *timeline = nullptr;
     ObsSink *sink = nullptr;
+    ObsSink *traceSink = nullptr;
     CheckSink *checkSink = nullptr;
     FaultInjector *faultInj = nullptr;
     Cycle currentCycle = 0;

@@ -15,6 +15,7 @@
 #include "gpu/config_file.hh"
 #include "gpu/gpu_system.hh"
 #include "obs/metrics.hh"
+#include "obs/tx_tracer.hh"
 #include "workloads/workload.hh"
 
 namespace getm {
@@ -51,14 +52,23 @@ writeFile(const std::string &path, const std::string &content,
     return ok;
 }
 
-/** Simulate one point end to end and render its metrics document. */
+/**
+ * Simulate one point end to end and render its metrics document.
+ * With @p trace_tx nonzero the run is traced and @p trace_doc receives
+ * the standalone trace document; the returned metrics document stays
+ * byte-identical to an untraced run (the TracerInvisible guarantee is
+ * what makes enabling tracing on an existing sweep safe).
+ */
 std::string
-simulatePoint(const SweepPoint &point, bool &verified)
+simulatePoint(const SweepPoint &point, std::uint64_t trace_tx,
+              bool &verified, std::string &trace_doc)
 {
-    GpuSystem gpu(point.config);
+    GpuConfig run_cfg = point.config;
+    run_cfg.traceTx = trace_tx;
+    GpuSystem gpu(run_cfg);
     auto workload = makeWorkload(point.bench, point.scale, point.seed);
     workload->setup(gpu, point.protocol == ProtocolKind::FgLock);
-    const RunResult result =
+    RunResult result =
         gpu.run(workload->kernel(), workload->numThreads(),
                 point.maxCycles);
 
@@ -93,6 +103,13 @@ simulatePoint(const SweepPoint &point, bool &verified)
                 meta.checkViolations.emplace_back(
                     violationKindName(static_cast<ViolationKind>(i)),
                     result.check.byKind[i]);
+    }
+    if (result.obs.txTrace.enabled) {
+        trace_doc = txTraceToJson(result.obs.txTrace, point.id);
+        // The trace lives in the side file only: stripping it here
+        // keeps the per-point document — and thus sweep.json — byte
+        // identical to an untraced sweep.
+        result.obs.txTrace.enabled = false;
     }
     return metricsToJson(meta, result.stats, result.obs);
 }
@@ -211,6 +228,7 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
         // a failure document and the sweep continues.
         bool verified = false;
         std::string doc;
+        std::string trace_doc;
         MetricsFailure failure;
         bool failed = false;
         unsigned attempt = 0;
@@ -218,7 +236,8 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
             const SweepPoint &attempt_point =
                 attempt == 0 ? point : reseededPoint(point, attempt);
             try {
-                doc = simulatePoint(attempt_point, verified);
+                doc = simulatePoint(attempt_point, options.traceTx,
+                                    verified, trace_doc);
                 failed = false;
             } catch (const SimError &e) {
                 failed = true;
@@ -250,10 +269,14 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
         // reruns it (the failure document stays inspectable
         // meanwhile); a successful point stores the real hash.
         std::string write_error;
-        const bool wrote =
+        bool wrote =
             writeFile(json_path, doc, write_error) &&
             writeFile(hash_path, failed ? "failed " + hash : hash,
                       write_error);
+        if (wrote && !failed && !trace_doc.empty())
+            wrote = writeFile(points_dir + "/" + point.id +
+                                  ".trace.json",
+                              trace_doc, write_error);
 
         std::lock_guard<std::mutex> lock(mtx);
         ++outcome.ran;

@@ -11,9 +11,10 @@
  *
  * On-disk layout under SweepOptions::dir:
  *
- *     points/<id>.json   the point's getm-metrics v1 document
- *     state/<id>.hash    the point's resolved spec hash (hex)
- *     sweep.json         the merged document (schema getm-sweep v1)
+ *     points/<id>.json       the point's getm-metrics document
+ *     points/<id>.trace.json the point's tx trace (tracing runs only)
+ *     state/<id>.hash        the point's resolved spec hash (hex)
+ *     sweep.json             the merged document (schema getm-sweep)
  *
  * Resume: a point is skipped when its state/<id>.hash content equals
  * the freshly computed hash and points/<id>.json still validates as
@@ -34,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/schema_version.hh"
 #include "sweep/manifest.hh"
 
 namespace getm {
@@ -46,6 +48,14 @@ struct SweepOptions
     unsigned jobs = 0;             ///< Workers; 0 = hardware threads.
     bool force = false;            ///< Ignore resume state, rerun all.
     bool progress = true;          ///< Per-point progress on stderr.
+
+    /**
+     * Trace every Nth transaction of every point (0 = off). Applied
+     * after enumeration, so point ids, spec hashes, and the merged
+     * sweep.json stay byte-identical to an untraced run; each traced
+     * point additionally writes points/<id>.trace.json.
+     */
+    std::uint64_t traceTx = 0;
 };
 
 /** One point that ended in a typed simulation failure. */
@@ -68,9 +78,9 @@ struct SweepOutcome
     std::vector<SweepFailure> failures; ///< One row per failed point.
 };
 
-/** Current getm-sweep merged-document schema. */
+/** Current getm-sweep merged-document schema (version in
+ *  obs/schema_version.hh, shared with tools/check_metrics.py). */
 inline constexpr const char *sweepSchemaName = "getm-sweep";
-inline constexpr int sweepSchemaVersion = 1;
 
 /**
  * Run @p manifest under @p options: enumerate, execute (or resume)

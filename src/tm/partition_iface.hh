@@ -54,6 +54,9 @@ class PartitionContext
     /** Observability sink; may be nullptr when reporting is disabled. */
     virtual ObsSink *obs() { return nullptr; }
 
+    /** Transaction tracer; nullptr unless --trace-tx is enabled. */
+    virtual ObsSink *trace() { return nullptr; }
+
     /** Runtime checker sink; nullptr unless --check is enabled. */
     virtual CheckSink *check() { return nullptr; }
 

@@ -44,6 +44,15 @@ WtmCoreTm::instantValidate(const Warp &warp, LaneMask lanes,
                         core.granuleOf(entry.addr),
                         core.addressMap().partitionOf(entry.addr),
                         core.now());
+                // The committed writer is long gone by the time value
+                // validation sees the mismatch, so no aborter is known.
+                if (ObsSink *tracer = core.tracer())
+                    tracer->txConflict(
+                        warp.gwid, invalidWarp,
+                        AbortReason::EagerValidation,
+                        core.granuleOf(entry.addr),
+                        core.addressMap().partitionOf(entry.addr),
+                        core.now());
                 break;
             }
         }
@@ -107,6 +116,9 @@ WtmCoreTm::txAccess(Warp &warp, bool is_store, const LaneAddrs &addrs,
             pending &= ~(1u << lane);
         }
         msg.bytes = 8 + 4 * static_cast<unsigned>(msg.ops.size());
+        if (ObsSink *tracer = core.tracer())
+            tracer->txAccessIssue(warp.gwid, granule, /*store=*/false,
+                                  core.now());
         core.sendToPartition(std::move(msg));
         ++warp.outstanding;
         stLoadReqs.add();
@@ -118,6 +130,8 @@ WtmCoreTm::onResponse(Warp &warp, const MemMsg &msg)
 {
     switch (msg.kind) {
       case MsgKind::WtmLoadResp:
+        if (ObsSink *tracer = core.tracer())
+            tracer->txAccessResponse(warp.gwid, msg.addr, core.now());
         for (const LaneOp &op : msg.ops) {
             if (warp.abortedMask & (1u << op.lane))
                 continue;

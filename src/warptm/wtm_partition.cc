@@ -51,8 +51,12 @@ WtmPartitionUnit::handleRequest(MemMsg &&msg, Cycle now)
             extra = std::max(extra, ctx.accessLlc(op.addr, false, now));
         }
         resp.bytes = 8 + 8 * static_cast<unsigned>(resp.ops.size());
-        ctx.scheduleToCore(std::move(resp), now + 1 + ctx.llcLatency() +
-                                                extra);
+        const Cycle ready = now + 1 + ctx.llcLatency() + extra;
+        if (ObsSink *tracer = ctx.trace())
+            tracer->txAccessDecision(msg.wid, msg.addr,
+                                     ctx.partitionId(), /*ok=*/true, now,
+                                     ready);
+        ctx.scheduleToCore(std::move(resp), ready);
         return 1;
       }
 
@@ -194,6 +198,12 @@ WtmPartitionUnit::validateSlice(MemMsg &&slice, Cycle now)
             if (ObsSink *sink = ctx.obs())
                 sink->conflictEvent(AbortReason::Validation, op.addr,
                                     ctx.partitionId(), now);
+            // Lazy validation compares values, so the writer that made
+            // the read stale already committed anonymously.
+            if (ObsSink *tracer = ctx.trace())
+                tracer->txConflict(slice.wid, invalidWarp,
+                                   AbortReason::Validation, op.addr,
+                                   ctx.partitionId(), now);
         }
     }
     for (LaneId lane = 0; lane < warpSize; ++lane)
@@ -205,6 +215,9 @@ WtmPartitionUnit::validateSlice(MemMsg &&slice, Cycle now)
     stValidations.add();
     if (failed)
         stValidationFails.add();
+    if (ObsSink *tracer = ctx.trace())
+        tracer->txValidation(slice.wid, ctx.partitionId(), failed == 0,
+                             start, start + busy);
 
     if (has_writes)
         onValidationStart(slice, start);

@@ -203,6 +203,61 @@ TEST(Sampler, DisabledSamplerIsInert)
     EXPECT_EQ(sampler.data().numSamples(), 0u);
 }
 
+TEST(Sampler, IntervalZeroHasNoBoundariesAndNoDivision)
+{
+    // --sample-interval=0 means "disabled", not "every cycle" and
+    // certainly not a division by zero: alignNext must answer "never"
+    // and finalize must not invent a row.
+    EXPECT_EQ(CycleSampler::alignNext(0, 0), ~static_cast<Cycle>(0));
+    EXPECT_EQ(CycleSampler::alignNext(12345, 0), ~static_cast<Cycle>(0));
+    CycleSampler sampler;
+    sampler.addProbe("gauge", [] { return 1.0; });
+    sampler.setInterval(0);
+    sampler.maybeSample(500);
+    sampler.finalize(500);
+    EXPECT_EQ(sampler.data().numSamples(), 0u);
+}
+
+TEST(Sampler, FinalizeRecordsThePartialFinalWindow)
+{
+    CycleSampler sampler;
+    unsigned gauge = 0;
+    sampler.addProbe("gauge", [&gauge] { return double(gauge); });
+    sampler.setInterval(100);
+    sampler.maybeSample(0);
+    gauge = 3;
+    sampler.maybeSample(100);
+    gauge = 8;
+    // The run ends at cycle 142, mid-window: finalize records the tail
+    // instead of silently dropping the last 42 cycles of telemetry.
+    sampler.finalize(142);
+    const SampleSeries &data = sampler.data();
+    ASSERT_EQ(data.numSamples(), 3u);
+    EXPECT_EQ(data.cycles, (std::vector<Cycle>{0, 100, 142}));
+    EXPECT_EQ(data.values[0], (std::vector<double>{0.0, 3.0, 8.0}));
+    // Idempotent: finalizing again at the same cycle adds nothing.
+    sampler.finalize(142);
+    EXPECT_EQ(sampler.data().numSamples(), 3u);
+}
+
+TEST(Sampler, IntervalLongerThanTheRunStillExportsTheRun)
+{
+    // interval > run length: without finalize the series would hold
+    // only the cycle-0 row and the whole run would be invisible.
+    CycleSampler sampler;
+    unsigned gauge = 1;
+    sampler.addProbe("gauge", [&gauge] { return double(gauge); });
+    sampler.setInterval(1'000'000);
+    sampler.maybeSample(0);
+    gauge = 6;
+    sampler.maybeSample(4000); // far before the first boundary
+    sampler.finalize(4000);
+    const SampleSeries &data = sampler.data();
+    ASSERT_EQ(data.numSamples(), 2u);
+    EXPECT_EQ(data.cycles, (std::vector<Cycle>{0, 4000}));
+    EXPECT_EQ(data.values[0], (std::vector<double>{1.0, 6.0}));
+}
+
 TEST(Sampler, EmitHookMirrorsEverySample)
 {
     CycleSampler sampler;
@@ -381,7 +436,7 @@ TEST(Metrics, DocumentValidatesAndCarriesRequiredKeys)
     ASSERT_TRUE(jsonValidate(doc, error)) << error;
 
     for (const char *needle :
-         {"\"schema\":\"getm-metrics\"", "\"version\":1", "\"meta\":",
+         {"\"schema\":\"getm-metrics\"", "\"version\":2", "\"meta\":",
           "\"config\":", "\"run\":", "\"aborts_by_reason\":",
           "\"stalls_by_reason\":", "\"stall\":", "\"hot_addresses\":",
           "\"timeseries\":", "\"stats\":", "\"histograms\":",

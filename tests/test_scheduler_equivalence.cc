@@ -31,12 +31,13 @@ struct Outcome
 
 Outcome
 runWith(BenchId bench, ProtocolKind protocol, bool legacy,
-        unsigned check_level = 0)
+        unsigned check_level = 0, std::uint64_t trace_tx = 0)
 {
     GpuConfig cfg = GpuConfig::testRig();
     cfg.protocol = protocol;
     cfg.legacyLoop = legacy;
     cfg.checkLevel = check_level;
+    cfg.traceTx = trace_tx;
     GpuSystem gpu(cfg);
     auto workload = makeWorkload(bench, 0.01, 123);
     workload->setup(gpu, protocol == ProtocolKind::FgLock);
@@ -91,6 +92,40 @@ expectCheckerInvisible(BenchId bench, ProtocolKind protocol)
     EXPECT_EQ(on.run.check.totalViolations, 0u)
         << name << ": " << on.run.check.summary();
     EXPECT_GT(on.run.check.txCommits, 0u) << name;
+}
+
+/**
+ * The transaction tracer (src/obs/tx_tracer) must likewise be a pure
+ * observer: it is reached through a dedicated trace pointer that stays
+ * null when --trace-tx is off, and when on it only consumes events.
+ * Enabling it at sample rate 1 may not perturb a single simulated
+ * cycle or statistic, while still tracing real transactions.
+ */
+void
+expectTracerInvisible(BenchId bench, ProtocolKind protocol)
+{
+    const Outcome off = runWith(bench, protocol, false, 0, 0);
+    const Outcome on = runWith(bench, protocol, false, 0, 1);
+    const char *name = protocolName(protocol);
+
+    EXPECT_EQ(on.run.cycles, off.run.cycles) << name;
+    EXPECT_EQ(on.run.commits, off.run.commits) << name;
+    EXPECT_EQ(on.run.aborts, off.run.aborts) << name;
+    EXPECT_EQ(on.run.xbarFlits, off.run.xbarFlits) << name;
+    EXPECT_EQ(on.run.txExecCycles, off.run.txExecCycles) << name;
+    EXPECT_EQ(on.run.txWaitCycles, off.run.txWaitCycles) << name;
+    EXPECT_EQ(on.statsDump, off.statsDump) << name;
+
+    const TxTraceReport &trace = on.run.obs.txTrace;
+    EXPECT_TRUE(trace.enabled) << name;
+    EXPECT_FALSE(off.run.obs.txTrace.enabled) << name;
+    EXPECT_GT(trace.traced, 0u) << name;
+    EXPECT_GT(trace.committedCount, 0u) << name;
+    EXPECT_EQ(trace.openAtEnd, 0u) << name;
+    // The defining invariant: exact cycle accounting, per transaction.
+    for (const TxRecord &rec : trace.transactions)
+        EXPECT_EQ(rec.cycles.total(), rec.lifetime())
+            << name << ": tx " << rec.traceId;
 }
 
 class SchedulerEquivalence : public ::testing::Test
@@ -155,6 +190,26 @@ TEST_F(SchedulerEquivalence, CheckerInvisibleWarpTmEL)
 TEST_F(SchedulerEquivalence, CheckerInvisibleEapg)
 {
     expectCheckerInvisible(BenchId::Atm, ProtocolKind::Eapg);
+}
+
+TEST_F(SchedulerEquivalence, TracerInvisibleGetm)
+{
+    expectTracerInvisible(BenchId::HtH, ProtocolKind::Getm);
+}
+
+TEST_F(SchedulerEquivalence, TracerInvisibleWarpTmLL)
+{
+    expectTracerInvisible(BenchId::Atm, ProtocolKind::WarpTmLL);
+}
+
+TEST_F(SchedulerEquivalence, TracerInvisibleWarpTmEL)
+{
+    expectTracerInvisible(BenchId::HtH, ProtocolKind::WarpTmEL);
+}
+
+TEST_F(SchedulerEquivalence, TracerInvisibleEapg)
+{
+    expectTracerInvisible(BenchId::Atm, ProtocolKind::Eapg);
 }
 
 } // namespace

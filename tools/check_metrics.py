@@ -25,17 +25,57 @@ valid getm-metrics document (full or failure), keyed and sorted by
 point id, and that the header's failures index agrees with the
 embedded failure documents.
 
-Usage: check_metrics.py METRICS_OR_SWEEP.json [more.json ...]
+A getm-metrics document may carry a "tx_trace" section (written when
+the run was traced with --trace-tx; getm-sweep instead writes it as a
+standalone points/<id>.trace.json side file with schema
+"getm-tx-trace", which this script also validates). The tracer's
+defining invariant is checked per transaction: the exec/noc/stall/
+validation/retry cycle categories sum exactly to the transaction's
+lifetime, and every kill chain refers back to a traced transaction
+whose abort list it restates.
+
+Schema versions are parsed from src/obs/schema_version.hh, the single
+source of truth shared with the C++ exporters.
+
+Usage: check_metrics.py METRICS_OR_SWEEP_OR_TRACE.json [more.json ...]
 Exits non-zero with a message on the first violation.
 """
 
 import json
+import pathlib
+import re
 import sys
 
+
+def _schema_versions():
+    """Read the version constants out of src/obs/schema_version.hh.
+
+    The header keeps each constant in the exact shape
+    `inline constexpr int NAME = N;` so this textual parse cannot
+    drift from what the C++ exporters compile in.
+    """
+    header = (pathlib.Path(__file__).resolve().parent.parent
+              / "src" / "obs" / "schema_version.hh")
+    text = header.read_text(encoding="utf-8")
+    found = dict(re.findall(
+        r"^inline constexpr int (\w+) = (\d+);", text, re.MULTILINE))
+    versions = {}
+    for name in ("metricsSchemaVersion", "sweepSchemaVersion",
+                 "txTraceSchemaVersion"):
+        if name not in found:
+            raise SystemExit(
+                f"check_metrics: {header}: no `inline constexpr int "
+                f"{name} = N;` line")
+    return {name: int(found[name]) for name in found}
+
+
+_VERSIONS = _schema_versions()
 SCHEMA = "getm-metrics"
-VERSION = 1
+VERSION = _VERSIONS["metricsSchemaVersion"]
 SWEEP_SCHEMA = "getm-sweep"
-SWEEP_VERSION = 1
+SWEEP_VERSION = _VERSIONS["sweepSchemaVersion"]
+TRACE_SCHEMA = "getm-tx-trace"
+TRACE_VERSION = _VERSIONS["txTraceSchemaVersion"]
 
 REASONS = [
     "NONE", "RAW_TS", "WAR_TS", "WAW_TS", "LOCKED_BY_WRITER",
@@ -117,12 +157,184 @@ def check_timeseries(ts):
         require(len(column) == len(cycles),
                 f"timeseries.series[{name}] is not rectangular")
     interval = ts["interval"]
-    for a, b in zip(cycles, cycles[1:]):
-        require(b - a >= interval,
-                f"samples at cycles {a} and {b} are closer than the "
-                f"{interval}-cycle interval")
+    for i, (a, b) in enumerate(zip(cycles, cycles[1:])):
+        require(b > a,
+                f"samples at cycles {a} and {b} are not strictly "
+                f"increasing")
+        # The last row may be the end-of-run flush of a partial window
+        # (CycleSampler::finalize), so only interior gaps must span a
+        # full interval.
+        if i + 2 < len(cycles):
+            require(b - a >= interval,
+                    f"samples at cycles {a} and {b} are closer than "
+                    f"the {interval}-cycle interval")
     if ts["num_samples"]:
         require(interval > 0, "samples recorded with interval 0")
+
+
+TRACE_HEADER_KEYS = [
+    "version", "sample_rate", "tx_seen", "traced", "committed", "open",
+    "totals", "noc", "transactions", "kill_chains",
+]
+TRACE_TX_KEYS = [
+    "trace_id", "warp", "core", "slot", "begin", "end", "lifetime",
+    "attempts", "committed_lanes", "committed", "cycles", "accesses",
+    "aborts",
+]
+TRACE_CYCLE_KEYS = ["exec", "noc", "stall", "validation", "retry"]
+
+
+def check_trace_link(link, label):
+    for key in ("attempt", "reason", "aborter_warp", "cycle"):
+        require(key in link, f"{label} lacks '{key}'")
+    require(link["reason"] in REASONS,
+            f"{label}: unknown abort reason {link['reason']!r}")
+    require(isinstance(link["aborter_warp"], int)
+            and link["aborter_warp"] >= -1,
+            f"{label}: aborter_warp {link['aborter_warp']!r} is not an "
+            f"integer >= -1 (-1 means unknown)")
+    if "addr" in link:
+        require(link.get("addr_hex") == hex(link["addr"]),
+                f"{label}: addr_hex does not match addr")
+        require("partition" in link,
+                f"{label}: addr without a conflict-site partition")
+
+
+def check_tx_trace(trace):
+    """Validate a tx_trace section (embedded or standalone).
+
+    The load-bearing invariant is exact cycle accounting: for every
+    traced transaction the exec/noc/stall/validation/retry categories
+    sum to exactly end - begin, and the report totals are the exact
+    sums of the per-transaction rows. Kill chains must restate the
+    abort list of a transaction that is actually in the document.
+    """
+    for key in TRACE_HEADER_KEYS:
+        require(key in trace, f"tx_trace lacks '{key}'")
+    require(trace["version"] == TRACE_VERSION,
+            f"tx_trace version is {trace['version']!r}, "
+            f"want {TRACE_VERSION}")
+    require(trace["sample_rate"] >= 1, "tx_trace sample_rate is 0")
+
+    txs = trace["transactions"]
+    require(isinstance(txs, list), "tx_trace.transactions is not an array")
+    require(trace["traced"] == len(txs),
+            f"tx_trace.traced says {trace['traced']}, transactions "
+            f"holds {len(txs)}")
+    require(trace["traced"] <= trace["tx_seen"],
+            "tx_trace traced more transactions than it saw")
+
+    by_id = {}
+    totals = dict.fromkeys(TRACE_CYCLE_KEYS, 0)
+    total_lifetime = 0
+    committed = 0
+    still_open = 0
+    for i, tx in enumerate(txs):
+        label = f"tx_trace.transactions[{i}]"
+        for key in TRACE_TX_KEYS:
+            require(key in tx, f"{label} lacks '{key}'")
+        require(tx["trace_id"] == i,
+                f"{label}: trace ids are not dense in trace order")
+        by_id[tx["trace_id"]] = tx
+        require(tx["end"] >= tx["begin"],
+                f"{label}: ends before it begins")
+        require(tx["lifetime"] == tx["end"] - tx["begin"],
+                f"{label}: lifetime {tx['lifetime']} != end - begin")
+        cycles = tx["cycles"]
+        for key in TRACE_CYCLE_KEYS:
+            require(key in cycles, f"{label}.cycles lacks '{key}'")
+            require(isinstance(cycles[key], int) and cycles[key] >= 0,
+                    f"{label}.cycles[{key}] is not a non-negative "
+                    f"integer")
+            totals[key] += cycles[key]
+        breakdown = sum(cycles[key] for key in TRACE_CYCLE_KEYS)
+        require(breakdown == tx["lifetime"],
+                f"{label}: cycle categories sum to {breakdown}, "
+                f"lifetime is {tx['lifetime']} (exact accounting "
+                f"violated)")
+        total_lifetime += tx["lifetime"]
+        require(tx["attempts"] >= 1, f"{label}: zero attempts")
+        accesses = tx["accesses"]
+        require(accesses["completed"] <= accesses["issued"],
+                f"{label}: more accesses completed than issued")
+        if tx["committed"]:
+            if tx["committed_lanes"] > 0:
+                committed += 1
+        else:
+            still_open += 1
+        # One attempt may collect several abort links (each in-flight
+        # access that loses a conflict reports separately), so the list
+        # can be longer than attempts -- but attempt indices must be
+        # non-decreasing and in range.
+        prev_attempt = 0
+        for j, link in enumerate(tx["aborts"]):
+            check_trace_link(link, f"{label}.aborts[{j}]")
+            require(link["attempt"] < tx["attempts"],
+                    f"{label}.aborts[{j}]: attempt index out of range")
+            require(link["attempt"] >= prev_attempt,
+                    f"{label}.aborts[{j}]: attempt index went backwards")
+            prev_attempt = link["attempt"]
+
+    require(trace["committed"] == committed,
+            f"tx_trace.committed says {trace['committed']}, rows say "
+            f"{committed}")
+    require(trace["open"] == still_open,
+            f"tx_trace.open says {trace['open']}, rows say {still_open}")
+    header_totals = trace["totals"]
+    for key in TRACE_CYCLE_KEYS:
+        require(header_totals[key] == totals[key],
+                f"tx_trace.totals[{key}] says {header_totals[key]}, "
+                f"rows sum to {totals[key]}")
+    require(header_totals["lifetime"] == total_lifetime,
+            f"tx_trace.totals.lifetime says "
+            f"{header_totals['lifetime']}, rows sum to {total_lifetime}")
+
+    for direction in ("up", "down"):
+        hop = trace["noc"][direction]
+        for key in ("msgs", "latency_cycles", "bytes"):
+            require(isinstance(hop[key], int) and hop[key] >= 0,
+                    f"tx_trace.noc.{direction}[{key}] is not a "
+                    f"non-negative integer")
+
+    chains = trace["kill_chains"]
+    require(isinstance(chains, list),
+            "tx_trace.kill_chains is not an array")
+    prev_len = None
+    for i, chain in enumerate(chains):
+        label = f"tx_trace.kill_chains[{i}]"
+        for key in ("trace_id", "victim_warp", "length", "links"):
+            require(key in chain, f"{label} lacks '{key}'")
+        require(chain["trace_id"] in by_id,
+                f"{label}: trace_id {chain['trace_id']} names no traced "
+                f"transaction (referential integrity violated)")
+        tx = by_id[chain["trace_id"]]
+        require(chain["victim_warp"] == tx["warp"],
+                f"{label}: victim_warp disagrees with its transaction")
+        require(chain["length"] == len(chain["links"]) == len(
+                tx["aborts"]),
+                f"{label}: length/links disagree with the "
+                f"transaction's abort list")
+        for j, (link, abort) in enumerate(
+                zip(chain["links"], tx["aborts"])):
+            check_trace_link(link, f"{label}.links[{j}]")
+            require(link["reason"] == abort["reason"]
+                    and link["cycle"] == abort["cycle"],
+                    f"{label}.links[{j}] does not restate the "
+                    f"transaction's abort record")
+        if prev_len is not None:
+            require(chain["length"] <= prev_len,
+                    f"{label}: chains not sorted by length")
+        prev_len = chain["length"]
+    return trace
+
+
+def check_trace_document(doc):
+    require(doc.get("version") == TRACE_VERSION,
+            f"trace version is {doc.get('version')!r}, "
+            f"want {TRACE_VERSION}")
+    require("tx_trace" in doc, "trace document lacks 'tx_trace'")
+    check_tx_trace(doc["tx_trace"])
+    return doc
 
 
 def check_failure_document(doc):
@@ -193,6 +405,8 @@ def check_sweep_document(doc):
 def check_document(doc):
     if doc.get("schema") == SWEEP_SCHEMA:
         return check_sweep_document(doc)
+    if doc.get("schema") == TRACE_SCHEMA:
+        return check_trace_document(doc)
     require(doc.get("schema") == SCHEMA,
             f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     require(doc.get("version") == VERSION,
@@ -218,6 +432,8 @@ def check_document(doc):
     check_reason_table(doc["stalls_by_reason"], "stalls_by_reason")
     check_hot_addresses(doc["hot_addresses"])
     check_timeseries(doc["timeseries"])
+    if "tx_trace" in doc:
+        check_tx_trace(doc["tx_trace"])
 
     for name, hist in doc["stats"]["histograms"].items():
         total = sum(b["count"] for b in hist["buckets"])
@@ -245,6 +461,12 @@ def main(argv):
                   f"(sweep {doc['sweep']['name']!r}, "
                   f"{len(doc['points'])} valid points"
                   + (f", {failed} failed" if failed else "") + ")")
+        elif doc.get("schema") == TRACE_SCHEMA:
+            trace = doc["tx_trace"]
+            print(f"check_metrics: {path}: OK "
+                  f"(tx trace, {trace['traced']} transactions, "
+                  f"{trace['committed']} committed, "
+                  f"{len(trace['kill_chains'])} kill chains)")
         elif "failure" in doc:
             failure = doc["failure"]
             print(f"check_metrics: {path}: OK "

@@ -59,6 +59,11 @@ usage(const char *argv0)
         "                      (default 512 when --metrics is given,\n"
         "                      else 0 = off)\n"
         "  --hot-addrs N       rows in the hot-address table (def. 16)\n"
+        "  --trace-tx N        trace every Nth transaction's lifecycle\n"
+        "                      (1 = all; 0 = off). Adds a \"tx_trace\"\n"
+        "                      section to --metrics and per-warp spans\n"
+        "                      to --timeline; observe-only, so simulated\n"
+        "                      timing is unchanged\n"
         "  --check[=LEVEL]     runtime correctness checker: read |\n"
         "                      serial (default) | ref. Violations go to\n"
         "                      stderr and fail the run; timing and all\n"
@@ -193,6 +198,8 @@ main(int argc, char **argv)
             sample_interval_set = true;
         } else if (arg == "--hot-addrs") {
             cfg.hotAddrTopN = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--trace-tx") {
+            cfg.traceTx = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--check" || arg.rfind("--check=", 0) == 0) {
             const std::string text =
                 arg == "--check" ? "on" : arg.substr(8);

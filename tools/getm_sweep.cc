@@ -38,6 +38,9 @@ usage(const char *argv0)
         "  --out FILE       merged document path (default: DIR/sweep.json)\n"
         "  --jobs N         worker threads (default: hardware threads)\n"
         "  --force          rerun every point, ignoring resume state\n"
+        "  --trace-tx N     trace every Nth transaction per point and\n"
+        "                   write DIR/points/<id>.trace.json; spec\n"
+        "                   hashes and sweep.json bytes are unchanged\n"
         "  --list           print the enumerated point ids and exit\n"
         "  --quiet          no per-point progress lines\n",
         argv0);
@@ -73,6 +76,8 @@ main(int argc, char **argv)
             options.jobs = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--force") {
             options.force = true;
+        } else if (arg == "--trace-tx") {
+            options.traceTx = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--quiet") {

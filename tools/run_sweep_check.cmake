@@ -1,7 +1,10 @@
 # Serial-vs-parallel sweep determinism check driven by ctest: run the
 # smoke sweep once with --jobs 1 and once with --jobs 4 into separate
 # directories, require the merged sweep.json bytes to be identical, and
-# validate the merged document with check_metrics.py.
+# validate the merged document with check_metrics.py. A third run with
+# --trace-tx 1 must also produce byte-identical sweep.json (tracing is
+# observe-only and the trace lives in side files) plus one
+# points/<id>.trace.json per point.
 #
 # Expected variables:
 #   SWEEP_BIN - path to the getm-sweep binary
@@ -15,15 +18,18 @@
 
 set(serial_dir "${OUT_DIR}/sweep_check_serial")
 set(parallel_dir "${OUT_DIR}/sweep_check_parallel")
-file(REMOVE_RECURSE "${serial_dir}" "${parallel_dir}")
+set(traced_dir "${OUT_DIR}/sweep_check_traced")
+file(REMOVE_RECURSE "${serial_dir}" "${parallel_dir}" "${traced_dir}")
 
-foreach(run "serial;1" "parallel;4")
+foreach(run "serial;1" "parallel;4" "traced;2;--trace-tx;1")
     list(GET run 0 label)
     list(GET run 1 jobs)
+    set(extra_args "${run}")
+    list(REMOVE_AT extra_args 0 1)
     execute_process(
         COMMAND "${SWEEP_BIN}" --manifest "${MANIFEST}"
                 --dir "${OUT_DIR}/sweep_check_${label}"
-                --jobs "${jobs}" --quiet
+                --jobs "${jobs}" --quiet ${extra_args}
         RESULT_VARIABLE sweep_status
         OUTPUT_VARIABLE sweep_output
         ERROR_VARIABLE sweep_output)
@@ -46,6 +52,27 @@ if(NOT same EQUAL 0)
 endif()
 message(STATUS "serial and parallel sweep.json are byte-identical")
 
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${serial_dir}/sweep.json" "${traced_dir}/sweep.json"
+    RESULT_VARIABLE same_traced)
+if(NOT same_traced EQUAL 0)
+    message(FATAL_ERROR
+            "merged sweep.json differs with --trace-tx 1: the tracer "
+            "perturbed simulated timing or leaked into the metrics "
+            "documents (it must be observe-only, with traces in "
+            "points/<id>.trace.json side files)")
+endif()
+file(GLOB trace_files "${traced_dir}/points/*.trace.json")
+list(LENGTH trace_files num_traces)
+if(num_traces EQUAL 0)
+    message(FATAL_ERROR
+            "--trace-tx 1 wrote no points/*.trace.json side files")
+endif()
+message(STATUS
+        "traced sweep.json is byte-identical; ${num_traces} trace side "
+        "file(s) written")
+
 if(DEFINED GOLDEN AND NOT GOLDEN STREQUAL "")
     execute_process(
         COMMAND ${CMAKE_COMMAND} -E compare_files
@@ -65,6 +92,7 @@ endif()
 if(PYTHON AND CHECKER)
     execute_process(
         COMMAND "${PYTHON}" "${CHECKER}" "${serial_dir}/sweep.json"
+                ${trace_files}
         RESULT_VARIABLE check_status
         OUTPUT_VARIABLE check_output
         ERROR_VARIABLE check_output)

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Summarize a transaction trace produced with --trace-tx.
+
+Accepts either a getm-metrics document that carries a "tx_trace"
+section (getm-sim --trace-tx N --metrics out.json) or a standalone
+getm-tx-trace document (getm-sweep --trace-tx N writes one per point
+as points/<id>.trace.json).
+
+Prints, from the trace alone:
+
+  * the aggregate cycle breakdown (exec / noc / stall / validation /
+    retry) with percentages — with --fig10, rearranged into the
+    paper's Fig. 10 useful-execution vs. wasted-time split using the
+    raw scheduler-state totals;
+  * NoC hop statistics (mean latency and bytes per direction);
+  * the longest kill chains (who aborted whom, where, and why);
+  * the slowest traced transactions (--top N, default 5).
+
+Before reporting, re-verifies the tracer's defining invariant on every
+transaction: the five cycle categories sum exactly to the lifetime.
+Exits non-zero if any row violates it, so this script doubles as a
+trace checker in CI.
+
+Usage: trace_report.py TRACE_OR_METRICS.json [--top N] [--fig10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(why):
+    print(f"trace_report: {why}", file=sys.stderr)
+    return 1
+
+
+def load_trace(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema not in ("getm-metrics", "getm-tx-trace"):
+        raise ValueError(f"unsupported schema {schema!r}")
+    trace = doc.get("tx_trace")
+    if trace is None:
+        raise ValueError("document has no tx_trace section "
+                         "(was the run traced with --trace-tx?)")
+    return doc, trace
+
+
+def verify_sum_invariant(trace):
+    """The categories must sum exactly to each transaction's lifetime."""
+    bad = []
+    for tx in trace["transactions"]:
+        cycles = tx["cycles"]
+        breakdown = (cycles["exec"] + cycles["noc"] + cycles["stall"]
+                     + cycles["validation"] + cycles["retry"])
+        if breakdown != tx["lifetime"]:
+            bad.append((tx["trace_id"], breakdown, tx["lifetime"]))
+    return bad
+
+
+def pct(part, whole):
+    return 100.0 * part / whole if whole else 0.0
+
+
+def describe_link(link):
+    where = (f" @ {link['addr_hex']} p{link['partition']}"
+             if "addr_hex" in link else "")
+    killer = (f"warp {link['aborter_warp']}"
+              if link["aborter_warp"] >= 0 else "unknown warp")
+    return (f"attempt {link['attempt']}: {link['reason']} by {killer}"
+            f"{where} @ cycle {link['cycle']}")
+
+
+def report(doc, trace, top, fig10):
+    point = doc.get("point")
+    meta = doc.get("meta", {})
+    title = point or (f"{meta.get('bench', '?')}/"
+                      f"{meta.get('protocol', '?')}" if meta else "trace")
+    print(f"=== tx trace: {title} ===")
+    print(f"sampled 1/{trace['sample_rate']}: traced {trace['traced']} "
+          f"of {trace['tx_seen']} transactions "
+          f"({trace['committed']} committed, {trace['open']} open at "
+          f"end of run)")
+
+    totals = trace["totals"]
+    lifetime = totals["lifetime"]
+    print(f"\ncycle accounting over {lifetime} traced warp-cycles:")
+    for key in ("exec", "noc", "stall", "validation", "retry"):
+        print(f"  {key:<11} {totals[key]:>12}  "
+              f"{pct(totals[key], lifetime):6.2f}%")
+
+    if fig10:
+        # The paper's Fig. 10 splits transaction time into useful
+        # execution vs. wasted (wait) time. The raw scheduler-state
+        # totals mirror the run's tx_exec/tx_wait counters: exec+mem
+        # is useful-ish execution, validate+backoff is waiting.
+        useful = totals["raw_exec"] + totals["raw_mem"]
+        wasted = totals["raw_validate"] + totals["raw_backoff"]
+        whole = useful + wasted
+        print("\nFig. 10 split (from raw scheduler states):")
+        print(f"  useful execution {useful:>12}  "
+              f"{pct(useful, whole):6.2f}%")
+        print(f"  wasted (wait)    {wasted:>12}  "
+              f"{pct(wasted, whole):6.2f}%")
+
+    print()
+    for direction in ("up", "down"):
+        hop = trace["noc"][direction]
+        mean = hop["latency_cycles"] / hop["msgs"] if hop["msgs"] else 0.0
+        print(f"noc {direction:<4} {hop['msgs']:>10} msgs, "
+              f"{hop['bytes']:>12} bytes, mean latency {mean:6.2f} "
+              f"cycles")
+
+    chains = trace["kill_chains"]
+    if chains:
+        print(f"\ntop kill chains ({len(chains)} exported):")
+        for chain in chains:
+            print(f"  tx {chain['trace_id']} (warp "
+                  f"{chain['victim_warp']}): aborted "
+                  f"{chain['length']} time(s)")
+            for link in chain["links"]:
+                print(f"    {describe_link(link)}")
+    else:
+        print("\nno aborts among traced transactions")
+
+    txs = sorted(trace["transactions"], key=lambda t: t["lifetime"],
+                 reverse=True)[:top]
+    if txs:
+        print(f"\nslowest {len(txs)} traced transactions:")
+        for tx in txs:
+            cycles = tx["cycles"]
+            state = ("committed" if tx["committed"]
+                     else "open at end of run")
+            print(f"  tx {tx['trace_id']} warp {tx['warp']} "
+                  f"(core {tx['core']} slot {tx['slot']}): "
+                  f"{tx['lifetime']} cycles over {tx['attempts']} "
+                  f"attempt(s), {state}")
+            print(f"    exec {cycles['exec']} / noc {cycles['noc']} / "
+                  f"stall {cycles['stall']} / validation "
+                  f"{cycles['validation']} / retry {cycles['retry']}; "
+                  f"{tx['accesses']['completed']}/"
+                  f"{tx['accesses']['issued']} accesses completed")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="trace_report.py",
+        description="Summarize a --trace-tx transaction trace.")
+    parser.add_argument("path", help="metrics or trace JSON document")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slowest transactions to list (default 5)")
+    parser.add_argument("--fig10", action="store_true",
+                        help="print the Fig. 10 useful-vs-wasted split "
+                             "from the raw scheduler-state totals")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        doc, trace = load_trace(args.path)
+    except (OSError, json.JSONDecodeError, ValueError) as err:
+        return fail(f"{args.path}: {err}")
+
+    bad = verify_sum_invariant(trace)
+    if bad:
+        for trace_id, breakdown, lifetime in bad:
+            print(f"trace_report: {args.path}: tx {trace_id}: cycle "
+                  f"categories sum to {breakdown}, lifetime is "
+                  f"{lifetime}", file=sys.stderr)
+        return 1
+
+    report(doc, trace, args.top, args.fig10)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

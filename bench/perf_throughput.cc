@@ -29,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -78,7 +79,7 @@ struct PointResult
  */
 PointResult
 measurePoint(BenchId bench, ProtocolKind protocol, double scale,
-             std::uint64_t seed, unsigned reps)
+             std::uint64_t seed, unsigned reps, unsigned sim_threads = 1)
 {
     PointResult point;
     point.bench = bench;
@@ -88,6 +89,7 @@ measurePoint(BenchId bench, ProtocolKind protocol, double scale,
         GpuConfig cfg = GpuConfig::gtx480();
         cfg.protocol = protocol;
         cfg.seed = seed;
+        cfg.simThreads = sim_threads;
         cfg.core.txWarpLimit = optimalConcurrency(bench, protocol);
 
         auto workload = makeWorkload(bench, scale, seed);
@@ -122,9 +124,44 @@ measurePoint(BenchId bench, ProtocolKind protocol, double scale,
     return point;
 }
 
+/** One row of the --sim-threads scaling curve. */
+struct ScalingRow
+{
+    unsigned threads = 1;
+    double wallBestSec = 0.0;
+    double cyclesPerSec = 0.0;
+    double speedup = 1.0; // vs the 1-thread row of the same curve
+};
+
+/**
+ * Threads-vs-throughput curve: rerun the largest smoke point (HT-H
+ * under GETM, the workload with the most runnable cores per cycle)
+ * at --sim-threads 1/2/4/8. Simulated results are byte-identical by
+ * contract (docs/PARALLELISM.md), so only wall time moves.
+ */
+std::vector<ScalingRow>
+measureScaling(double scale, std::uint64_t seed, unsigned reps)
+{
+    std::vector<ScalingRow> rows;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const PointResult p = measurePoint(
+            BenchId::HtH, ProtocolKind::Getm, scale, seed, reps, threads);
+        ScalingRow row;
+        row.threads = threads;
+        row.wallBestSec = p.wallBestSec;
+        row.cyclesPerSec = p.cyclesPerSec;
+        row.speedup = rows.empty() || p.wallBestSec <= 0.0
+                          ? 1.0
+                          : rows.front().wallBestSec / p.wallBestSec;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
 void
 writeReport(const std::string &path, const char *mode, double scale,
-            unsigned reps, const std::vector<PointResult> &points)
+            unsigned reps, const std::vector<PointResult> &points,
+            const std::vector<ScalingRow> &scaling)
 {
     std::vector<double> rates;
     for (const PointResult &p : points)
@@ -154,6 +191,38 @@ writeReport(const std::string &path, const char *mode, double scale,
     // Integer mirror so cmake scripts can threshold with math(EXPR).
     w.member("geomean_cycles_per_sec_int",
              static_cast<std::uint64_t>(geo));
+
+    // --sim-threads scaling curve on the largest smoke point. The
+    // integer mirrors feed tools/run_perf_bench.cmake: the 1-thread
+    // rate backs the single-thread regression guard, the x100 speedup
+    // backs the CI-only >=2x-at-4-threads assertion, and the host
+    // thread count lets the script skip that assertion on small hosts.
+    w.key("thread_scaling").beginObject();
+    w.member("bench", benchName(BenchId::HtH));
+    w.member("protocol", protocolName(ProtocolKind::Getm));
+    w.member("host_hw_threads", std::thread::hardware_concurrency());
+    double t1_rate = 0.0;
+    double speedup_at_4 = 0.0;
+    w.key("points").beginArray();
+    for (const ScalingRow &row : scaling) {
+        w.beginObject();
+        w.member("threads", row.threads);
+        w.member("wall_best_s", row.wallBestSec);
+        w.member("cycles_per_sec", row.cyclesPerSec);
+        w.member("speedup", row.speedup);
+        w.endObject();
+        if (row.threads == 1)
+            t1_rate = row.cyclesPerSec;
+        if (row.threads == 4)
+            speedup_at_4 = row.speedup;
+    }
+    w.endArray();
+    w.member("t1_cycles_per_sec_int",
+             static_cast<std::uint64_t>(t1_rate));
+    w.member("speedup_x100_at_4",
+             static_cast<std::uint64_t>(speedup_at_4 * 100.0));
+    w.endObject();
+
     w.member("max_rss_kib", peakRssKib());
     w.endObject();
 
@@ -239,7 +308,19 @@ main(int argc, char **argv)
                 gmean(rates) / 1e6,
                 static_cast<unsigned long long>(peakRssKib()));
 
-    writeReport(out, smoke ? "smoke" : "full", scale, reps, points);
+    std::printf("\n--sim-threads scaling (%s/%s, %u hardware threads)\n",
+                benchName(BenchId::HtH), protocolName(ProtocolKind::Getm),
+                std::thread::hardware_concurrency());
+    std::printf("%-8s %14s %14s %10s\n", "threads", "wall_best_s",
+                "Mcycles/s", "speedup");
+    const std::vector<ScalingRow> scaling =
+        measureScaling(scale, seed, reps);
+    for (const ScalingRow &row : scaling)
+        std::printf("%-8u %14.4f %14.2f %9.2fx\n", row.threads,
+                    row.wallBestSec, row.cyclesPerSec / 1e6, row.speedup);
+
+    writeReport(out, smoke ? "smoke" : "full", scale, reps, points,
+                scaling);
     std::printf("wrote %s\n", out.c_str());
     return 0;
 }

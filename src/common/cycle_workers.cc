@@ -1,0 +1,86 @@
+#include "common/cycle_workers.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace getm {
+
+namespace {
+
+/** One polite spin iteration: pause a few times, then yield. */
+inline void
+spinWait(unsigned &spins)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (spins < 256) {
+        _mm_pause();
+        ++spins;
+        return;
+    }
+#else
+    if (spins < 64) {
+        ++spins;
+        return;
+    }
+#endif
+    // Past the spin budget: let someone else run. This keeps the pool
+    // correct (if slow) even when workers outnumber hardware threads,
+    // e.g. a sweep that oversubscribes sweep jobs x sim threads.
+    std::this_thread::yield();
+}
+
+} // namespace
+
+CycleWorkers::CycleWorkers(unsigned num_workers)
+    : workers(num_workers < 1 ? 1 : num_workers),
+      done(workers > 1 ? workers - 1 : 0)
+{
+    threads.reserve(workers > 1 ? workers - 1 : 0);
+    for (unsigned i = 1; i < workers; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+CycleWorkers::~CycleWorkers()
+{
+    stopping.store(true, std::memory_order_release);
+    for (auto &thread : threads)
+        thread.join();
+}
+
+void
+CycleWorkers::run(const PhaseFn &fn)
+{
+    const std::uint64_t epoch =
+        goEpoch.load(std::memory_order_relaxed) + 1;
+    phase = &fn;
+    goEpoch.store(epoch, std::memory_order_release); // broadcast
+    fn(0);                                           // caller's share
+    for (auto &slot : done) {
+        unsigned spins = 0;
+        while (slot.epoch.load(std::memory_order_acquire) != epoch)
+            spinWait(spins);
+    }
+    phase = nullptr;
+}
+
+void
+CycleWorkers::workerLoop(unsigned index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        unsigned spins = 0;
+        std::uint64_t epoch;
+        while ((epoch = goEpoch.load(std::memory_order_acquire)) ==
+               seen) {
+            if (stopping.load(std::memory_order_acquire))
+                return;
+            spinWait(spins);
+        }
+        (*phase)(index);
+        done[index - 1].epoch.store(epoch, std::memory_order_release);
+        seen = epoch;
+    }
+}
+
+} // namespace getm

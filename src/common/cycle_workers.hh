@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Persistent worker pool for per-cycle fork/join parallelism.
+ *
+ * The sweep-level ThreadPool (thread_pool.hh) hands out coarse tasks
+ * through a mutex + condvar queue — milliseconds of overhead amortised
+ * over seconds of work. The parallel cycle loop needs the opposite
+ * trade-off: the same phase function dispatched to the same workers
+ * every simulated cycle, with microsecond-scale work per dispatch. This
+ * pool keeps its workers alive for the whole run and synchronises each
+ * round with two atomic epochs (one broadcast, one join), spinning
+ * briefly before yielding so a dispatch costs well under a microsecond
+ * when the workers are hot.
+ *
+ * Memory ordering: the caller's writes before run() happen-before every
+ * worker's execution of the phase (release broadcast / acquire pickup),
+ * and every worker's writes happen-before run() returns (release done /
+ * acquire join). One run() is one full barrier round; no worker state
+ * leaks across rounds.
+ */
+
+#ifndef GETM_COMMON_CYCLE_WORKERS_HH
+#define GETM_COMMON_CYCLE_WORKERS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace getm {
+
+class CycleWorkers
+{
+  public:
+    /** Phase function: called once per worker with its index. */
+    using PhaseFn = std::function<void(unsigned worker)>;
+
+    /**
+     * Start a pool of @p num_workers logical workers. Worker 0 is the
+     * calling thread (run() executes its share inline), so only
+     * num_workers - 1 threads are spawned.
+     */
+    explicit CycleWorkers(unsigned num_workers);
+
+    /** Stops and joins the worker threads. */
+    ~CycleWorkers();
+
+    CycleWorkers(const CycleWorkers &) = delete;
+    CycleWorkers &operator=(const CycleWorkers &) = delete;
+
+    /**
+     * Run @p fn(w) for every worker index w in [0, numWorkers()) and
+     * wait for all of them. The caller executes w == 0 inline.
+     */
+    void run(const PhaseFn &fn);
+
+    unsigned numWorkers() const { return workers; }
+
+  private:
+    void workerLoop(unsigned index);
+
+    /** Pad the join counters to their own cache lines: each worker
+     *  publishes its epoch without false sharing against the others. */
+    struct alignas(64) DoneSlot
+    {
+        std::atomic<std::uint64_t> epoch{0};
+    };
+
+    const unsigned workers;
+    std::atomic<std::uint64_t> goEpoch{0};
+    std::atomic<bool> stopping{false};
+    const PhaseFn *phase = nullptr; // valid while a round is in flight
+    std::vector<DoneSlot> done;
+    std::vector<std::thread> threads;
+};
+
+} // namespace getm
+
+#endif // GETM_COMMON_CYCLE_WORKERS_HH

@@ -77,6 +77,8 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
         cfg.traceTx = value;
     else if (key == "watchdog_cycles")
         cfg.watchdogCycles = value;
+    else if (key == "sim_threads")
+        cfg.simThreads = static_cast<unsigned>(value);
     else if (key == "hot_addrs")
         cfg.hotAddrTopN = static_cast<unsigned>(value);
     else if (key == "seed")
@@ -91,8 +93,9 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
  * checker/injection/timeout keys are deliberately absent from
  * configProvenance(): enabling validation or a safety net must not
  * change a run's reported configuration or sweep spec hashes
- * (watchdog_cycles and trace_tx, handled by the numeric parser, are
- * excluded for the same reason — both are observe-only).
+ * (watchdog_cycles, trace_tx, and sim_threads, handled by the numeric
+ * parser, are excluded for the same reason — the first two are
+ * observe-only and sim_threads is determinism-neutral by contract).
  */
 bool
 applyStringKey(GpuConfig &cfg, const std::string &key,
@@ -205,6 +208,8 @@ validateGpuConfig(const GpuConfig &cfg, std::string &error)
         return reject("inject_prob must be within [0, 1]");
     if (cfg.timeoutSec < 0.0)
         return reject("timeout_sec must be non-negative");
+    if (cfg.simThreads == 0)
+        return reject("sim_threads must be nonzero");
     return true;
 }
 

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Deferring sink proxies for the parallel cycle loop.
+ *
+ * The tracer (ObsSink), runtime checker (CheckSink), and timeline
+ * recorder are single shared objects whose *output ordering is part of
+ * their contract* — trace documents and timelines are emitted in event
+ * order. When SIMT cores tick on worker threads, each core gets a
+ * proxy that records every call into a per-core buffer instead; the
+ * serial barrier stage replays the buffers in core order (deliver-stage
+ * events before tick-stage events, matching the serial loops' global
+ * order), so the shared objects observe exactly the event sequence the
+ * serial loops would have produced. See docs/PARALLELISM.md.
+ *
+ * These proxies are allocated only when the corresponding feature is
+ * enabled (they wrap nullable pointers that are otherwise null), so the
+ * common fast path — tracing, checking, and timeline all off — never
+ * pays for the deferral.
+ */
+
+#ifndef GETM_GPU_DEFERRED_SINKS_HH
+#define GETM_GPU_DEFERRED_SINKS_HH
+
+#include <array>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/sink.hh"
+#include "gpu/timeline.hh"
+#include "obs/sink.hh"
+
+namespace getm {
+
+/**
+ * Per-core event buffer with two replay buckets: deliver-stage events
+ * (bucket 0) and tick-stage events (bucket 1). The owning worker flips
+ * @c cur between the core's delivery drain and its tick; the serial
+ * stage replays all bucket-0 vectors in core order, then all bucket-1
+ * vectors in core order — the exact global order of the serial loops.
+ */
+struct CoreEventBuffer
+{
+    std::array<std::vector<std::function<void()>>, 2> buckets;
+    unsigned cur = 0;
+
+    void
+    push(std::function<void()> fn)
+    {
+        buckets[cur].push_back(std::move(fn));
+    }
+
+    /** Replay and drop one bucket's events, in recording order. */
+    static void
+    drain(std::vector<std::function<void()>> &bucket)
+    {
+        for (auto &fn : bucket)
+            fn();
+        bucket.clear();
+    }
+};
+
+/** Records every ObsSink call for deterministic serial replay. */
+class DeferredObsSink : public ObsSink
+{
+  public:
+    DeferredObsSink(CoreEventBuffer &buffer, ObsSink &target_)
+        : buf(buffer), target(target_)
+    {
+    }
+
+    void
+    abortEvent(AbortReason reason, Addr addr, PartitionId partition,
+               unsigned lanes, Cycle now) override
+    {
+        buf.push([this, reason, addr, partition, lanes, now] {
+            target.abortEvent(reason, addr, partition, lanes, now);
+        });
+    }
+
+    void
+    conflictEvent(AbortReason reason, Addr addr, PartitionId partition,
+                  Cycle now) override
+    {
+        buf.push([this, reason, addr, partition, now] {
+            target.conflictEvent(reason, addr, partition, now);
+        });
+    }
+
+    void
+    stallEvent(AbortReason reason, Addr addr, PartitionId partition,
+               unsigned depth, Cycle now) override
+    {
+        buf.push([this, reason, addr, partition, depth, now] {
+            target.stallEvent(reason, addr, partition, depth, now);
+        });
+    }
+
+    void
+    stallRelease(PartitionId partition, Cycle now) override
+    {
+        buf.push([this, partition, now] {
+            target.stallRelease(partition, now);
+        });
+    }
+
+    void
+    txAttemptBegin(GlobalWarpId gwid, CoreId core, std::uint32_t slot,
+                   unsigned attempt, unsigned lanes, Cycle now) override
+    {
+        buf.push([this, gwid, core, slot, attempt, lanes, now] {
+            target.txAttemptBegin(gwid, core, slot, attempt, lanes, now);
+        });
+    }
+
+    void
+    txPhase(GlobalWarpId gwid, TxPhase phase, Cycle now) override
+    {
+        buf.push([this, gwid, phase, now] {
+            target.txPhase(gwid, phase, now);
+        });
+    }
+
+    void
+    txAccessIssue(GlobalWarpId gwid, Addr granule, bool store,
+                  Cycle now) override
+    {
+        buf.push([this, gwid, granule, store, now] {
+            target.txAccessIssue(gwid, granule, store, now);
+        });
+    }
+
+    void
+    txAccessDecision(GlobalWarpId gwid, Addr granule,
+                     PartitionId partition, bool ok, Cycle arrival,
+                     Cycle ready) override
+    {
+        buf.push([this, gwid, granule, partition, ok, arrival, ready] {
+            target.txAccessDecision(gwid, granule, partition, ok, arrival,
+                                    ready);
+        });
+    }
+
+    void
+    txAccessResponse(GlobalWarpId gwid, Addr granule, Cycle now) override
+    {
+        buf.push([this, gwid, granule, now] {
+            target.txAccessResponse(gwid, granule, now);
+        });
+    }
+
+    void
+    txStallEnter(GlobalWarpId gwid, Addr granule, PartitionId partition,
+                 Cycle now) override
+    {
+        buf.push([this, gwid, granule, partition, now] {
+            target.txStallEnter(gwid, granule, partition, now);
+        });
+    }
+
+    void
+    txStallExit(GlobalWarpId gwid, Addr granule, PartitionId partition,
+                Cycle enqueued, Cycle now) override
+    {
+        buf.push([this, gwid, granule, partition, enqueued, now] {
+            target.txStallExit(gwid, granule, partition, enqueued, now);
+        });
+    }
+
+    void
+    txConflict(GlobalWarpId victim, GlobalWarpId aborter,
+               AbortReason reason, Addr addr, PartitionId partition,
+               Cycle now) override
+    {
+        buf.push([this, victim, aborter, reason, addr, partition, now] {
+            target.txConflict(victim, aborter, reason, addr, partition,
+                              now);
+        });
+    }
+
+    void
+    txAbort(GlobalWarpId gwid, AbortReason reason, Addr addr,
+            unsigned lanes, Cycle now) override
+    {
+        buf.push([this, gwid, reason, addr, lanes, now] {
+            target.txAbort(gwid, reason, addr, lanes, now);
+        });
+    }
+
+    void
+    txCommitHandoff(GlobalWarpId gwid, Cycle now) override
+    {
+        buf.push([this, gwid, now] {
+            target.txCommitHandoff(gwid, now);
+        });
+    }
+
+    void
+    txValidation(GlobalWarpId gwid, PartitionId partition, bool pass,
+                 Cycle start, Cycle end) override
+    {
+        buf.push([this, gwid, partition, pass, start, end] {
+            target.txValidation(gwid, partition, pass, start, end);
+        });
+    }
+
+    void
+    txRetire(GlobalWarpId gwid, unsigned committedLanes, bool willRetry,
+             Cycle now) override
+    {
+        buf.push([this, gwid, committedLanes, willRetry, now] {
+            target.txRetire(gwid, committedLanes, willRetry, now);
+        });
+    }
+
+  private:
+    CoreEventBuffer &buf;
+    ObsSink &target;
+};
+
+/** Records every CheckSink call for deterministic serial replay. */
+class DeferredCheckSink : public CheckSink
+{
+  public:
+    DeferredCheckSink(CoreEventBuffer &buffer, CheckSink &target_)
+        : buf(buffer), target(target_)
+    {
+    }
+
+    void
+    attemptBegin(GlobalWarpId gwid, LaneMask lanes,
+                 std::uint32_t first_tid) override
+    {
+        buf.push([this, gwid, lanes, first_tid] {
+            target.attemptBegin(gwid, lanes, first_tid);
+        });
+    }
+
+    void
+    readObserved(GlobalWarpId gwid, LaneId lane, Addr addr,
+                 std::uint32_t value) override
+    {
+        buf.push([this, gwid, lane, addr, value] {
+            target.readObserved(gwid, lane, addr, value);
+        });
+    }
+
+    void
+    attemptAborted(GlobalWarpId gwid, LaneMask lanes) override
+    {
+        buf.push([this, gwid, lanes] {
+            target.attemptAborted(gwid, lanes);
+        });
+    }
+
+    void
+    attemptCommitted(GlobalWarpId gwid, LaneId lane,
+                     const std::vector<LogEntry> &writes) override
+    {
+        // The redo log is cleared right after the call site; copy it.
+        buf.push([this, gwid, lane, writes_copy = writes] {
+            target.attemptCommitted(gwid, lane, writes_copy);
+        });
+    }
+
+    void
+    writeApplied(GlobalWarpId gwid, LaneId lane, Addr addr,
+                 std::uint32_t value) override
+    {
+        buf.push([this, gwid, lane, addr, value] {
+            target.writeApplied(gwid, lane, addr, value);
+        });
+    }
+
+    void
+    externalWrite(Addr addr, std::uint32_t value) override
+    {
+        buf.push([this, addr, value] {
+            target.externalWrite(addr, value);
+        });
+    }
+
+  private:
+    CoreEventBuffer &buf;
+    CheckSink &target;
+};
+
+/** Records timeline spans/instants for deterministic serial replay. */
+class DeferredTimeline : public Timeline
+{
+  public:
+    DeferredTimeline(CoreEventBuffer &buffer, Timeline &target_)
+        : buf(buffer), target(target_)
+    {
+    }
+
+    // Names are copied: the cores pass static strings today, but the
+    // replay happens after the caller's frame is gone.
+    void
+    begin(CoreId core, std::uint32_t slot, const char *name,
+          Cycle ts) override
+    {
+        buf.push([this, core, slot, name = std::string(name), ts] {
+            target.begin(core, slot, name.c_str(), ts);
+        });
+    }
+
+    void
+    end(CoreId core, std::uint32_t slot, Cycle ts) override
+    {
+        buf.push([this, core, slot, ts] { target.end(core, slot, ts); });
+    }
+
+    void
+    instant(CoreId core, std::uint32_t slot, const char *name,
+            Cycle ts) override
+    {
+        buf.push([this, core, slot, name = std::string(name), ts] {
+            target.instant(core, slot, name.c_str(), ts);
+        });
+    }
+
+  private:
+    CoreEventBuffer &buf;
+    Timeline &target;
+};
+
+} // namespace getm
+
+#endif // GETM_GPU_DEFERRED_SINKS_HH

@@ -122,6 +122,17 @@ struct GpuConfig
      */
     bool legacyLoop = false;
 
+    /**
+     * Worker threads for the per-cycle simulation loop (1 = the serial
+     * event-driven loop). Any value produces byte-identical results —
+     * the crossbar handoff serializes all cross-component traffic in a
+     * deterministic order (docs/PARALLELISM.md) — so, like checkLevel
+     * and watchdogCycles, this is never part of config provenance.
+     * Protocols with cross-core shared state (WarpTM-LL/EL, EAPG) and
+     * fault-injection runs fall back to 1 thread automatically.
+     */
+    unsigned simThreads = 1;
+
     /** GTX480-like baseline of Table II. */
     static GpuConfig gtx480();
 

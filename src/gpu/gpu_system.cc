@@ -8,9 +8,11 @@
 
 #include "check/checker.hh"
 #include "check/fault.hh"
+#include "common/cycle_workers.hh"
 #include "common/log.hh"
 #include "core/getm_core_tm.hh"
 #include "gpu/config_file.hh"
+#include "gpu/deferred_sinks.hh"
 #include "eapg/eapg.hh"
 #include "warptm/wtm_core_tm.hh"
 #include "warptm/wtm_partition.hh"
@@ -457,6 +459,14 @@ SimDiagnostic
 GpuSystem::buildDiagnostic(SimErrorKind kind, std::string message,
                            Cycle now, Cycle since_progress)
 {
+    // Under the parallel loop, core-side abort attribution lives in
+    // per-core shards until the end of the run; fold it in so the
+    // hot-address table below is complete (absorbing clears the
+    // shards, so the final end-of-run merge stays correct).
+    if (activeShards)
+        for (ObsShard &shard : *activeShards)
+            observability.absorbShard(shard);
+
     SimDiagnostic diag;
     diag.kind = kind;
     diag.message = std::move(message);
@@ -677,6 +687,271 @@ GpuSystem::runEventLoop(const Kernel &kernel, Cycle max_cycles)
     return now;
 }
 
+namespace {
+
+/** One xbarUp.send() recorded on a worker thread for serial replay. */
+struct StagedSend
+{
+    PartitionId part;
+    unsigned bytes;
+    Cycle sentAt; ///< Sending core's clock at the original call.
+    MemMsg msg;
+};
+
+/**
+ * Per-core send staging with the same deliver/tick replay buckets as
+ * CoreEventBuffer (deferred_sinks.hh): replaying bucket 0 for every
+ * core in id order and then bucket 1 for every core in id order
+ * reproduces the serial loops' global send order exactly, and
+ * CrossbarTiming::route() timing depends only on its arguments and the
+ * port-free state evolved in call order — so the replayed messages get
+ * byte-identical arrival cycles, sequence numbers, and stats.
+ */
+struct CoreSendStage
+{
+    std::array<std::vector<StagedSend>, 2> buckets;
+    unsigned cur = 0;
+};
+
+} // namespace
+
+unsigned
+GpuSystem::effectiveSimThreads() const
+{
+    unsigned threads = cfg.simThreads;
+    if (threads <= 1)
+        return 1;
+    threads = std::min(threads, cfg.numCores);
+    if (cfg.protocol == ProtocolKind::WarpTmLL ||
+        cfg.protocol == ProtocolKind::WarpTmEL ||
+        cfg.protocol == ProtocolKind::Eapg) {
+        inform("%s shares commit state across cores; sim_threads=%u "
+               "falls back to the serial event loop",
+               protocolName(cfg.protocol), cfg.simThreads);
+        return 1;
+    }
+    if (faultInjector) {
+        inform("fault injection draws from one RNG across cores; "
+               "sim_threads=%u falls back to the serial event loop",
+               cfg.simThreads);
+        return 1;
+    }
+    return threads;
+}
+
+Cycle
+GpuSystem::runParallelLoop(const Kernel &kernel, Cycle max_cycles,
+                           unsigned threads)
+{
+    // Cores tick on worker threads; everything else — partitions, the
+    // crossbar handoff, telemetry, rollover, and the guards — stays on
+    // the calling thread. Worker-side effects on shared objects are
+    // staged per core and replayed at the per-cycle barrier in the
+    // serial loops' global order, which is what makes any thread count
+    // byte-identical to sim_threads=1 (contract: docs/PARALLELISM.md).
+    const Cycle never = ~static_cast<Cycle>(0);
+    const unsigned ncores = static_cast<unsigned>(coreArray.size());
+    const unsigned nparts = static_cast<unsigned>(partArray.size());
+
+    std::vector<Cycle> coreWake(ncores, 0);
+    std::vector<Cycle> partWake(nparts, 0);
+
+    std::vector<CoreSendStage> sends(ncores);
+    std::vector<ObsShard> shards(ncores);
+    const bool use_timeline = !cfg.timelinePath.empty();
+    const bool defer_events = txTracer || checker || use_timeline;
+    std::vector<CoreEventBuffer> events(defer_events ? ncores : 0);
+    std::vector<std::unique_ptr<DeferredObsSink>> tracer_proxies;
+    std::vector<std::unique_ptr<DeferredCheckSink>> check_proxies;
+    std::vector<std::unique_ptr<DeferredTimeline>> timeline_proxies;
+
+    for (CoreId c = 0; c < ncores; ++c) {
+        coreArray[c]->setObserver(&shards[c]);
+        coreArray[c]->setSendFn([this, c, &sends](MemMsg &&msg) {
+            CoreSendStage &stage = sends[c];
+            stage.buckets[stage.cur].push_back(StagedSend{
+                msg.partition, msg.bytes, coreArray[c]->now(),
+                std::move(msg)});
+        });
+        if (txTracer) {
+            tracer_proxies.push_back(std::make_unique<DeferredObsSink>(
+                events[c], *txTracer));
+            coreArray[c]->setTracer(tracer_proxies.back().get());
+        }
+        if (checker) {
+            check_proxies.push_back(std::make_unique<DeferredCheckSink>(
+                events[c], *checker));
+            coreArray[c]->setChecker(check_proxies.back().get());
+        }
+        if (use_timeline) {
+            timeline_proxies.push_back(
+                std::make_unique<DeferredTimeline>(events[c], timeline));
+            coreArray[c]->setTimeline(timeline_proxies.back().get());
+        }
+    }
+    activeShards = &shards;
+
+    // Rewire the cores back to the shared objects and fold the shard
+    // counters into the hub. Runs on every exit path — the staging
+    // callbacks capture locals of this frame, and run()'s result
+    // gathering expects the serial wiring.
+    auto restore = [&] {
+        for (CoreId c = 0; c < ncores; ++c) {
+            coreArray[c]->setObserver(&observability);
+            coreArray[c]->setSendFn([this, c](MemMsg &&msg) {
+                const PartitionId part = msg.partition;
+                const unsigned bytes = msg.bytes;
+                xbarUp.send(c, part, bytes, coreArray[c]->now(),
+                            std::move(msg));
+            });
+            if (txTracer)
+                coreArray[c]->setTracer(txTracer.get());
+            if (checker)
+                coreArray[c]->setChecker(checker.get());
+            if (use_timeline)
+                coreArray[c]->setTimeline(&timeline);
+        }
+        for (ObsShard &shard : shards)
+            observability.absorbShard(shard);
+        activeShards = nullptr;
+    };
+
+    // Commit staged sends and replay deferred sink events: bucket 0
+    // (deliver-stage) for every core in id order, then bucket 1
+    // (tick-stage) likewise — the serial loops' global order. Within a
+    // bucket, sends replay before tracer/checker/timeline events; the
+    // only shared object hearing both is the tracer, whose nocHop()
+    // aggregation is commutative, so the relative order is unobservable.
+    auto flushStages = [&] {
+        for (unsigned bucket = 0; bucket < 2; ++bucket) {
+            for (CoreId c = 0; c < ncores; ++c) {
+                for (StagedSend &send : sends[c].buckets[bucket])
+                    xbarUp.send(c, send.part, send.bytes, send.sentAt,
+                                std::move(send.msg));
+                sends[c].buckets[bucket].clear();
+            }
+            if (defer_events)
+                for (CoreId c = 0; c < ncores; ++c)
+                    CoreEventBuffer::drain(events[c].buckets[bucket]);
+        }
+    };
+
+    CycleWorkers pool(threads);
+
+    Cycle now = 0;
+    const bool getm_rollover =
+        cfg.protocol == ProtocolKind::Getm &&
+        cfg.rolloverThreshold != ~static_cast<LogicalTs>(0);
+    GuardState guard;
+    guard.wallStart = std::chrono::steady_clock::now();
+
+    try {
+        while (!allDone() || !drained(now)) {
+            checkGuards(kernel, now, max_cycles, guard);
+
+            // Partitions tick serially, exactly as in the event loop:
+            // they own the order-sensitive observability (stall gauge)
+            // and checker traffic, and they are a minority of the
+            // per-cycle work.
+            for (PartitionId p = 0; p < nparts; ++p) {
+                if (partWake[p] <= now || xbarUp.hasReady(p, now)) {
+                    partArray[p]->tick(now);
+                    partWake[p] = partArray[p]->nextEventCycle(now);
+                }
+            }
+
+            // Core phase: worker w owns cores c with c % threads == w —
+            // deliveries then the tick, per-core work identical to the
+            // event loop. Each core's downward inbox has a single
+            // owner this phase (nothing sends down while cores run),
+            // and all upward traffic is staged.
+            const Cycle cur = now;
+            pool.run([&, cur](unsigned worker) {
+                for (CoreId c = worker; c < ncores; c += threads) {
+                    SimtCore &core = *coreArray[c];
+                    sends[c].cur = 0;
+                    if (defer_events)
+                        events[c].cur = 0;
+                    if (xbarDown.hasReady(c, cur)) {
+                        do
+                            core.deliver(xbarDown.popReady(c), cur);
+                        while (xbarDown.hasReady(c, cur));
+                        // A delivery can unblock same-cycle work.
+                        if (coreWake[c] > cur)
+                            coreWake[c] = cur;
+                    }
+                    sends[c].cur = 1;
+                    if (defer_events)
+                        events[c].cur = 1;
+                    if (coreWake[c] <= cur) {
+                        core.tick(cur);
+                        coreWake[c] = core.nextEventCycle(cur + 1);
+                    }
+                }
+            });
+
+            flushStages();
+
+            observability.cycleSampler().maybeSample(now);
+
+            if (getm_rollover || rolloverPending) {
+                const bool was_pending = rolloverPending;
+                maybeRollover(now);
+                // Rollover transitions abort warps from outside their
+                // tick(); the staging callbacks are still installed, so
+                // commit whatever they recorded (maybeRollover itself
+                // walks cores serially in id order, matching the replay
+                // order).
+                flushStages();
+                if (rolloverPending != was_pending) {
+                    for (CoreId c = 0; c < ncores; ++c)
+                        coreWake[c] =
+                            coreArray[c]->nextEventCycle(now + 1);
+                    for (PartitionId p = 0; p < nparts; ++p)
+                        partWake[p] = partArray[p]->nextEventCycle(now);
+                }
+            }
+
+            Cycle next = never;
+            for (Cycle wake : coreWake)
+                next = std::min(next, wake);
+            for (Cycle wake : partWake)
+                next = std::min(next, wake);
+            next = std::min(next, xbarUp.nextArrival());
+            next = std::min(next, xbarDown.nextArrival());
+            if (next != never)
+                next = std::max(next, now + 1);
+            // Wake at sample boundaries too, so idle-cycle skipping
+            // cannot starve the telemetry series.
+            if (next != never &&
+                observability.cycleSampler().enabled())
+                next = std::max<Cycle>(
+                    now + 1,
+                    std::min(
+                        next,
+                        observability.cycleSampler().nextSampleCycle()));
+            if (next == never) {
+                if (allDone() && drained(now))
+                    break;
+                if (rolloverPending) {
+                    now = now + 1; // draining towards quiescence
+                    continue;
+                }
+                throw SimError(buildDiagnostic(
+                    SimErrorKind::Deadlock,
+                    "no future events at cycle " + std::to_string(now),
+                    now, now - guard.lastProgressCycle));
+            }
+            now = next;
+        }
+    } catch (...) {
+        restore();
+        throw;
+    }
+    restore();
+    return now;
+}
+
 RunResult
 GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
                Cycle max_cycles)
@@ -704,8 +979,12 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
 
     const bool legacy = cfg.legacyLoop ||
                         std::getenv("GETM_LEGACY_LOOP") != nullptr;
-    const Cycle now = legacy ? runLegacyLoop(kernel, max_cycles)
-                             : runEventLoop(kernel, max_cycles);
+    const unsigned sim_threads = legacy ? 1 : effectiveSimThreads();
+    const Cycle now =
+        legacy ? runLegacyLoop(kernel, max_cycles)
+        : sim_threads > 1
+            ? runParallelLoop(kernel, max_cycles, sim_threads)
+            : runEventLoop(kernel, max_cycles);
 
     // Gather results.
     RunResult result;

@@ -145,6 +145,25 @@ class GpuSystem
      *  cycle (GpuConfig::legacyLoop / GETM_LEGACY_LOOP fallback). */
     Cycle runLegacyLoop(const Kernel &kernel, Cycle max_cycles);
 
+    /**
+     * Multi-threaded variant of the event loop (cfg.simThreads > 1):
+     * SIMT cores tick on a persistent worker pool, partitions and the
+     * crossbar handoff stay serial, and all cross-component effects are
+     * staged per core and replayed at a per-cycle barrier in the serial
+     * loops' global order — so the results are byte-identical at any
+     * thread count. Full contract in docs/PARALLELISM.md.
+     */
+    Cycle runParallelLoop(const Kernel &kernel, Cycle max_cycles,
+                          unsigned threads);
+
+    /**
+     * Thread count the parallel loop will actually use: cfg.simThreads
+     * clamped to the core count, or 1 when a protocol with cross-core
+     * shared commit state (WarpTM-LL/EL, EAPG) or fault injection
+     * forces the serial loop.
+     */
+    unsigned effectiveSimThreads() const;
+
     /** GETM timestamp-rollover coordination; returns true if mid-flush. */
     void maybeRollover(Cycle now);
 
@@ -196,6 +215,14 @@ class GpuSystem
 
     bool rolloverPending = false;
     std::uint64_t rollovers = 0;
+
+    /**
+     * Live per-core observability shards while the parallel loop runs
+     * (else null). buildDiagnostic() absorbs them into the hub first,
+     * so error snapshots see the complete hot-address table no matter
+     * which loop was running.
+     */
+    std::vector<ObsShard> *activeShards = nullptr;
 };
 
 } // namespace getm

@@ -4,22 +4,79 @@
 
 namespace getm {
 
-BackingStore::Page &
+namespace {
+
+/** Split a page number into (root, leaf) directory indices. */
+inline void
+splitPage(std::uint64_t page_no, std::uint64_t &hi, std::uint64_t &lo,
+          unsigned dir_bits, std::uint64_t fanout)
+{
+    hi = page_no >> dir_bits;
+    lo = page_no & (fanout - 1);
+    if (hi >= fanout)
+        panic("address %#llx beyond the backing-store range",
+              static_cast<unsigned long long>(page_no));
+}
+
+} // namespace
+
+BackingStore::~BackingStore()
+{
+    for (auto &leaf_slot : root) {
+        Leaf *leaf = leaf_slot.load(std::memory_order_relaxed);
+        if (!leaf)
+            continue;
+        for (auto &page_slot : *leaf)
+            delete[] page_slot.load(std::memory_order_relaxed);
+        delete leaf;
+    }
+}
+
+BackingStore::Word *
 BackingStore::pageFor(Addr addr)
 {
     const std::uint64_t page_no = addr / pageBytes;
-    auto &slot = pages[page_no];
-    if (!slot)
-        slot = std::make_unique<Page>(pageBytes / wordBytes, 0u);
-    return *slot;
+    std::uint64_t hi, lo;
+    splitPage(page_no, hi, lo, dirBits, dirFanout);
+
+    Leaf *leaf = root[hi].load(std::memory_order_acquire);
+    if (!leaf) {
+        auto fresh = std::make_unique<Leaf>();
+        Leaf *expected = nullptr;
+        if (root[hi].compare_exchange_strong(expected, fresh.get(),
+                                             std::memory_order_acq_rel))
+            leaf = fresh.release();
+        else
+            leaf = expected; // another worker won the insert
+    }
+
+    Word *page = (*leaf)[lo].load(std::memory_order_acquire);
+    if (!page) {
+        // Value-initialised: every word starts at zero, like the old
+        // vector-backed pages.
+        Word *fresh = new Word[wordsPerPage]();
+        Word *expected = nullptr;
+        if ((*leaf)[lo].compare_exchange_strong(expected, fresh,
+                                                std::memory_order_acq_rel))
+            page = fresh;
+        else {
+            delete[] fresh;
+            page = expected;
+        }
+    }
+    return page;
 }
 
-const BackingStore::Page *
+const BackingStore::Word *
 BackingStore::pageForConst(Addr addr) const
 {
     const std::uint64_t page_no = addr / pageBytes;
-    auto it = pages.find(page_no);
-    return it == pages.end() ? nullptr : it->second.get();
+    std::uint64_t hi, lo;
+    splitPage(page_no, hi, lo, dirBits, dirFanout);
+    const Leaf *leaf = root[hi].load(std::memory_order_acquire);
+    if (!leaf)
+        return nullptr;
+    return (*leaf)[lo].load(std::memory_order_acquire);
 }
 
 std::uint32_t
@@ -27,10 +84,11 @@ BackingStore::read(Addr addr) const
 {
     if (addr % wordBytes != 0)
         panic("unaligned read at %#lx", static_cast<unsigned long>(addr));
-    const Page *page = pageForConst(addr);
+    const Word *page = pageForConst(addr);
     if (!page)
         return 0;
-    return (*page)[(addr % pageBytes) / wordBytes];
+    return page[(addr % pageBytes) / wordBytes].load(
+        std::memory_order_relaxed);
 }
 
 void
@@ -38,32 +96,38 @@ BackingStore::write(Addr addr, std::uint32_t value)
 {
     if (addr % wordBytes != 0)
         panic("unaligned write at %#lx", static_cast<unsigned long>(addr));
-    pageFor(addr)[(addr % pageBytes) / wordBytes] = value;
+    pageFor(addr)[(addr % pageBytes) / wordBytes].store(
+        value, std::memory_order_relaxed);
 }
 
 std::uint32_t
 BackingStore::atomicCas(Addr addr, std::uint32_t compare, std::uint32_t swap)
 {
-    const std::uint32_t old = read(addr);
-    if (old == compare)
-        write(addr, swap);
-    return old;
+    if (addr % wordBytes != 0)
+        panic("unaligned cas at %#lx", static_cast<unsigned long>(addr));
+    Word &word = pageFor(addr)[(addr % pageBytes) / wordBytes];
+    std::uint32_t expected = compare;
+    word.compare_exchange_strong(expected, swap,
+                                 std::memory_order_relaxed);
+    return expected;
 }
 
 std::uint32_t
 BackingStore::atomicExch(Addr addr, std::uint32_t value)
 {
-    const std::uint32_t old = read(addr);
-    write(addr, value);
-    return old;
+    if (addr % wordBytes != 0)
+        panic("unaligned exch at %#lx", static_cast<unsigned long>(addr));
+    return pageFor(addr)[(addr % pageBytes) / wordBytes].exchange(
+        value, std::memory_order_relaxed);
 }
 
 std::uint32_t
 BackingStore::atomicAdd(Addr addr, std::uint32_t value)
 {
-    const std::uint32_t old = read(addr);
-    write(addr, old + value);
-    return old;
+    if (addr % wordBytes != 0)
+        panic("unaligned add at %#lx", static_cast<unsigned long>(addr));
+    return pageFor(addr)[(addr % pageBytes) / wordBytes].fetch_add(
+        value, std::memory_order_relaxed);
 }
 
 Addr

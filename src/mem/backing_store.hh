@@ -6,14 +6,28 @@
  * holds data. Storage is paged so sparse address spaces stay cheap. All
  * workloads operate on 32-bit words, which is also the granularity of
  * value-based validation in WarpTM.
+ *
+ * Concurrency contract (docs/PARALLELISM.md): the parallel cycle loop
+ * lets every SIMT core touch the store from its worker thread, so
+ *  - words are relaxed atomics (a plain load/store on x86 — the serial
+ *    loops compile to the same code and produce the same values);
+ *  - the page directory is a two-level radix of atomic pointers with
+ *    CAS insertion, so a first-touch allocation on one worker can never
+ *    invalidate a concurrent lookup on another (an unordered_map rehash
+ *    would).
+ * Two lanes racing on the *same word* in the same cycle is a data race
+ * in the simulated program; the store keeps the simulator well-defined
+ * (word-level atomicity) but such programs are outside the
+ * byte-determinism contract.
  */
 
 #ifndef GETM_MEM_BACKING_STORE_HH
 #define GETM_MEM_BACKING_STORE_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -25,6 +39,11 @@ class BackingStore
 {
   public:
     static constexpr unsigned wordBytes = 4;
+
+    BackingStore() = default;
+    ~BackingStore();
+    BackingStore(const BackingStore &) = delete;
+    BackingStore &operator=(const BackingStore &) = delete;
 
     /** Read the 32-bit word at byte address @p addr (must be aligned). */
     std::uint32_t read(Addr addr) const;
@@ -53,17 +72,26 @@ class BackingStore
 
   private:
     static constexpr std::uint64_t pageBytes = 1ull << 16;
+    static constexpr std::uint64_t wordsPerPage = pageBytes / wordBytes;
+    /** Directory fan-out: 2048 x 2048 pages of 64 KiB = 256 GiB. */
+    static constexpr unsigned dirBits = 11;
+    static constexpr std::uint64_t dirFanout = 1ull << dirBits;
 
-    using Page = std::vector<std::uint32_t>;
+    using Word = std::atomic<std::uint32_t>;
+    /** One leaf directory: pointers to zero-initialised word arrays. */
+    using Leaf = std::array<std::atomic<Word *>, dirFanout>;
 
-    Page &pageFor(Addr addr);
-    const Page *pageForConst(Addr addr) const;
+    /** Find the page words for @p addr, allocating on first touch. */
+    Word *pageFor(Addr addr);
+    /** Find the page words for @p addr, or nullptr if never touched. */
+    const Word *pageForConst(Addr addr) const;
 
     // Reserve page 0 so that address 0 is never handed out (null-like).
     static constexpr Addr baseAddr = pageBytes;
     Addr allocTop = baseAddr;
 
-    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+    /** Root directory; leaves and pages are CAS-inserted on demand. */
+    std::array<std::atomic<Leaf *>, dirFanout> root{};
 };
 
 } // namespace getm

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/json.hh"
+#include "common/log.hh"
 #include "common/sim_error.hh"
 #include "common/thread_pool.hh"
 #include "gpu/config_file.hh"
@@ -61,10 +62,15 @@ writeFile(const std::string &path, const std::string &content,
  */
 std::string
 simulatePoint(const SweepPoint &point, std::uint64_t trace_tx,
-              bool &verified, std::string &trace_doc)
+              unsigned sim_threads, bool &verified,
+              std::string &trace_doc)
 {
     GpuConfig run_cfg = point.config;
     run_cfg.traceTx = trace_tx;
+    // Like traceTx: applied after enumeration and absent from
+    // provenance, so hashes and documents cannot depend on it (the
+    // parallel loop is byte-deterministic; docs/PARALLELISM.md).
+    run_cfg.simThreads = sim_threads;
     GpuSystem gpu(run_cfg);
     auto workload = makeWorkload(point.bench, point.scale, point.seed);
     workload->setup(gpu, point.protocol == ProtocolKind::FgLock);
@@ -184,6 +190,20 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
     const unsigned jobs =
         options.jobs ? options.jobs : ThreadPool::defaultThreads();
 
+    // Budget nested parallelism: jobs x simThreads worker threads
+    // would oversubscribe the machine, so clamp the per-point thread
+    // count. Harmless to results (any simThreads value is
+    // byte-identical); purely a throughput guard.
+    unsigned sim_threads = options.simThreads ? options.simThreads : 1;
+    const unsigned hw = ThreadPool::defaultThreads();
+    if (sim_threads > 1 && jobs * sim_threads > hw) {
+        const unsigned clamped = std::max(1u, hw / jobs);
+        inform("sweep: clamping sim threads %u -> %u (%u jobs x %u "
+               "threads exceeds %u hardware threads)",
+               sim_threads, clamped, jobs, sim_threads, hw);
+        sim_threads = clamped;
+    }
+
     std::mutex mtx; // Guards outcome counters, progress, first error.
     std::string worker_error;
     unsigned done = 0;
@@ -237,7 +257,7 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
                 attempt == 0 ? point : reseededPoint(point, attempt);
             try {
                 doc = simulatePoint(attempt_point, options.traceTx,
-                                    verified, trace_doc);
+                                    sim_threads, verified, trace_doc);
                 failed = false;
             } catch (const SimError &e) {
                 failed = true;

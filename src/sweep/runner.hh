@@ -56,6 +56,16 @@ struct SweepOptions
      * point additionally writes points/<id>.trace.json.
      */
     std::uint64_t traceTx = 0;
+
+    /**
+     * Worker threads *inside* each point's cycle loop (GpuConfig
+     * simThreads; 1 = serial). Like traceTx, applied after enumeration
+     * and excluded from provenance — the parallel loop is
+     * byte-deterministic — so hashes and sweep.json never change with
+     * it. The runner clamps jobs x simThreads to the hardware thread
+     * count (docs/PARALLELISM.md, "Budgeting threads").
+     */
+    unsigned simThreads = 1;
 };
 
 /** One point that ended in a typed simulation failure. */

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Parallel cycle-loop equivalence.
+ *
+ * GpuConfig::simThreads > 1 ticks the SIMT cores on a worker pool with
+ * the crossbar handoff as the single serialized ordering point
+ * (docs/PARALLELISM.md). The contract is byte-determinism: any thread
+ * count must produce results bit-identical to the serial loops. These
+ * tests run one workload per eligible protocol under the legacy loop,
+ * the serial event loop, and the parallel loop, and require the entire
+ * observable outcome — cycle count, commits, aborts, crossbar traffic,
+ * the full merged stats dump, and the observability report (the
+ * worker-local shard/stat merge of the parallel loop) — to match.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cycle_workers.hh"
+#include "gpu/config_file.hh"
+#include "gpu/gpu_system.hh"
+#include "workloads/workload.hh"
+
+namespace getm {
+namespace {
+
+struct Outcome
+{
+    RunResult run;
+    std::string statsDump;
+};
+
+Outcome
+runWith(BenchId bench, ProtocolKind protocol, unsigned sim_threads,
+        bool legacy = false, unsigned check_level = 0,
+        std::uint64_t trace_tx = 0, LogicalTs rollover = 0)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    cfg.numCores = 4; // enough cores that 4 workers each own one
+    cfg.protocol = protocol;
+    cfg.legacyLoop = legacy;
+    cfg.simThreads = sim_threads;
+    cfg.checkLevel = check_level;
+    cfg.traceTx = trace_tx;
+    if (rollover)
+        cfg.rolloverThreshold = rollover;
+    GpuSystem gpu(cfg);
+    auto workload = makeWorkload(bench, 0.01, 123);
+    workload->setup(gpu, protocol == ProtocolKind::FgLock);
+    Outcome outcome;
+    outcome.run = gpu.run(workload->kernel(), workload->numThreads(),
+                          200'000'000);
+    std::string why;
+    EXPECT_TRUE(workload->verify(gpu, why))
+        << protocolName(protocol) << ": " << why;
+    outcome.statsDump = outcome.run.stats.dump();
+    return outcome;
+}
+
+void
+expectSameOutcome(const Outcome &serial, const Outcome &parallel,
+                  const char *name)
+{
+    EXPECT_EQ(parallel.run.cycles, serial.run.cycles) << name;
+    EXPECT_EQ(parallel.run.commits, serial.run.commits) << name;
+    EXPECT_EQ(parallel.run.aborts, serial.run.aborts) << name;
+    EXPECT_EQ(parallel.run.xbarFlits, serial.run.xbarFlits) << name;
+    EXPECT_EQ(parallel.run.txExecCycles, serial.run.txExecCycles)
+        << name;
+    EXPECT_EQ(parallel.run.txWaitCycles, serial.run.txWaitCycles)
+        << name;
+    EXPECT_EQ(parallel.run.rollovers, serial.run.rollovers) << name;
+    EXPECT_EQ(parallel.run.maxLogicalTs, serial.run.maxLogicalTs)
+        << name;
+    EXPECT_EQ(parallel.statsDump, serial.statsDump) << name;
+
+    // The observability report is where the parallel loop's per-core
+    // shards get merged; every attribution row must survive the merge.
+    const ObsReport &a = parallel.run.obs;
+    const ObsReport &b = serial.run.obs;
+    EXPECT_EQ(a.abortLanesByReason, b.abortLanesByReason) << name;
+    EXPECT_EQ(a.stallsByReason, b.stallsByReason) << name;
+    EXPECT_EQ(a.stallPeakOccupancy, b.stallPeakOccupancy) << name;
+    EXPECT_EQ(a.stallDepthSum, b.stallDepthSum) << name;
+    EXPECT_EQ(a.stallDepthCount, b.stallDepthCount) << name;
+    EXPECT_EQ(a.distinctConflictAddrs, b.distinctConflictAddrs) << name;
+    ASSERT_EQ(a.hotAddrs.size(), b.hotAddrs.size()) << name;
+    for (std::size_t i = 0; i < a.hotAddrs.size(); ++i) {
+        EXPECT_EQ(a.hotAddrs[i].addr, b.hotAddrs[i].addr) << name;
+        EXPECT_EQ(a.hotAddrs[i].total, b.hotAddrs[i].total) << name;
+    }
+}
+
+class ParallelLoop : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // The env var forces the legacy loop globally, which would
+        // silently turn every "parallel" run serial.
+        unsetenv("GETM_LEGACY_LOOP");
+    }
+};
+
+TEST_F(ParallelLoop, GetmMatchesLegacyAndEventLoops)
+{
+    const Outcome legacy =
+        runWith(BenchId::HtH, ProtocolKind::Getm, 1, true);
+    const Outcome event = runWith(BenchId::HtH, ProtocolKind::Getm, 1);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::Getm, 4);
+    expectSameOutcome(legacy, parallel, "GETM vs legacy");
+    expectSameOutcome(event, parallel, "GETM vs event");
+}
+
+TEST_F(ParallelLoop, GetmLowContention)
+{
+    // Long idle gaps: the loop must skip cycles identically.
+    const Outcome event = runWith(BenchId::Atm, ProtocolKind::Getm, 1);
+    const Outcome parallel =
+        runWith(BenchId::Atm, ProtocolKind::Getm, 4);
+    expectSameOutcome(event, parallel, "GETM/ATM");
+}
+
+TEST_F(ParallelLoop, FgLock)
+{
+    const Outcome event =
+        runWith(BenchId::HtH, ProtocolKind::FgLock, 1);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::FgLock, 4);
+    expectSameOutcome(event, parallel, "FGLock");
+}
+
+TEST_F(ParallelLoop, ThreadCountDoesNotMatter)
+{
+    // 2 and 8 workers partition the cores differently (8 > cores even
+    // after clamping); both must match the 4-worker run bit-for-bit.
+    const Outcome four = runWith(BenchId::HtH, ProtocolKind::Getm, 4);
+    const Outcome two = runWith(BenchId::HtH, ProtocolKind::Getm, 2);
+    const Outcome eight = runWith(BenchId::HtH, ProtocolKind::Getm, 8);
+    expectSameOutcome(four, two, "2 threads");
+    expectSameOutcome(four, eight, "8 threads");
+}
+
+TEST_F(ParallelLoop, CheckerAndTracerUnderWorkers)
+{
+    // Checker and tracer events from worker threads funnel through the
+    // per-core deferred buffers; the replay must reproduce the serial
+    // event order exactly (same violations: none; same trace records).
+    const Outcome serial =
+        runWith(BenchId::HtH, ProtocolKind::Getm, 1, false, 2, 1);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::Getm, 4, false, 2, 1);
+    expectSameOutcome(serial, parallel, "checked+traced");
+
+    EXPECT_EQ(parallel.run.check.totalViolations, 0u)
+        << parallel.run.check.summary();
+    EXPECT_EQ(parallel.run.check.txCommits, serial.run.check.txCommits);
+    EXPECT_EQ(parallel.run.check.readsChecked,
+              serial.run.check.readsChecked);
+
+    const TxTraceReport &pt = parallel.run.obs.txTrace;
+    const TxTraceReport &st = serial.run.obs.txTrace;
+    EXPECT_TRUE(pt.enabled);
+    EXPECT_EQ(pt.traced, st.traced);
+    EXPECT_EQ(pt.committedCount, st.committedCount);
+    EXPECT_EQ(pt.openAtEnd, 0u);
+    ASSERT_EQ(pt.transactions.size(), st.transactions.size());
+    for (std::size_t i = 0; i < pt.transactions.size(); ++i)
+        EXPECT_EQ(pt.transactions[i].cycles.total(),
+                  st.transactions[i].cycles.total())
+            << "tx " << pt.transactions[i].traceId;
+}
+
+TEST_F(ParallelLoop, RolloverUnderWorkers)
+{
+    // Rollover freezes/aborts warps from outside their tick; the
+    // parallel loop must stage and replay those effects identically.
+    const Outcome serial =
+        runWith(BenchId::HtH, ProtocolKind::Getm, 1, false, 0, 0, 8);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::Getm, 4, false, 0, 0, 8);
+    EXPECT_GT(parallel.run.rollovers, 0u);
+    expectSameOutcome(serial, parallel, "rollover");
+}
+
+TEST_F(ParallelLoop, SharedProtocolFallsBackToSerial)
+{
+    // WarpTM bumps a shared commit id from core ticks, so the parallel
+    // loop must refuse to run it and fall back — with results exactly
+    // equal to an explicit serial run.
+    const Outcome serial =
+        runWith(BenchId::Atm, ProtocolKind::WarpTmLL, 1);
+    const Outcome requested =
+        runWith(BenchId::Atm, ProtocolKind::WarpTmLL, 4);
+    expectSameOutcome(serial, requested, "WarpTM fallback");
+}
+
+TEST_F(ParallelLoop, SimThreadsConfigKey)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    std::string error;
+    EXPECT_TRUE(applyConfigText("sim_threads = 4\n", cfg, error))
+        << error;
+    EXPECT_EQ(cfg.simThreads, 4u);
+    EXPECT_FALSE(applyConfigText("sim_threads = 0\n", cfg, error));
+
+    // Never part of provenance: a parallel run must hash and report
+    // identically to a serial one.
+    cfg.simThreads = 4;
+    for (const auto &[key, value] : configProvenance(cfg))
+        EXPECT_NE(key, "sim_threads") << value;
+}
+
+TEST(CycleWorkersPool, RunsEveryWorkerEachRound)
+{
+    CycleWorkers pool(4);
+    ASSERT_EQ(pool.numWorkers(), 4u);
+    std::vector<unsigned> hits(4, 0);
+    std::atomic<unsigned> total{0};
+    for (unsigned round = 0; round < 100; ++round) {
+        pool.run([&](unsigned w) {
+            ++hits[w]; // worker-exclusive slot
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+        // run() is a full barrier: all increments are visible here.
+        ASSERT_EQ(total.load(std::memory_order_relaxed),
+                  4 * (round + 1));
+    }
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(hits[w], 100u) << "worker " << w;
+}
+
+TEST(CycleWorkersPool, SingleWorkerRunsInline)
+{
+    CycleWorkers pool(1);
+    unsigned calls = 0;
+    pool.run([&](unsigned w) {
+        EXPECT_EQ(w, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+} // namespace
+} // namespace getm

@@ -20,8 +20,14 @@ Two checks over README.md, EXPERIMENTS.md, DESIGN.md and docs/*.md:
    (e.g. "the `--hot-addrs N` flag"). Accepted flags are scraped from
    the binary's --help output.
 
+Additionally, `--require PATH` (repeatable) names repo-relative
+documents that must exist — the contract docs a deleted or renamed
+file would silently orphan (e.g. docs/PARALLELISM.md, whose absence
+would leave the --sim-threads machinery undocumented).
+
 Usage:
     check_docs.py --root REPO [--binary getm-sim=/path/to/getm-sim ...]
+                  [--require docs/PARALLELISM.md ...]
 
 Exits non-zero listing every violation (the docs_check ctest).
 """
@@ -133,6 +139,10 @@ def main():
                         metavar="NAME=PATH",
                         help="CLI to cross-check, e.g. "
                              "getm-sim=build/tools/getm-sim")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PATH",
+                        help="repo-relative document that must exist, "
+                             "e.g. docs/PARALLELISM.md")
     args = parser.parse_args()
 
     binaries = {}
@@ -144,6 +154,9 @@ def main():
     union_flags = set().union(*binaries.values()) if binaries else set()
 
     problems = []
+    for required in args.require:
+        if not os.path.isfile(os.path.join(args.root, required)):
+            problems.append(f"required document '{required}' is missing")
     files = doc_files(args.root)
     if not files:
         problems.append(f"no documentation found under {args.root}")

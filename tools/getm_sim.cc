@@ -73,6 +73,11 @@ usage(const char *argv0)
         "                      force-store-grant | commit-stale-read |\n"
         "                      skip-validation | corrupt-commit |\n"
         "                      drop-commit-write | leak-lock\n"
+        "  --sim-threads N     worker threads for the per-cycle loop\n"
+        "                      (default 1). Results are byte-identical\n"
+        "                      at any thread count; see\n"
+        "                      docs/PARALLELISM.md for the contract and\n"
+        "                      how to budget against sweep --jobs\n"
         "  --max-cycles N      per-run simulation safety bound\n"
         "                      (default 2000000000)\n"
         "  --watchdog-cycles N declare livelock after N visited cycles\n"
@@ -227,6 +232,13 @@ main(int argc, char **argv)
             }
             cfg.injectFault = static_cast<unsigned>(kind);
             cfg.injectProb = prob;
+        } else if (arg == "--sim-threads") {
+            cfg.simThreads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            if (cfg.simThreads == 0) {
+                std::fprintf(stderr, "--sim-threads must be >= 1\n");
+                return 2;
+            }
         } else if (arg == "--max-cycles") {
             max_cycles = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--watchdog-cycles") {

@@ -1,0 +1,82 @@
+# Cycle-loop thread-count determinism check driven by ctest: run the
+# same benchmark with --sim-threads 1, 2, and 8 and require the stdout
+# result line (--json) and the full metrics document (--metrics,
+# including the stats tree, abort attribution, hot-address table, and
+# sampled time-series) to be byte-identical across all three. Unlike
+# the sweep runner, getm-sim never clamps --sim-threads to the host's
+# core count, so this exercises the parallel loop even on small
+# machines (workers just oversubscribe, which the contract says is
+# harmless).
+#
+# Two fixtures run: a plain one, and one with the runtime checker,
+# transaction tracing, and the timeline recorder all enabled, which
+# pushes every worker-side event through the deferred replay buffers.
+#
+# Expected variables:
+#   SIM_BIN - path to the getm-sim binary
+#   OUT_DIR - writable scratch directory
+
+set(work_dir "${OUT_DIR}/threads_check")
+file(REMOVE_RECURSE "${work_dir}")
+file(MAKE_DIRECTORY "${work_dir}")
+
+foreach(fixture "plain" "instrumented")
+    if(fixture STREQUAL "plain")
+        set(extra_args "")
+    else()
+        set(extra_args --check --trace-tx 1)
+    endif()
+    foreach(threads 1 2 8)
+        set(prefix "${work_dir}/${fixture}_t${threads}")
+        set(run_args "${SIM_BIN}" --bench HT-H --protocol getm
+            --scale 0.05 --sim-threads ${threads}
+            --metrics "${prefix}.metrics.json" --json ${extra_args})
+        if(NOT fixture STREQUAL "plain")
+            list(APPEND run_args --timeline "${prefix}.timeline.json")
+        endif()
+        execute_process(
+            COMMAND ${run_args}
+            RESULT_VARIABLE sim_status
+            OUTPUT_FILE "${prefix}.stdout.json"
+            ERROR_VARIABLE sim_stderr)
+        if(NOT sim_status EQUAL 0)
+            message(FATAL_ERROR
+                    "getm-sim (${fixture}, --sim-threads ${threads}) "
+                    "failed (${sim_status}):\n${sim_stderr}")
+        endif()
+    endforeach()
+
+    foreach(kind "stdout" "metrics")
+        foreach(threads 2 8)
+            execute_process(
+                COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${work_dir}/${fixture}_t1.${kind}.json"
+                        "${work_dir}/${fixture}_t${threads}.${kind}.json"
+                RESULT_VARIABLE same)
+            if(NOT same EQUAL 0)
+                message(FATAL_ERROR
+                        "${fixture} ${kind} output differs between "
+                        "--sim-threads 1 and --sim-threads ${threads}: "
+                        "the parallel cycle loop broke "
+                        "byte-determinism (docs/PARALLELISM.md)")
+            endif()
+        endforeach()
+    endforeach()
+    if(NOT fixture STREQUAL "plain")
+        foreach(threads 2 8)
+            execute_process(
+                COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${work_dir}/${fixture}_t1.timeline.json"
+                        "${work_dir}/${fixture}_t${threads}.timeline.json"
+                RESULT_VARIABLE same_tl)
+            if(NOT same_tl EQUAL 0)
+                message(FATAL_ERROR
+                        "timeline differs between --sim-threads 1 and "
+                        "--sim-threads ${threads}: deferred event "
+                        "replay is out of order")
+            endif()
+        endforeach()
+    endif()
+    message(STATUS
+            "${fixture}: --sim-threads 1/2/8 outputs byte-identical")
+endforeach()

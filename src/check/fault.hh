@@ -9,6 +9,15 @@
  * with injection enabled is bit-identical to a clean run everywhere
  * except the injected decisions themselves.
  *
+ * Every simulated component (each SIMT core, each memory partition)
+ * owns a *separate* injector whose counter-based stream is derived from
+ * the run seed and the component's identity (GpuSystem seeds core c
+ * with `seed ^ c`). A component's fire() sequence therefore depends
+ * only on its own decision history — never on how components interleave
+ * across worker threads — which is what lets `--inject` runs keep the
+ * parallel cycle loop (docs/PARALLELISM.md) instead of forcing
+ * sim_threads = 1.
+ *
  * Faults corrupt *isolation*, never the engines' internal bookkeeping:
  * e.g. ForceStoreGrant still records the write reservation so GETM's
  * commit unit does not panic -- the damage is confined to letting a
@@ -84,12 +93,19 @@ bool parseFaultKind(const std::string &text, FaultKind &out);
  * The injector engines consult at their decision points. fire() is a
  * Bernoulli draw at the configured probability, counted per kind so
  * tests can assert an enabled fault actually had opportunities.
+ *
+ * Draws come from a splitmix64 counter stream: the n-th probabilistic
+ * decision of a given injector is a pure function of (seed, n), so the
+ * sequence is reproducible from the component's seed alone. At
+ * probability 1.0 the stream is never consulted at all, keeping the
+ * long-standing deterministic fixtures (which all inject at 1.0)
+ * byte-identical across this scheme and its predecessor.
  */
 class FaultInjector
 {
   public:
     FaultInjector(FaultKind kind, double probability, std::uint64_t seed)
-        : kind_(kind), prob(probability), rng(seed ^ 0xfa017ca7a10full)
+        : kind_(kind), prob(probability), stream(seed ^ 0xfa017ca7a10full)
     {
     }
 
@@ -101,7 +117,7 @@ class FaultInjector
     {
         if (k != kind_)
             return false;
-        if (prob < 1.0 && !rng.chance(prob))
+        if (prob < 1.0 && !chance())
             return false;
         ++fires[static_cast<unsigned>(k)];
         return true;
@@ -115,9 +131,17 @@ class FaultInjector
     }
 
   private:
+    /** One Bernoulli draw from the counter stream. */
+    bool
+    chance()
+    {
+        const std::uint64_t bits = Rng::splitmix64(stream);
+        return (bits >> 11) * 0x1.0p-53 < prob;
+    }
+
     FaultKind kind_;
     double prob;
-    Rng rng;
+    std::uint64_t stream;
     std::array<std::uint64_t, numFaultKinds> fires{};
 };
 

@@ -79,6 +79,8 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
         cfg.watchdogCycles = value;
     else if (key == "sim_threads")
         cfg.simThreads = static_cast<unsigned>(value);
+    else if (key == "sim_epoch")
+        cfg.simEpoch = static_cast<unsigned>(value);
     else if (key == "hot_addrs")
         cfg.hotAddrTopN = static_cast<unsigned>(value);
     else if (key == "seed")
@@ -93,9 +95,10 @@ applyKey(GpuConfig &cfg, const std::string &key, std::uint64_t value)
  * checker/injection/timeout keys are deliberately absent from
  * configProvenance(): enabling validation or a safety net must not
  * change a run's reported configuration or sweep spec hashes
- * (watchdog_cycles, trace_tx, and sim_threads, handled by the numeric
- * parser, are excluded for the same reason — the first two are
- * observe-only and sim_threads is determinism-neutral by contract).
+ * (watchdog_cycles, trace_tx, sim_threads, and sim_epoch, handled by
+ * the numeric parser, are excluded for the same reason — the first two
+ * are observe-only and the parallel-loop knobs are determinism-neutral
+ * by contract).
  */
 bool
 applyStringKey(GpuConfig &cfg, const std::string &key,
@@ -210,6 +213,8 @@ validateGpuConfig(const GpuConfig &cfg, std::string &error)
         return reject("timeout_sec must be non-negative");
     if (cfg.simThreads == 0)
         return reject("sim_threads must be nonzero");
+    if (cfg.simEpoch == 0)
+        return reject("sim_epoch must be nonzero");
     return true;
 }
 

@@ -21,29 +21,41 @@
 #ifndef GETM_GPU_DEFERRED_SINKS_HH
 #define GETM_GPU_DEFERRED_SINKS_HH
 
-#include <array>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "check/sink.hh"
+#include "core/stall_buffer.hh"
 #include "gpu/timeline.hh"
 #include "obs/sink.hh"
 
 namespace getm {
 
 /**
- * Per-core event buffer with two replay buckets: deliver-stage events
- * (bucket 0) and tick-stage events (bucket 1). The owning worker flips
- * @c cur between the core's delivery drain and its tick; the serial
- * stage replays all bucket-0 vectors in core order, then all bucket-1
- * vectors in core order — the exact global order of the serial loops.
+ * Per-component event buffer with replay buckets. For a core there are
+ * two buckets per simulated cycle — deliver-stage events then
+ * tick-stage events; a partition has one per cycle. The owning worker
+ * points @c cur at the bucket for its current stage; the serial barrier
+ * replays the buckets bucket-major across components in id order — the
+ * exact global order of the serial loops. A relaxed epoch of K cycles
+ * (docs/PARALLELISM.md) simply sizes the buffer at K bucket groups and
+ * replays them cycle-major.
  */
 struct CoreEventBuffer
 {
-    std::array<std::vector<std::function<void()>>, 2> buckets;
+    std::vector<std::vector<std::function<void()>>> buckets;
     unsigned cur = 0;
+
+    CoreEventBuffer() : buckets(2) {}
+
+    /** Size for @p n replay buckets (existing events must be drained). */
+    void
+    resize(unsigned n)
+    {
+        buckets.resize(n);
+    }
 
     void
     push(std::function<void()> fn)
@@ -284,6 +296,37 @@ class DeferredCheckSink : public CheckSink
   private:
     CoreEventBuffer &buf;
     CheckSink &target;
+};
+
+/**
+ * Records add/remove on the GPU-wide stall-occupancy gauge for
+ * deterministic serial replay. The gauge's transient peak (Fig. 15)
+ * depends on the order partitions touch it within a cycle, so pooled
+ * partition ticking routes updates through this proxy; the barrier
+ * replays them in partition order, reproducing the serial peak exactly.
+ */
+struct DeferredStallTracker : StallOccupancyTracker
+{
+    DeferredStallTracker(CoreEventBuffer &buffer,
+                         StallOccupancyTracker &target_)
+        : buf(buffer), target(target_)
+    {
+    }
+
+    void
+    add() override
+    {
+        buf.push([this] { target.add(); });
+    }
+
+    void
+    remove() override
+    {
+        buf.push([this] { target.remove(); });
+    }
+
+    CoreEventBuffer &buf;
+    StallOccupancyTracker &target;
 };
 
 /** Records timeline spans/instants for deterministic serial replay. */

@@ -124,14 +124,27 @@ struct GpuConfig
 
     /**
      * Worker threads for the per-cycle simulation loop (1 = the serial
-     * event-driven loop). Any value produces byte-identical results —
-     * the crossbar handoff serializes all cross-component traffic in a
-     * deterministic order (docs/PARALLELISM.md) — so, like checkLevel
-     * and watchdogCycles, this is never part of config provenance.
-     * Protocols with cross-core shared state (WarpTM-LL/EL, EAPG) and
-     * fault-injection runs fall back to 1 thread automatically.
+     * event-driven loop). Any value produces byte-identical results for
+     * every protocol — the crossbar handoff serializes all
+     * cross-component traffic in a deterministic order, WarpTM/EAPG
+     * commit ids go through a reservation scheme, and fault injection
+     * draws from per-component counter streams (docs/PARALLELISM.md) —
+     * so, like checkLevel and watchdogCycles, this is never part of
+     * config provenance.
      */
     unsigned simThreads = 1;
+
+    /**
+     * Maximum simulated cycles per synchronization epoch of the
+     * parallel loop (1 = barrier every cycle). When both crossbars are
+     * empty and no rollover or telemetry boundary is due, workers run
+     * up to this many cycles between barriers; the loop caps the value
+     * at xbar.latency + 1, which guarantees no message produced inside
+     * an epoch could also arrive inside it, so results stay
+     * byte-identical and this too is excluded from provenance.
+     * Ignored (treated as 1) when simThreads <= 1.
+     */
+    unsigned simEpoch = 1;
 
     /** GTX480-like baseline of Table II. */
     static GpuConfig gtx480();

@@ -124,9 +124,6 @@ class GpuSystem
     /** Transaction tracer, when cfg.traceTx > 0 (else nullptr). */
     TxTracer *tracerPtr() { return txTracer.get(); }
 
-    /** Fault injector, when cfg.injectFault > 0 (else nullptr). */
-    FaultInjector *faultInjectorPtr() { return faultInjector.get(); }
-
   private:
     void wireProtocol();
     void setupTelemetry();
@@ -147,20 +144,29 @@ class GpuSystem
 
     /**
      * Multi-threaded variant of the event loop (cfg.simThreads > 1):
-     * SIMT cores tick on a persistent worker pool, partitions and the
-     * crossbar handoff stay serial, and all cross-component effects are
-     * staged per core and replayed at a per-cycle barrier in the serial
-     * loops' global order — so the results are byte-identical at any
-     * thread count. Full contract in docs/PARALLELISM.md.
+     * SIMT cores — and, with enough partitions, the memory partitions —
+     * tick on a persistent worker pool; the crossbar handoff, commit-id
+     * assignment, telemetry, and rollover stay on the calling thread.
+     * All cross-component effects are staged per component and replayed
+     * at a per-cycle barrier in the serial loops' global order — so the
+     * results are byte-identical at any thread count, for every
+     * protocol (WarpTM/EAPG commit ids go through the WtmShared
+     * reservation scheme) and with fault injection enabled
+     * (per-component counter streams). With cfg.simEpoch > 1, quiescent
+     * stretches relax the barrier to one sync per epoch of up to
+     * simEpoch cycles, bounded by the crossbar latency so no staged
+     * message could have arrived inside the epoch. Full contract in
+     * docs/PARALLELISM.md.
      */
     Cycle runParallelLoop(const Kernel &kernel, Cycle max_cycles,
                           unsigned threads);
 
     /**
      * Thread count the parallel loop will actually use: cfg.simThreads
-     * clamped to the core count, or 1 when a protocol with cross-core
-     * shared commit state (WarpTM-LL/EL, EAPG) or fault injection
-     * forces the serial loop.
+     * clamped to the core count. Every protocol runs parallel now; the
+     * historical serial fallbacks (shared WarpTM commit state, global
+     * fault-injection RNG) were removed when those subsystems became
+     * interleaving-independent.
      */
     unsigned effectiveSimThreads() const;
 
@@ -211,7 +217,13 @@ class GpuSystem
     Observability observability;
     std::unique_ptr<TxTracer> txTracer;
     std::unique_ptr<Checker> checker;
-    std::unique_ptr<FaultInjector> faultInjector;
+    /**
+     * One injector per component when cfg.injectFault > 0: cores first
+     * (index = CoreId), then partitions (index = numCores + PartitionId).
+     * Per-component counter streams keep fire() sequences independent of
+     * worker interleaving (check/fault.hh).
+     */
+    std::vector<std::unique_ptr<FaultInjector>> faultInjectors;
 
     bool rolloverPending = false;
     std::uint64_t rollovers = 0;

@@ -107,6 +107,20 @@ class SimtCore
     /** Advance one cycle: maybe issue one warp instruction. */
     void tick(Cycle now);
 
+    /**
+     * Run protocol work deferred out of tick() into the serial commit
+     * micro-phase (TmCoreProtocol::runDeferredCommits). Every cycle
+     * loop calls this in core order after all cores ticked; the clock
+     * is synced first because the event loop lets idle cores lag.
+     * @return true if any deferred work ran.
+     */
+    bool
+    runDeferredProtocolWork(Cycle now)
+    {
+        currentCycle = now;
+        return protocol ? protocol->runDeferredCommits(now) : false;
+    }
+
     /** Earliest future cycle at which this core can make progress. */
     Cycle nextEventCycle(Cycle now) const;
 

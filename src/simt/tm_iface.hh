@@ -62,6 +62,26 @@ class TmCoreProtocol
 
     /** A broadcast (no warp association) arrived, e.g. EAPG signatures. */
     virtual void onBroadcast(const MemMsg &msg) { (void)msg; }
+
+    /**
+     * Run protocol work the engine deferred out of the regular tick
+     * into a serial micro-phase after all cores ticked. WarpTM-EL uses
+     * this for commit points: an EL commit applies its write log to
+     * shared memory core-side, so running it mid-tick on a worker
+     * thread would race other cores' instant validations against the
+     * store. Every cycle loop — serial or parallel — invokes this in
+     * core order after the tick phase, so one-thread and N-thread runs
+     * execute commits at the identical point (docs/PARALLELISM.md).
+     *
+     * @return true if any deferred work ran (the event loop uses this
+     *         to refresh the core's wake cycle).
+     */
+    virtual bool
+    runDeferredCommits(Cycle now)
+    {
+        (void)now;
+        return false;
+    }
 };
 
 } // namespace getm

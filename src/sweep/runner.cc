@@ -198,9 +198,9 @@ runSweep(const SweepManifest &manifest, const SweepOptions &options,
     const unsigned hw = ThreadPool::defaultThreads();
     if (sim_threads > 1 && jobs * sim_threads > hw) {
         const unsigned clamped = std::max(1u, hw / jobs);
-        inform("sweep: clamping sim threads %u -> %u (%u jobs x %u "
-               "threads exceeds %u hardware threads)",
-               sim_threads, clamped, jobs, sim_threads, hw);
+        debugLog("sweep: clamping sim threads %u -> %u (%u jobs x %u "
+                 "threads exceeds %u hardware threads)",
+                 sim_threads, clamped, jobs, sim_threads, hw);
         sim_threads = clamped;
     }
 

@@ -38,6 +38,7 @@ class WtmCoreTm : public TmCoreProtocol
                   std::uint8_t rd) override;
     void txCommitPoint(Warp &warp) override;
     void onResponse(Warp &warp, const MemMsg &msg) override;
+    bool runDeferredCommits(Cycle now) override;
 
   protected:
     /**
@@ -52,6 +53,15 @@ class WtmCoreTm : public TmCoreProtocol
 
     /** Allocate a commit id and send validation slices / skips. */
     void startValidation(Warp &warp);
+
+    /**
+     * The body of the commit point. EagerLazy warps reach it through
+     * the deferred micro-phase (runDeferredCommits) because an EL
+     * commit applies its write log to shared memory core-side — see
+     * TmCoreProtocol::runDeferredCommits. LazyLazy warps run it inline
+     * from txCommitPoint.
+     */
+    void finishCommitPoint(Warp &warp);
 
     /**
      * Instantly value-validate the read logs of @p lanes; returns the
@@ -71,6 +81,8 @@ class WtmCoreTm : public TmCoreProtocol
     WtmMode mode;
     /** Partitions holding a validation slice, per warp slot. */
     std::vector<std::vector<PartitionId>> sliceParts;
+    /** Warp slots whose EL commit waits for the serial micro-phase. */
+    std::vector<std::uint32_t> deferredCommits;
 
     // Hot-path stat handles: one add per access/commit event.
     StatSet::Counter &stElEagerAborts;

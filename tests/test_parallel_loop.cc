@@ -20,9 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "check/fault.hh"
 #include "common/cycle_workers.hh"
 #include "gpu/config_file.hh"
 #include "gpu/gpu_system.hh"
+#include "simt/warp.hh"
+#include "warptm/wtm_common.hh"
 #include "workloads/workload.hh"
 
 namespace getm {
@@ -34,31 +37,66 @@ struct Outcome
     std::string statsDump;
 };
 
+/** Knobs beyond the common positional runWith() parameters. */
+struct RunOpts
+{
+    unsigned simThreads = 1;
+    bool legacy = false;
+    unsigned checkLevel = 0;
+    std::uint64_t traceTx = 0;
+    LogicalTs rollover = 0;
+    unsigned simEpoch = 1;
+    unsigned numPartitions = 0; ///< 0 = keep the testRig default.
+    unsigned injectFault = 0;
+    double injectProb = 1.0;
+};
+
 Outcome
-runWith(BenchId bench, ProtocolKind protocol, unsigned sim_threads,
-        bool legacy = false, unsigned check_level = 0,
-        std::uint64_t trace_tx = 0, LogicalTs rollover = 0)
+runWith(BenchId bench, ProtocolKind protocol, const RunOpts &opts)
 {
     GpuConfig cfg = GpuConfig::testRig();
     cfg.numCores = 4; // enough cores that 4 workers each own one
     cfg.protocol = protocol;
-    cfg.legacyLoop = legacy;
-    cfg.simThreads = sim_threads;
-    cfg.checkLevel = check_level;
-    cfg.traceTx = trace_tx;
-    if (rollover)
-        cfg.rolloverThreshold = rollover;
+    cfg.legacyLoop = opts.legacy;
+    cfg.simThreads = opts.simThreads;
+    cfg.simEpoch = opts.simEpoch;
+    cfg.checkLevel = opts.checkLevel;
+    cfg.traceTx = opts.traceTx;
+    if (opts.numPartitions)
+        cfg.numPartitions = opts.numPartitions;
+    if (opts.rollover)
+        cfg.rolloverThreshold = opts.rollover;
+    cfg.injectFault = opts.injectFault;
+    cfg.injectProb = opts.injectProb;
     GpuSystem gpu(cfg);
     auto workload = makeWorkload(bench, 0.01, 123);
     workload->setup(gpu, protocol == ProtocolKind::FgLock);
     Outcome outcome;
     outcome.run = gpu.run(workload->kernel(), workload->numThreads(),
                           200'000'000);
-    std::string why;
-    EXPECT_TRUE(workload->verify(gpu, why))
-        << protocolName(protocol) << ": " << why;
+    // An injected fault corrupts protocol behaviour on purpose; the
+    // contract under test is then determinism, not correctness.
+    if (!opts.injectFault) {
+        std::string why;
+        EXPECT_TRUE(workload->verify(gpu, why))
+            << protocolName(protocol) << ": " << why;
+    }
     outcome.statsDump = outcome.run.stats.dump();
     return outcome;
+}
+
+Outcome
+runWith(BenchId bench, ProtocolKind protocol, unsigned sim_threads,
+        bool legacy = false, unsigned check_level = 0,
+        std::uint64_t trace_tx = 0, LogicalTs rollover = 0)
+{
+    RunOpts opts;
+    opts.simThreads = sim_threads;
+    opts.legacy = legacy;
+    opts.checkLevel = check_level;
+    opts.traceTx = trace_tx;
+    opts.rollover = rollover;
+    return runWith(bench, protocol, opts);
 }
 
 void
@@ -189,16 +227,187 @@ TEST_F(ParallelLoop, RolloverUnderWorkers)
     expectSameOutcome(serial, parallel, "rollover");
 }
 
-TEST_F(ParallelLoop, SharedProtocolFallsBackToSerial)
+TEST_F(ParallelLoop, WarpTmLLRunsParallel)
 {
-    // WarpTM bumps a shared commit id from core ticks, so the parallel
-    // loop must refuse to run it and fall back — with results exactly
-    // equal to an explicit serial run.
+    // WarpTM-LL allocates commit ids from core ticks; the reservation
+    // scheme (WtmShared::reserve/assignSlot) must hand out the same
+    // ids at any thread count. numPartitions = 4 also pools the
+    // memory partitions onto the workers.
+    RunOpts serial_opts;
+    serial_opts.numPartitions = 4;
+    RunOpts par_opts = serial_opts;
+    par_opts.simThreads = 4;
     const Outcome serial =
-        runWith(BenchId::Atm, ProtocolKind::WarpTmLL, 1);
-    const Outcome requested =
+        runWith(BenchId::HtH, ProtocolKind::WarpTmLL, serial_opts);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::WarpTmLL, par_opts);
+    expectSameOutcome(serial, parallel, "WarpTM-LL");
+}
+
+TEST_F(ParallelLoop, WarpTmELRunsParallel)
+{
+    // EL commits apply their write log core-side; the parallel loop
+    // runs them in a serial micro-phase after the barrier
+    // (TmCoreProtocol::runDeferredCommits). The legacy, event, and
+    // parallel loops must all agree.
+    const Outcome legacy =
+        runWith(BenchId::HtH, ProtocolKind::WarpTmEL, 1, true);
+    const Outcome event =
+        runWith(BenchId::HtH, ProtocolKind::WarpTmEL, 1);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::WarpTmEL, 4);
+    expectSameOutcome(legacy, parallel, "WarpTM-EL vs legacy");
+    expectSameOutcome(event, parallel, "WarpTM-EL vs event");
+}
+
+TEST_F(ParallelLoop, EapgRunsParallel)
+{
+    // EAPG layers pause/early-abort on the WarpTM commit machinery;
+    // its paused-commit resume path also allocates commit ids.
+    const Outcome serial =
+        runWith(BenchId::HtH, ProtocolKind::Eapg, 1);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::Eapg, 4);
+    expectSameOutcome(serial, parallel, "EAPG");
+}
+
+TEST_F(ParallelLoop, SharedProtocolThreadCountSweep)
+{
+    // 2 and 8 workers split the cores differently; a shared-state
+    // protocol must still match the 4-worker run bit-for-bit.
+    const Outcome four =
         runWith(BenchId::Atm, ProtocolKind::WarpTmLL, 4);
-    expectSameOutcome(serial, requested, "WarpTM fallback");
+    const Outcome two =
+        runWith(BenchId::Atm, ProtocolKind::WarpTmLL, 2);
+    const Outcome eight =
+        runWith(BenchId::Atm, ProtocolKind::WarpTmLL, 8);
+    expectSameOutcome(four, two, "WarpTM-LL 2 threads");
+    expectSameOutcome(four, eight, "WarpTM-LL 8 threads");
+}
+
+TEST_F(ParallelLoop, FaultInjectionRunsParallel)
+{
+    // Probabilistic injection draws from per-component counter
+    // streams, so the draw sequence cannot depend on worker
+    // interleaving. The checker stays off: the comparison is over the
+    // corrupted-but-deterministic execution itself.
+    RunOpts serial_opts;
+    serial_opts.injectFault =
+        static_cast<unsigned>(FaultKind::SkipRtsBump);
+    serial_opts.injectProb = 0.5;
+    RunOpts par_opts = serial_opts;
+    par_opts.simThreads = 4;
+    const Outcome serial =
+        runWith(BenchId::HtH, ProtocolKind::Getm, serial_opts);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::Getm, par_opts);
+    expectSameOutcome(serial, parallel, "inject@0.5");
+}
+
+TEST_F(ParallelLoop, RelaxedEpochBarrier)
+{
+    // sim_epoch > 1 lets workers run several quiescent cycles between
+    // barriers (bounded by the crossbar latency); the visited-cycle
+    // schedule must collapse back to the serial one. Cover both a
+    // core-private protocol and the commit-id reservation path, with
+    // partitions pooled.
+    for (const ProtocolKind protocol :
+         {ProtocolKind::Getm, ProtocolKind::WarpTmLL}) {
+        RunOpts serial_opts;
+        serial_opts.numPartitions = 4;
+        RunOpts par_opts = serial_opts;
+        par_opts.simThreads = 4;
+        par_opts.simEpoch = 8;
+        const Outcome serial =
+            runWith(BenchId::Atm, protocol, serial_opts);
+        const Outcome parallel =
+            runWith(BenchId::Atm, protocol, par_opts);
+        expectSameOutcome(serial, parallel, protocolName(protocol));
+    }
+}
+
+TEST_F(ParallelLoop, EpochWithTelemetryAndTracing)
+{
+    // The epoch decision must clamp to sampler boundaries and keep the
+    // deferred tracer/checker replay in serial order across multi-cycle
+    // flushes.
+    RunOpts serial_opts;
+    serial_opts.checkLevel = 2;
+    serial_opts.traceTx = 1;
+    serial_opts.numPartitions = 4;
+    RunOpts par_opts = serial_opts;
+    par_opts.simThreads = 4;
+    par_opts.simEpoch = 6;
+    const Outcome serial =
+        runWith(BenchId::HtH, ProtocolKind::Getm, serial_opts);
+    const Outcome parallel =
+        runWith(BenchId::HtH, ProtocolKind::Getm, par_opts);
+    expectSameOutcome(serial, parallel, "epoch+instrumented");
+    EXPECT_EQ(parallel.run.check.totalViolations, 0u)
+        << parallel.run.check.summary();
+}
+
+TEST(CommitIdReservation, SkewedArrivalMatchesSerialOrder)
+{
+    // Adversarial skew: cores reserve in a scrambled wall-clock order
+    // (as racing workers would), yet assignSlot() must hand out ids in
+    // the serial loops' global order — slot-major, core-major within a
+    // slot, reservation order within a core.
+    WtmShared shared;
+    shared.nextCommitId = 100;
+    shared.beginStaging(3, 2);
+
+    std::vector<Warp> warps(6);
+    // Worker interleaving: core 2 reserves first, then core 0 twice,
+    // then core 1; one tick-stage (slot 1) reservation lands between
+    // the deliver-stage (slot 0) ones.
+    shared.stages[2].cur = 0;
+    warps[0].commitId = shared.reserve(2, warps[0]);
+    shared.stages[0].cur = 1;
+    warps[1].commitId = shared.reserve(0, warps[1]);
+    shared.stages[0].cur = 0;
+    warps[2].commitId = shared.reserve(0, warps[2]);
+    warps[3].commitId = shared.reserve(0, warps[3]);
+    shared.stages[1].cur = 0;
+    warps[4].commitId = shared.reserve(1, warps[4]);
+
+    // Every handed-out id is a sentinel until the barrier.
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_TRUE(warps[i].commitId & WtmShared::reservedBit) << i;
+
+    // An abort before the barrier resets the warp's commit id; the
+    // assignment must not resurrect it (the id itself is still burned,
+    // exactly as the serial allocator would have burned it).
+    warps[3].commitId = 0;
+
+    shared.assignSlot(0);
+    shared.assignSlot(1);
+
+    // Serial order: slot 0 holds core0 {w2, w3}, core1 {w4}, core2
+    // {w0}; slot 1 holds core0 {w1}.
+    EXPECT_EQ(warps[2].commitId, 100u);
+    EXPECT_EQ(warps[3].commitId, 0u); // aborted — not resurrected
+    EXPECT_EQ(warps[4].commitId, 102u);
+    EXPECT_EQ(warps[0].commitId, 103u);
+    EXPECT_EQ(warps[1].commitId, 104u);
+    EXPECT_EQ(shared.nextCommitId, 105u);
+
+    // Staged messages carry the sentinel; patchTxId rewrites it to the
+    // assigned id (sequence numbers are per core) and passes real ids
+    // through untouched.
+    EXPECT_EQ(shared.patchTxId(0, WtmShared::reservedBit | 1ull), 100u);
+    EXPECT_EQ(shared.patchTxId(2, WtmShared::reservedBit | 0ull), 103u);
+    EXPECT_EQ(shared.patchTxId(0, 42ull), 42ull);
+
+    // A fresh epoch restarts the sequence numbers but keeps the global
+    // counter monotonic.
+    shared.resetEpoch();
+    std::uint64_t sentinel = shared.reserve(1, warps[5]);
+    EXPECT_EQ(sentinel & WtmShared::seqMask, 0u);
+    warps[5].commitId = sentinel;
+    shared.assignSlot(0);
+    EXPECT_EQ(warps[5].commitId, 105u);
+    shared.endStaging();
 }
 
 TEST_F(ParallelLoop, SimThreadsConfigKey)
@@ -215,6 +424,22 @@ TEST_F(ParallelLoop, SimThreadsConfigKey)
     cfg.simThreads = 4;
     for (const auto &[key, value] : configProvenance(cfg))
         EXPECT_NE(key, "sim_threads") << value;
+}
+
+TEST_F(ParallelLoop, SimEpochConfigKey)
+{
+    GpuConfig cfg = GpuConfig::testRig();
+    std::string error;
+    EXPECT_TRUE(applyConfigText("sim_epoch = 8\n", cfg, error))
+        << error;
+    EXPECT_EQ(cfg.simEpoch, 8u);
+    EXPECT_FALSE(applyConfigText("sim_epoch = 0\n", cfg, error));
+
+    // Determinism-neutral like sim_threads, so likewise absent from
+    // provenance.
+    cfg.simEpoch = 8;
+    for (const auto &[key, value] : configProvenance(cfg))
+        EXPECT_NE(key, "sim_epoch") << value;
 }
 
 TEST(CycleWorkersPool, RunsEveryWorkerEachRound)

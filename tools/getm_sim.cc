@@ -75,9 +75,13 @@ usage(const char *argv0)
         "                      drop-commit-write | leak-lock\n"
         "  --sim-threads N     worker threads for the per-cycle loop\n"
         "                      (default 1). Results are byte-identical\n"
-        "                      at any thread count; see\n"
+        "                      at any thread count and protocol; see\n"
         "                      docs/PARALLELISM.md for the contract and\n"
         "                      how to budget against sweep --jobs\n"
+        "  --sim-epoch N       max cycles per parallel-loop sync epoch\n"
+        "                      (default 1 = barrier every cycle; capped\n"
+        "                      at crossbar latency + 1, still\n"
+        "                      byte-identical)\n"
         "  --max-cycles N      per-run simulation safety bound\n"
         "                      (default 2000000000)\n"
         "  --watchdog-cycles N declare livelock after N visited cycles\n"
@@ -237,6 +241,13 @@ main(int argc, char **argv)
                 std::strtoul(next(), nullptr, 10));
             if (cfg.simThreads == 0) {
                 std::fprintf(stderr, "--sim-threads must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--sim-epoch") {
+            cfg.simEpoch = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            if (cfg.simEpoch == 0) {
+                std::fprintf(stderr, "--sim-epoch must be >= 1\n");
                 return 2;
             }
         } else if (arg == "--max-cycles") {

@@ -80,16 +80,37 @@ if(CHECK_SCALING)
                 "host has only ${host_threads} hardware thread(s); a "
                 "4-worker speedup target is meaningless here - "
                 "[SKIP-SCALING-CHECK]")
-    elseif(current_speedup4 LESS 200)
-        message(FATAL_ERROR
-                "parallel cycle loop scaling regression: --sim-threads "
-                "4 reached only ${current_speedup4}/100x speedup over "
-                "1 thread on a ${host_threads}-thread host (required "
-                ">= 2.00x; see docs/PARALLELISM.md)")
     else()
-        message(STATUS
-                "scaling OK: --sim-threads 4 speedup "
-                "${current_speedup4}/100x >= 2.00x")
+        # Every measured curve must clear the floor: GETM (core-private
+        # state) and WarpTM-LL/EAPG (shared commit ids through the
+        # reservation scheme) alike.
+        string(JSON num_curves ERROR_VARIABLE json_error
+               LENGTH "${current_doc}" thread_scaling_curves)
+        if(NOT json_error STREQUAL "NOTFOUND")
+            message(FATAL_ERROR
+                    "bad ${OUT_JSON}: missing thread_scaling_curves "
+                    "(${json_error})")
+        endif()
+        math(EXPR last_curve "${num_curves} - 1")
+        foreach(i RANGE ${last_curve})
+            string(JSON curve_proto
+                   GET "${current_doc}" thread_scaling_curves ${i}
+                       protocol)
+            string(JSON curve_speedup4
+                   GET "${current_doc}" thread_scaling_curves ${i}
+                       speedup_x100_at_4)
+            if(curve_speedup4 LESS 200)
+                message(FATAL_ERROR
+                        "parallel cycle loop scaling regression "
+                        "(${curve_proto}): --sim-threads 4 reached "
+                        "only ${curve_speedup4}/100x speedup over 1 "
+                        "thread on a ${host_threads}-thread host "
+                        "(required >= 2.00x; see docs/PARALLELISM.md)")
+            endif()
+            message(STATUS
+                    "scaling OK (${curve_proto}): --sim-threads 4 "
+                    "speedup ${curve_speedup4}/100x >= 2.00x")
+        endforeach()
     endif()
 endif()
 

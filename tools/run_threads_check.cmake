@@ -8,9 +8,19 @@
 # machines (workers just oversubscribe, which the contract says is
 # harmless).
 #
-# Two fixtures run: a plain one, and one with the runtime checker,
-# transaction tracing, and the timeline recorder all enabled, which
-# pushes every worker-side event through the deferred replay buffers.
+# Fixtures:
+#   - one plain fixture per protocol (GETM, WarpTM-LL, WarpTM-EL, and
+#     EAPG all run parallel since commit-id reservation landed);
+#   - an instrumented GETM fixture with the runtime checker,
+#     transaction tracing, and the timeline recorder all enabled,
+#     which pushes every worker-side event through the deferred
+#     replay buffers;
+#   - a probabilistic fault-injection fixture (per-component counter
+#     streams must make the draw sequence interleaving-independent;
+#     the run exits nonzero because the corruption fails verification,
+#     identically at every thread count);
+#   - a relaxed-barrier fixture with --sim-epoch 8 (multi-cycle
+#     epochs between syncs must collapse to the serial schedule).
 #
 # Expected variables:
 #   SIM_BIN - path to the getm-sim binary
@@ -20,18 +30,35 @@ set(work_dir "${OUT_DIR}/threads_check")
 file(REMOVE_RECURSE "${work_dir}")
 file(MAKE_DIRECTORY "${work_dir}")
 
-foreach(fixture "plain" "instrumented")
-    if(fixture STREQUAL "plain")
-        set(extra_args "")
-    else()
+set(fixtures
+    plain_getm plain_warptm plain_warptm-el plain_eapg
+    instrumented inject epoch)
+
+foreach(fixture ${fixtures})
+    set(protocol getm)
+    set(extra_args "")
+    set(may_fail FALSE)
+    if(fixture MATCHES "^plain_(.+)$")
+        set(protocol "${CMAKE_MATCH_1}")
+    elseif(fixture STREQUAL "instrumented")
         set(extra_args --check --trace-tx 1)
+    elseif(fixture STREQUAL "inject")
+        # The fault corrupts the run on purpose; verification fails
+        # (nonzero exit) but must fail the same way at every thread
+        # count.
+        set(extra_args --inject=skip-rts-bump@0.5)
+        set(may_fail TRUE)
+    elseif(fixture STREQUAL "epoch")
+        set(protocol warptm)
+        set(extra_args --sim-epoch 8)
     endif()
+
     foreach(threads 1 2 8)
         set(prefix "${work_dir}/${fixture}_t${threads}")
-        set(run_args "${SIM_BIN}" --bench HT-H --protocol getm
+        set(run_args "${SIM_BIN}" --bench HT-H --protocol ${protocol}
             --scale 0.05 --sim-threads ${threads}
             --metrics "${prefix}.metrics.json" --json ${extra_args})
-        if(NOT fixture STREQUAL "plain")
+        if(fixture STREQUAL "instrumented")
             list(APPEND run_args --timeline "${prefix}.timeline.json")
         endif()
         execute_process(
@@ -39,10 +66,18 @@ foreach(fixture "plain" "instrumented")
             RESULT_VARIABLE sim_status
             OUTPUT_FILE "${prefix}.stdout.json"
             ERROR_VARIABLE sim_stderr)
-        if(NOT sim_status EQUAL 0)
+        if(NOT sim_status EQUAL 0 AND NOT may_fail)
             message(FATAL_ERROR
                     "getm-sim (${fixture}, --sim-threads ${threads}) "
                     "failed (${sim_status}):\n${sim_stderr}")
+        endif()
+        if(threads EQUAL 1)
+            set(base_status "${sim_status}")
+        elseif(NOT sim_status EQUAL base_status)
+            message(FATAL_ERROR
+                    "${fixture}: exit status differs between "
+                    "--sim-threads 1 (${base_status}) and "
+                    "--sim-threads ${threads} (${sim_status})")
         endif()
     endforeach()
 
@@ -62,7 +97,7 @@ foreach(fixture "plain" "instrumented")
             endif()
         endforeach()
     endforeach()
-    if(NOT fixture STREQUAL "plain")
+    if(fixture STREQUAL "instrumented")
         foreach(threads 2 8)
             execute_process(
                 COMMAND ${CMAKE_COMMAND} -E compare_files

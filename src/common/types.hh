@@ -19,6 +19,33 @@ using Cycle = std::uint64_t;
 /** A GETM logical timestamp (warpts / wts / rts; see paper Table I). */
 using LogicalTs = std::uint64_t;
 
+/**
+ * Width of the warp-id field in a composed logical timestamp.
+ *
+ * GETM's eager conflict detection serializes transactions by warpts
+ * order, which is only a total order if timestamps are globally
+ * unique: two warps holding the *same* warpts each pass the other's
+ * read/write limit checks (all `>=`), so each can read a granule the
+ * other then overwrites -- an antidependency cycle no abort breaks.
+ * Timestamps therefore carry the issuing warp's global id in the low
+ * bits as a deterministic tie-break; the logical clock lives above.
+ */
+constexpr unsigned tsWarpIdBits = 16;
+
+/** Compose a unique logical timestamp from a clock and a warp id. */
+constexpr LogicalTs
+composeTs(LogicalTs clock, std::uint32_t gwid)
+{
+    return (clock << tsWarpIdBits) | gwid;
+}
+
+/** The logical-clock component of a composed timestamp. */
+constexpr LogicalTs
+tsClock(LogicalTs ts)
+{
+    return ts >> tsWarpIdBits;
+}
+
 /** Identifier of a SIMT core. */
 using CoreId = std::uint32_t;
 

@@ -318,12 +318,24 @@ Cycle
 GetmPartitionUnit::releaseWaiters(Addr granule, Cycle now)
 {
     Cycle busy = 0;
-    // Grant stalled requests in warpts order until the granule is locked
-    // again (a granted store re-reserves it) or no waiters remain.
+    // Grant stalled requests in warpts order. Once a granted store
+    // re-reserves the granule, keep re-validating waiters that are not
+    // simply younger strangers: a waiter from the reserving warp itself
+    // is an owner hit that nothing else would ever wake (the warp
+    // cannot commit while one of its own requests is parked on its own
+    // granule), and an equal-or-older waiter now fails the timestamp
+    // check and must abort now — leaving it parked lets two
+    // equal-warpts warps camp behind each other's fresh reservations in
+    // a waits-for cycle no commit breaks. Only a strictly younger
+    // waiter from another warp may legally stay parked: its wake-up is
+    // the new owner's commit, and the owner is strictly older.
     while (stall.hasWaiters(granule)) {
         TxMetadata *entry = meta.findPrecise(granule);
-        if (entry && entry->locked())
-            break;
+        if (entry && entry->locked()) {
+            const MemMsg *head = stall.peekOldest(granule);
+            if (head->wid != entry->owner && head->ts >= entry->wts)
+                break;
+        }
         Cycle enqueued_at = 0;
         MemMsg queued = stall.popOldest(granule, &enqueued_at);
         if (ObsSink *sink = ctx.obs())

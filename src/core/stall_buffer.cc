@@ -88,6 +88,19 @@ StallBuffer::popOldest(Addr key, Cycle *enqueued_at)
     return msg;
 }
 
+const MemMsg *
+StallBuffer::peekOldest(Addr key) const
+{
+    const Line *line = findLine(key);
+    if (!line)
+        return nullptr;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < line->entries.size(); ++i)
+        if (line->entries[i].msg.ts < line->entries[best].msg.ts)
+            best = i;
+    return &line->entries[best].msg;
+}
+
 void
 StallBuffer::forEachWaiter(
     const std::function<void(const MemMsg &, Cycle)> &visit) const

@@ -87,6 +87,14 @@ class StallBuffer
      */
     MemMsg popOldest(Addr key, Cycle *enqueued_at = nullptr);
 
+    /**
+     * The request popOldest(key) would return, without removing it, or
+     * nullptr when no request waits on @p key. Lets the release path
+     * decide whether the head waiter should re-enter validation or
+     * keep waiting on the granule's new owner.
+     */
+    const MemMsg *peekOldest(Addr key) const;
+
     /** Visit every queued request (tracer drain before flush()). */
     void forEachWaiter(
         const std::function<void(const MemMsg &, Cycle enqueued_at)>

@@ -364,7 +364,9 @@ GpuSystem::maybeRollover(Cycle now)
         LogicalTs max_ts = 0;
         for (GetmPartitionUnit *unit : getmUnits)
             max_ts = std::max(max_ts, unit->maxTimestamp());
-        if (max_ts < cfg.rolloverThreshold)
+        // Timestamps embed the warp id below tsWarpIdBits; the
+        // threshold is expressed in logical-clock epochs.
+        if (tsClock(max_ts) < cfg.rolloverThreshold)
             return;
         // Begin rollover: freeze transactional progress and force all
         // in-flight attempts to abort and release their reservations.
@@ -1270,9 +1272,11 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
     RunResult result;
     result.cycles = now;
     result.rollovers = rollovers;
+    // Report the logical-clock component: raw timestamps embed the
+    // warp id in their low tsWarpIdBits for uniqueness.
     for (GetmPartitionUnit *unit : getmUnits)
         result.maxLogicalTs =
-            std::max(result.maxLogicalTs, unit->maxTimestamp());
+            std::max(result.maxLogicalTs, tsClock(unit->maxTimestamp()));
     for (auto &core : coreArray) {
         core->foldWarpStats();
         result.stats.merge(core->stats());

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,13 @@ struct HotAddrRow
     Addr addr = invalidAddr;
     PartitionId partition = 0;
     std::uint64_t total = 0;
+    /**
+     * Workload-provided description of the granule ("key 7 (zipf rank
+     * 0)"), filled in post-run via Workload::addrInfo(). Empty when the
+     * workload has no mapping — and then absent from metrics output,
+     * so documents for unlabeled workloads are byte-unchanged.
+     */
+    std::string label;
     std::array<std::uint64_t, numAbortReasons> byReason{};
     /** Sum and count of stall-queue depths sampled on this address. */
     std::uint64_t stallDepthSum = 0;

@@ -104,6 +104,8 @@ emitHotAddrs(JsonWriter &w, const ObsReport &obs)
         w.member("partition", static_cast<std::uint64_t>(row.partition));
         w.member("total", row.total);
         w.member("mean_waiters", row.meanWaiters());
+        if (!row.label.empty())
+            w.member("label", row.label);
         w.key("by_reason").beginObject();
         for (unsigned i = 0; i < numAbortReasons; ++i)
             if (row.byReason[i])

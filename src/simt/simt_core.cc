@@ -625,6 +625,10 @@ SimtCore::execTxBegin(Warp &warp, LaneMask active)
     warp.stack.push_back({EntryKind::Transaction, body, noRpc, active});
     warp.inTx = true;
     warp.abortedMask = 0;
+    // Re-stamp the persisted slot timestamp with this warp's id: fresh
+    // slots start at clock 0, and a relaunched slot may now host a
+    // different warp (uniqueness is per *active* warp id).
+    warp.warpts = composeTs(tsClock(warp.warpts), warp.gwid);
     warp.maxObservedTs = warp.warpts;
     for (auto &log : warp.logs)
         log.clear();
@@ -807,7 +811,7 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
         retry.mask = 0;
         warp.abortedMask = 0;
         warp.retriesThisTx++;
-        warp.warpts = warp.maxObservedTs + 1;
+        warp.warpts = composeTs(tsClock(warp.maxObservedTs) + 1, warp.gwid);
         warp.maxObservedTs = warp.warpts;
         warp.tcdOkLanes = retry_mask;
         warp.txStartCycle = currentCycle;
@@ -841,7 +845,7 @@ SimtCore::retireTxAttempt(Warp &warp, LaneMask committed_lanes)
     } else {
         warp.stack.pop_back(); // Retry
         warp.top().pc = commit_pc + 1;
-        warp.warpts = warp.maxObservedTs + 1;
+        warp.warpts = composeTs(tsClock(warp.maxObservedTs) + 1, warp.gwid);
         changeState(warp, WarpState::Ready); // flush tx accounting
         warp.inTx = false;
         warp.backoff.reset();

@@ -52,17 +52,6 @@ splitList(const std::string &text)
 }
 
 bool
-parseBenchName(const std::string &name, BenchId &out)
-{
-    for (const BenchId id : allBenchIds())
-        if (name == benchName(id)) {
-            out = id;
-            return true;
-        }
-    return false;
-}
-
-bool
 parseProtocolName(std::string name, ProtocolKind &out)
 {
     for (auto &ch : name)
@@ -117,7 +106,13 @@ std::uint64_t
 SweepPoint::specHash() const
 {
     std::string spec = "getm-sweep-point v1\n";
-    spec += "bench=" + std::string(benchName(bench)) + "\n";
+    spec += "bench=" + bench.token() + "\n";
+    // Parameter-bearing families fold their *resolved* parameters in
+    // (defaults applied), so editing a registry default invalidates
+    // exactly the points it affects. Parameter-free benches contribute
+    // no lines here, keeping every pre-registry hash byte-identical.
+    for (const auto &[key, value] : resolvedParams(bench))
+        spec += "bench." + key + "=" + jsonNumber(value) + "\n";
     spec += "scale=" + jsonNumber(scale) + "\n";
     spec += "max_cycles=" + jsonNumber(maxCycles) + "\n";
     // configProvenance covers protocol, seed, tx_warp_limit and every
@@ -217,16 +212,19 @@ SweepManifest::parse(const std::string &text,
         for (const std::string &token : tokens) {
             if (key == "bench") {
                 if (token == "all") {
+                    // The paper's suite; OLTP benches are named
+                    // explicitly (workloads/registry.hh).
                     for (const BenchId id : allBenchIds())
                         axis.values.push_back(benchName(id));
                     continue;
                 }
-                BenchId bench;
-                if (!parseBenchName(token, bench)) {
-                    error = at() + "unknown bench '" + token + "'";
+                WorkloadSpec spec;
+                std::string spec_error;
+                if (!parseWorkloadSpec(token, spec, spec_error)) {
+                    error = at() + spec_error;
                     return false;
                 }
-                axis.values.push_back(token);
+                axis.values.push_back(spec.token());
             } else if (key == "protocol") {
                 ProtocolKind protocol;
                 if (!parseProtocolName(token, protocol)) {
@@ -348,7 +346,8 @@ SweepManifest::enumerate(std::vector<SweepPoint> &points,
             const Axis &axis = axes[a];
             const std::string &value = axis.values[index[a]];
             if (axis.key == "bench") {
-                parseBenchName(value, point.bench);
+                std::string spec_error;
+                parseWorkloadSpec(value, point.bench, spec_error);
             } else if (axis.key == "protocol") {
                 parseProtocolName(value, point.protocol);
             } else if (axis.key == "scale") {
@@ -387,7 +386,7 @@ SweepManifest::enumerate(std::vector<SweepPoint> &points,
             !findAxis("sample_interval"))
             point.config.sampleInterval = 512;
 
-        point.id = std::string(benchName(point.bench)) + "+" +
+        point.id = point.bench.token() + "+" +
                    protocolName(point.protocol) + id_suffix;
         points.push_back(std::move(point));
 

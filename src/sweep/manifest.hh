@@ -20,7 +20,10 @@
  *   name          sweep identity (required; stamped into sweep.json)
  *   config        base GpuConfig file applied to every point, resolved
  *                 relative to the manifest's directory
- *   bench         axis: Table III names, or `all` (default HT-H)
+ *   bench         axis: workload specs — Table III names, `all` (= the
+ *                 nine paper benches), or parameterized tokens like
+ *                 `YCSB:theta=0.95` (colon-separated key=value pairs;
+ *                 see workloads/registry.hh). Default HT-H
  *   protocol      axis: getm warptm warptm-el eapg fglock (def. getm)
  *   scale         axis: workload scale factors (default 0.25)
  *   seed          axis: workload/GPU seeds (default 7)
@@ -33,10 +36,11 @@
  *   <config key>  axis: any `gpu/config_file.hh` key (getm_granule,
  *                 cores, llc_latency, ...) with one or more values
  *
- * Every point gets a stable, filesystem-safe id: the bench and
- * protocol joined with `+`, followed by one `key=value` token per axis
- * that has more than one value in the manifest (so single-value axes
- * keep ids short). Example: `HT-H+getm+getm_precise_entries=2048`.
+ * Every point gets a stable, filesystem-safe id: the bench spec token
+ * and protocol joined with `+`, followed by one `key=value` token per
+ * axis that has more than one value in the manifest (so single-value
+ * axes keep ids short). Examples: `HT-H+getm+getm_precise_entries=2048`,
+ * `YCSB:theta=0.95+getm` (`:` and `=` are legal in POSIX file names).
  *
  * Points also carry a 64-bit FNV-1a hash over their *resolved*
  * specification (bench, protocol, scale, seed, thread count is
@@ -56,7 +60,7 @@
 #include <vector>
 
 #include "gpu/gpu_config.hh"
-#include "workloads/workload.hh"
+#include "workloads/registry.hh"
 
 namespace getm {
 
@@ -64,7 +68,7 @@ namespace getm {
 struct SweepPoint
 {
     std::string id;        ///< Stable filesystem-safe identity.
-    BenchId bench;
+    WorkloadSpec bench;
     ProtocolKind protocol;
     double scale = 0.25;
     std::uint64_t seed = 7;

@@ -78,6 +78,12 @@ simulatePoint(const SweepPoint &point, std::uint64_t trace_tx,
         gpu.run(workload->kernel(), workload->numThreads(),
                 point.maxCycles);
 
+    // Label hot granules the workload can explain (zipf head keys, hot
+    // accounts). Workloads without a mapping leave rows untouched, so
+    // their documents keep their exact pre-label bytes.
+    for (HotAddrRow &row : result.obs.hotAddrs)
+        workload->addrInfo(row.addr, row.label);
+
     std::string why;
     verified = workload->verify(gpu, why);
     // A runtime-checker violation is a verification failure: the point
@@ -86,7 +92,7 @@ simulatePoint(const SweepPoint &point, std::uint64_t trace_tx,
         verified = false;
 
     MetricsMeta meta;
-    meta.bench = benchName(point.bench);
+    meta.bench = point.bench.token();
     meta.protocol = protocolName(point.protocol);
     meta.scale = point.scale;
     meta.seed = point.seed;
@@ -125,7 +131,7 @@ MetricsMeta
 failureMeta(const SweepPoint &point)
 {
     MetricsMeta meta;
-    meta.bench = benchName(point.bench);
+    meta.bench = point.bench.token();
     meta.protocol = protocolName(point.protocol);
     meta.scale = point.scale;
     meta.seed = point.seed;

@@ -11,8 +11,7 @@ AprioriWorkload::AprioriWorkload(double scale, std::uint64_t seed_)
     : counters(64), seed(seed_)
 {
     // 4000 records at scale 1.0, 4 records per thread.
-    records = std::max<std::uint64_t>(
-        64, static_cast<std::uint64_t>(4000.0 * scale));
+    records = scaledCount("apriori records", 4000, scale, 64);
     recordsPerThread = 4;
     threads = std::max<std::uint64_t>(
         warpSize,

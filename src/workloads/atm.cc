@@ -8,12 +8,8 @@
 namespace getm {
 
 AtmWorkload::AtmWorkload(double scale, std::uint64_t seed_)
-    : threads(std::max<std::uint64_t>(
-          warpSize,
-          static_cast<std::uint64_t>(23040.0 * scale) / warpSize *
-              warpSize)),
-      accounts(std::max<std::uint64_t>(
-          64, static_cast<std::uint64_t>(1000000.0 * scale))),
+    : threads(scaledThreads(23040, scale)),
+      accounts(scaledCount("ATM accounts", 1000000, scale, 64)),
       seed(seed_)
 {
 }

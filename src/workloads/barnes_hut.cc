@@ -8,11 +8,7 @@
 namespace getm {
 
 BarnesHutWorkload::BarnesHutWorkload(double scale, std::uint64_t seed_)
-    : bodies(std::max<std::uint64_t>(
-          warpSize,
-          static_cast<std::uint64_t>(30000.0 * scale) / warpSize *
-              warpSize)),
-      seed(seed_)
+    : bodies(scaledThreads(30000, scale)), seed(seed_)
 {
     // Complete 4-ary tree with at least 4x as many nodes as bodies.
     nodes = 1;

@@ -12,7 +12,8 @@ ClothWorkload::ClothWorkload(BenchId id, double scale, std::uint64_t seed_)
 {
     // 60 K edges at scale 1.0: a grid with 2*W*H - W - H edges; a
     // 175x87 grid gives ~30 K vertices and ~60 K edges.
-    const double target_edges = std::max(64.0, 60000.0 * scale);
+    const double target_edges =
+        static_cast<double>(scaledCount("cloth edges", 60000, scale, 64));
     width = std::max<std::uint64_t>(
         4, static_cast<std::uint64_t>(std::sqrt(target_edges / 2.0)));
     height = width;

@@ -11,7 +11,8 @@ CudaCutsWorkload::CudaCutsWorkload(double scale, std::uint64_t seed_)
     : rounds(4), seed(seed_)
 {
     // 200 x 150 pixels at scale 1.0.
-    const double target = std::max(64.0, 30000.0 * scale);
+    const double target = static_cast<double>(
+        scaledCount("CUDA-cuts pixels", 30000, scale, 64));
     width = std::max<std::uint64_t>(
         8, static_cast<std::uint64_t>(std::sqrt(target * 4.0 / 3.0)));
     height = std::max<std::uint64_t>(

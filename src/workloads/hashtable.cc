@@ -19,19 +19,15 @@ bucketCount(BenchId id, double scale)
       case BenchId::HtM: base = 80000; break;
       default: base = 800000; break;
     }
-    return std::max<std::uint64_t>(16, static_cast<std::uint64_t>(
-        static_cast<double>(base) * scale));
+    return scaledCount("hash buckets", static_cast<double>(base), scale,
+                       16);
 }
 
 } // namespace
 
 HashTableWorkload::HashTableWorkload(BenchId id, double scale,
                                      std::uint64_t seed_)
-    : benchId(id),
-      threads(std::max<std::uint64_t>(
-          warpSize,
-          static_cast<std::uint64_t>(23040.0 * scale) / warpSize *
-              warpSize)),
+    : benchId(id), threads(scaledThreads(23040, scale)),
       buckets(bucketCount(id, scale)), seed(seed_)
 {
 }

@@ -83,4 +83,54 @@ emitTwoLockCritical(KernelBuilder &kb, Reg lockA, Reg lockB, Reg t0,
     kb.bind(exit_label);
 }
 
+void
+emitMultiLockCritical(KernelBuilder &kb, const std::vector<Reg> &locks,
+                      Reg t0, Reg t1, Reg t2,
+                      const std::function<void()> &body)
+{
+    const std::size_t n = locks.size();
+    const Reg zero = t0, one = t1, done = t2;
+    kb.li(zero, 0);
+    kb.li(one, 1);
+    kb.li(done, 0);
+
+    auto head = kb.newLabel();
+    auto exit_label = kb.newLabel();
+    kb.bind(head);
+    kb.bnez(done, exit_label, exit_label);
+
+    // The acquisition ladder. Each level's branch reconverges at its
+    // own join label; joins chain downward so every path — success or
+    // failure at any depth — funnels through join[0] back to the
+    // done-flag loop head (the exact shape of emitTwoLockCritical,
+    // for any depth).
+    std::vector<KernelBuilder::Label> fail, join;
+    fail.reserve(n);
+    join.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        fail.push_back(kb.newLabel());
+        join.push_back(kb.newLabel());
+        kb.atomCas(done, locks[i], zero, one);
+        kb.bnez(done, fail[i], join[i]);
+    }
+    body();
+    kb.fence(); // order the critical section's stores before release
+    for (std::size_t i = n; i-- > 0;)
+        kb.store(locks[i], zero, 0, MemBypassL1);
+    kb.li(done, 1);
+    kb.jump(join[n - 1]);
+    for (std::size_t i = n; i-- > 0;) {
+        kb.bind(fail[i]);
+        for (std::size_t j = i; j-- > 0;)
+            kb.store(locks[j], zero, 0, MemBypassL1); // release held
+        kb.li(done, 0);
+        kb.bind(join[i]);
+        if (i > 0)
+            kb.jump(join[i - 1]);
+        else
+            kb.jump(head);
+    }
+    kb.bind(exit_label);
+}
+
 } // namespace getm

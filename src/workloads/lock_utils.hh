@@ -40,6 +40,23 @@ void emitOneLockCritical(KernelBuilder &kb, Reg lock, Reg t0, Reg t1,
 void emitTwoLockCritical(KernelBuilder &kb, Reg lockA, Reg lockB, Reg t0,
                          Reg t1, Reg t2, const std::function<void()> &body);
 
+/**
+ * Emit a critical section protected by any number of locks — the
+ * N-lock generalization of emitTwoLockCritical for multi-record
+ * transactions (src/oltp/). A lane that fails to acquire lock i
+ * releases locks 0..i-1 and retries the whole ladder through the same
+ * done-flag loop, so the pattern stays SIMT-deadlock-free.
+ *
+ * @param locks Registers holding the lock-word addresses (preserved),
+ *              already in a globally consistent acquisition order
+ *              (e.g. ascending address) — the caller's responsibility,
+ *              since only it knows the address layout.
+ */
+void emitMultiLockCritical(KernelBuilder &kb,
+                           const std::vector<Reg> &locks, Reg t0,
+                           Reg t1, Reg t2,
+                           const std::function<void()> &body);
+
 } // namespace getm
 
 #endif // GETM_WORKLOADS_LOCK_UTILS_HH

@@ -1,6 +1,10 @@
 #include "workloads/workload.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "oltp/bank.hh"
+#include "oltp/ycsb.hh"
 #include "workloads/apriori.hh"
 #include "workloads/atm.hh"
 #include "workloads/barnes_hut.hh"
@@ -9,6 +13,28 @@
 #include "workloads/hashtable.hh"
 
 namespace getm {
+
+std::uint64_t
+scaledCount(const char *what, double base, double scale,
+            std::uint64_t min)
+{
+    const auto scaled = static_cast<std::uint64_t>(base * scale);
+    if (scaled < min) {
+        warn("scale %g yields %llu %s; clamping to the minimum of %llu",
+             scale, static_cast<unsigned long long>(scaled), what,
+             static_cast<unsigned long long>(min));
+        return min;
+    }
+    return scaled;
+}
+
+std::uint64_t
+scaledThreads(double base, double scale)
+{
+    return std::max<std::uint64_t>(
+        warpSize,
+        static_cast<std::uint64_t>(base * scale) / warpSize * warpSize);
+}
 
 std::unique_ptr<Workload>
 makeWorkload(BenchId id, double scale, std::uint64_t seed)
@@ -29,6 +55,10 @@ makeWorkload(BenchId id, double scale, std::uint64_t seed)
         return std::make_unique<CudaCutsWorkload>(scale, seed);
       case BenchId::Ap:
         return std::make_unique<AprioriWorkload>(scale, seed);
+      case BenchId::Ycsb:
+        return std::make_unique<YcsbWorkload>(YcsbParams{}, scale, seed);
+      case BenchId::Bank:
+        return std::make_unique<BankWorkload>(BankParams{}, scale, seed);
     }
     panic("unknown benchmark id");
 }
@@ -54,6 +84,8 @@ benchName(BenchId id)
       case BenchId::Bh: return "BH";
       case BenchId::Cc: return "CC";
       case BenchId::Ap: return "AP";
+      case BenchId::Ycsb: return "YCSB";
+      case BenchId::Bank: return "BANK";
     }
     return "?";
 }
@@ -82,6 +114,10 @@ optimalConcurrency(BenchId id, ProtocolKind protocol)
         row = {unlimited, unlimited, unlimited, unlimited};
         break;
       case BenchId::Ap: row = {1, 1, 1, 1}; break;
+      // Beyond the paper; tuned like the closest Table III shapes
+      // (ATM for BANK, HT-M for YCSB's skewed read/write mix).
+      case BenchId::Ycsb: row = {4, 4, 8, 8}; break;
+      case BenchId::Bank: row = {4, 4, 4, 4}; break;
     }
     switch (protocol) {
       case ProtocolKind::WarpTmLL: return row.wtm;

@@ -25,7 +25,7 @@
 
 namespace getm {
 
-/** The nine benchmarks of Table III. */
+/** The nine benchmarks of Table III, plus the OLTP suite (src/oltp/). */
 enum class BenchId
 {
     HtH, ///< Populate a small (high-contention) chained hash table.
@@ -37,9 +37,16 @@ enum class BenchId
     Bh,  ///< Barnes-Hut tree build: claim nodes along root paths.
     Cc,  ///< CudaCuts: push-relabel flow on a pixel grid.
     Ap,  ///< Apriori data mining: few highly contended counters.
+    Ycsb,///< YCSB-style zipfian KV read/RMW/write mix (beyond the paper).
+    Bank,///< TPC-C-lite multi-account transfers with hot-account skew.
 };
 
-/** All benchmarks in paper order. */
+/**
+ * The benchmarks of Table III, in paper order. Deliberately excludes
+ * the OLTP family: `bench = all` in sweeps and the figure suites mean
+ * "the paper's suite". The registry (workloads/registry.hh) is the
+ * complete list.
+ */
 std::vector<BenchId> allBenchIds();
 
 /** Short paper name ("HT-H", "ATM", ...). */
@@ -52,7 +59,11 @@ class Workload
     virtual ~Workload() = default;
 
     virtual BenchId id() const = 0;
-    std::string name() const { return benchName(id()); }
+    /**
+     * Display/metrics identity. Parameterized workloads override this
+     * with their canonical spec token (e.g. "YCSB:theta=0.95").
+     */
+    virtual std::string name() const { return benchName(id()); }
 
     /**
      * Lay out memory and build the kernel.
@@ -73,9 +84,36 @@ class Workload
      */
     virtual bool verify(GpuSystem &gpu, std::string &why) const = 0;
 
+    /**
+     * Describe @p addr for the conflict profiler's hot-address report
+     * ("account 17 (zipf rank 0)", ...). @return false when the
+     * workload has nothing to say about the address (the default).
+     */
+    virtual bool
+    addrInfo(Addr addr, std::string &label) const
+    {
+        (void)addr;
+        (void)label;
+        return false;
+    }
+
   protected:
     Kernel builtKernel;
 };
+
+/**
+ * Scale a base element count, clamping to @p min so fractional scales
+ * can never produce a degenerate (or zero-sized) structure. Emits a
+ * warn() naming @p what when the clamp engages.
+ */
+std::uint64_t scaledCount(const char *what, double base, double scale,
+                          std::uint64_t min);
+
+/**
+ * Scale a base thread count to a whole number of warps, never below
+ * one warp. All workloads derive their launch size this way.
+ */
+std::uint64_t scaledThreads(double base, double scale);
 
 /**
  * Create a benchmark at the given scale.

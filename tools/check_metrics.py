@@ -135,6 +135,12 @@ def check_hot_addresses(rows):
                 f"{label}: addr_hex {row['addr_hex']} does not match "
                 f"addr {row['addr']}")
         require(row["total"] > 0, f"{label}: empty row exported")
+        if "label" in row:
+            # Workload-provided granule description (OLTP benches map
+            # granules back to "key N (zipf rank R)" / "branch B").
+            # Optional: absent whenever the workload has no mapping.
+            require(isinstance(row["label"], str) and row["label"],
+                    f"{label}: label must be a non-empty string")
         by_reason = row["by_reason"]
         require(all(k in REASONS for k in by_reason),
                 f"{label}: unknown reason in by_reason")

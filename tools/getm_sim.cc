@@ -26,7 +26,7 @@
 #include "gpu/gpu_system.hh"
 #include "obs/metrics.hh"
 #include "power/tm_structures.hh"
-#include "workloads/workload.hh"
+#include "workloads/registry.hh"
 
 using namespace getm;
 
@@ -37,7 +37,10 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [options]\n"
-        "  --bench NAME        HT-H HT-M HT-L ATM CL CLto BH CC AP\n"
+        "  --bench SPEC        HT-H HT-M HT-L ATM CL CLto BH CC AP,\n"
+        "                      or a parameterized OLTP spec such as\n"
+        "                      YCSB:theta=0.95 or BANK:accounts=1e5\n"
+        "                      (see --list-benches)\n"
         "  --protocol NAME     getm | warptm | warptm-el | eapg | fglock\n"
         "  --scale F           workload scale (default 0.25; 1.0 = paper)\n"
         "  --seed N            workload seed (default 7)\n"
@@ -93,17 +96,22 @@ usage(const char *argv0)
         "  --json              machine-readable result summary\n"
         "  --disasm            print the kernel disassembly and exit\n"
         "  --area              print the protocol's area/power overheads\n"
-        "  --list              list benchmarks and protocols\n",
+        "  --list              list benchmarks and protocols\n"
+        "  --list-benches      list every registered bench with its\n"
+        "                      parameters, defaults and ranges\n",
         argv0);
 }
 
-std::optional<BenchId>
-parseBench(const std::string &name)
+void
+listBenches()
 {
-    for (BenchId id : allBenchIds())
-        if (name == benchName(id))
-            return id;
-    return std::nullopt;
+    for (const BenchInfo &info : benchRegistry()) {
+        std::printf("%-6s %s\n", info.name, info.summary);
+        for (const BenchParamInfo &param : info.params)
+            std::printf("       %-10s %-12g default; range [%g, %g]: %s\n",
+                        param.key, param.def, param.min, param.max,
+                        param.help);
+    }
 }
 
 std::optional<ProtocolKind>
@@ -125,9 +133,10 @@ parseProtocol(std::string name)
 }
 
 int
-runSimulation(BenchId bench, ProtocolKind protocol, double scale,
-              std::uint64_t seed, GpuConfig &cfg, bool dump_stats,
-              bool disasm, bool json, const std::string &metrics_path,
+runSimulation(const WorkloadSpec &bench, ProtocolKind protocol,
+              double scale, std::uint64_t seed, GpuConfig &cfg,
+              bool dump_stats, bool disasm, bool json,
+              const std::string &metrics_path,
               std::uint64_t max_cycles);
 
 } // namespace
@@ -135,7 +144,7 @@ runSimulation(BenchId bench, ProtocolKind protocol, double scale,
 int
 main(int argc, char **argv)
 {
-    BenchId bench = BenchId::HtH;
+    WorkloadSpec bench{"HT-H"};
     ProtocolKind protocol = ProtocolKind::Getm;
     double scale = 0.25;
     std::uint64_t seed = 7;
@@ -158,12 +167,11 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--bench") {
-            auto parsed = parseBench(next());
-            if (!parsed) {
-                std::fprintf(stderr, "unknown benchmark\n");
+            std::string spec_error;
+            if (!parseWorkloadSpec(next(), bench, spec_error)) {
+                std::fprintf(stderr, "%s\n", spec_error.c_str());
                 return 2;
             }
-            bench = *parsed;
         } else if (arg == "--protocol") {
             auto parsed = parseProtocol(next());
             if (!parsed) {
@@ -265,11 +273,13 @@ main(int argc, char **argv)
         } else if (arg == "--area") {
             area = true;
         } else if (arg == "--list") {
-            std::printf("benchmarks:");
-            for (BenchId id : allBenchIds())
-                std::printf(" %s", benchName(id));
-            std::printf("\nprotocols: getm warptm warptm-el eapg "
+            std::printf("benchmarks: %s\n",
+                        registeredBenchNames().c_str());
+            std::printf("protocols: getm warptm warptm-el eapg "
                         "fglock\n");
+            return 0;
+        } else if (arg == "--list-benches") {
+            listBenches();
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
@@ -315,7 +325,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s\n", e.diagnostic().toText().c_str());
         if (!metrics_path.empty()) {
             MetricsMeta meta;
-            meta.bench = benchName(bench);
+            meta.bench = bench.token();
             meta.protocol = protocolName(protocol);
             meta.scale = scale;
             meta.seed = seed;
@@ -339,9 +349,10 @@ main(int argc, char **argv)
 namespace {
 
 int
-runSimulation(BenchId bench, ProtocolKind protocol, double scale,
-              std::uint64_t seed, GpuConfig &cfg, bool dump_stats,
-              bool disasm, bool json, const std::string &metrics_path,
+runSimulation(const WorkloadSpec &bench, ProtocolKind protocol,
+              double scale, std::uint64_t seed, GpuConfig &cfg,
+              bool dump_stats, bool disasm, bool json,
+              const std::string &metrics_path,
               std::uint64_t max_cycles)
 {
     GpuSystem gpu(cfg);
@@ -355,11 +366,17 @@ runSimulation(BenchId bench, ProtocolKind protocol, double scale,
 
     if (!json)
         std::printf("running %s under %s (scale %.3g, %llu threads)...\n",
-                    benchName(bench), protocolName(protocol), scale,
+                    bench.token().c_str(), protocolName(protocol), scale,
                     static_cast<unsigned long long>(
                         workload->numThreads()));
     RunResult result = gpu.run(workload->kernel(),
                                workload->numThreads(), max_cycles);
+
+    // Label hot granules the workload can explain (zipf head keys,
+    // hot accounts); paper workloads leave every label empty.
+    bool have_labels = false;
+    for (HotAddrRow &row : result.obs.hotAddrs)
+        have_labels |= workload->addrInfo(row.addr, row.label);
 
     Checker *checker = gpu.checkerPtr();
     if (checker && checker->level() >= CheckLevel::Ref) {
@@ -401,7 +418,7 @@ runSimulation(BenchId bench, ProtocolKind protocol, double scale,
 
     if (!metrics_path.empty()) {
         MetricsMeta meta;
-        meta.bench = benchName(bench);
+        meta.bench = bench.token();
         meta.protocol = protocolName(protocol);
         meta.scale = scale;
         meta.seed = seed;
@@ -442,7 +459,8 @@ runSimulation(BenchId bench, ProtocolKind protocol, double scale,
                     "\"aborts\":%llu,\"tx_exec\":%llu,"
                     "\"tx_wait\":%llu,\"flits\":%llu,"
                     "\"rollovers\":%llu,\"verified\":%s}\n",
-                    benchName(bench), protocolName(protocol), scale,
+                    bench.token().c_str(), protocolName(protocol),
+                    scale,
                     static_cast<unsigned long long>(
                         workload->numThreads()),
                     static_cast<unsigned long long>(result.cycles),
@@ -476,6 +494,17 @@ runSimulation(BenchId bench, ProtocolKind protocol, double scale,
     if (result.rollovers)
         std::printf("rollovers     %llu\n",
                     static_cast<unsigned long long>(result.rollovers));
+    if (have_labels) {
+        std::printf("hot addresses\n");
+        for (const HotAddrRow &row : result.obs.hotAddrs) {
+            if (row.label.empty())
+                continue;
+            std::printf("  %#10llx %8llu events  %s\n",
+                        static_cast<unsigned long long>(row.addr),
+                        static_cast<unsigned long long>(row.total),
+                        row.label.c_str());
+        }
+    }
     std::printf("verification  %s%s%s\n", ok ? "PASS" : "FAIL",
                 ok ? "" : ": ", ok ? "" : why.c_str());
     if (dump_stats)

@@ -22,6 +22,7 @@
 
 #include "common/thread_pool.hh"
 #include "sweep/runner.hh"
+#include "workloads/registry.hh"
 
 using namespace getm;
 
@@ -46,6 +47,8 @@ usage(const char *argv0)
         "                   any value, clamped so jobs x threads stays\n"
         "                   within the machine (docs/PARALLELISM.md)\n"
         "  --list           print the enumerated point ids and exit\n"
+        "  --list-benches   list every registered bench with its\n"
+        "                   parameters, defaults and ranges\n"
         "  --quiet          no per-point progress lines\n",
         argv0);
 }
@@ -91,6 +94,16 @@ main(int argc, char **argv)
             }
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--list-benches") {
+            for (const BenchInfo &info : benchRegistry()) {
+                std::printf("%-6s %s\n", info.name, info.summary);
+                for (const BenchParamInfo &param : info.params)
+                    std::printf("       %-10s %-12g default; range "
+                                "[%g, %g]: %s\n",
+                                param.key, param.def, param.min,
+                                param.max, param.help);
+            }
+            return 0;
         } else if (arg == "--quiet") {
             options.progress = false;
         } else if (arg == "--help" || arg == "-h") {

@@ -92,6 +92,20 @@ class Checker : public CheckSink
     /** Commits between GC passes (test hook; default 4096). */
     void setGcPeriod(std::uint64_t period) { gcPeriod = period ? period : 1; }
 
+    /**
+     * Checkpoint hook: the complete shadow history, per-lane attempt
+     * attribution, conflict graph, and the accumulating report. The
+     * check level itself is construction-time config and must already
+     * match (the config hash guarantees it).
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(report_, eventSeq, txCounter, gcPeriod, commitsSinceGc,
+           shadow, slots, nodes, ordCounter);
+    }
+
   private:
     /** One committed write of one version of one address. */
     struct Version
@@ -100,11 +114,20 @@ class Checker : public CheckSink
         std::uint32_t value;
         std::uint64_t installSeq; ///< Global event order of the install.
         std::vector<std::uint64_t> committedReaders;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(writer, value, installSeq, committedReaders);
+        }
     };
 
     struct AddrState
     {
         std::vector<Version> versions; ///< installSeq-ascending.
+
+        template <class Ar> void ckpt(Ar &ar) { ar(versions); }
     };
 
     /** A read bound at the partition, with the version it observed. */
@@ -114,6 +137,13 @@ class Checker : public CheckSink
         std::uint32_t value;
         std::uint64_t installSeq;
         std::uint64_t writer;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(addr, value, installSeq, writer);
+        }
     };
 
     struct WriteIntent
@@ -121,6 +151,8 @@ class Checker : public CheckSink
         Addr addr;
         std::uint32_t value;
         bool applied;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(addr, value, applied); }
     };
 
     /** An in-flight transaction attempt of one lane slot. */
@@ -132,6 +164,13 @@ class Checker : public CheckSink
         /** Applies seen while still current (WarpTM-EL commits at the
          *  core before the attempt retires). */
         std::vector<std::pair<Addr, std::uint32_t>> earlyApplies;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(id, tid, reads, earlyApplies);
+        }
     };
 
     /** A committed attempt whose applies are still in flight. */
@@ -139,6 +178,8 @@ class Checker : public CheckSink
     {
         std::uint64_t tx;
         std::vector<WriteIntent> intents;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(tx, intents); }
     };
 
     /**
@@ -153,6 +194,8 @@ class Checker : public CheckSink
         bool active = false;
         Attempt cur;
         std::deque<PendingApply> pending;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(active, cur, pending); }
     };
 
     /** Conflict-graph node, keyed by checker tx id. */
@@ -161,6 +204,8 @@ class Checker : public CheckSink
         std::uint64_t ord; ///< Pearce-Kelly topological index.
         std::unordered_set<std::uint64_t> out;
         std::unordered_set<std::uint64_t> in;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(ord, out, in); }
     };
 
     void addViolation(ViolationKind kind, Addr addr, std::uint64_t tx,

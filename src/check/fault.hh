@@ -123,6 +123,15 @@ class FaultInjector
         return true;
     }
 
+    /** Checkpoint hook: the counter stream position and fire counts
+     *  (kind/probability are reconstructed from configuration). */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(stream, fires);
+    }
+
     /** Times fire() returned true for @p k. */
     std::uint64_t
     count(FaultKind k) const

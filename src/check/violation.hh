@@ -93,6 +93,13 @@ struct Violation
     std::uint32_t expected = 0;   ///< Expected value (when applicable).
     std::uint32_t actual = 0;     ///< Observed value (when applicable).
     std::string detail;           ///< Human-readable one-liner.
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(kind, addr, tx, expected, actual, detail);
+    }
 };
 
 /** Everything the checker learned during one run. */
@@ -119,6 +126,15 @@ struct CheckReport
 
     /** One-line human summary ("clean" or per-kind counts). */
     std::string summary() const;
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(level, txBegins, txCommits, txAborts, readsChecked,
+           writesApplied, graphEdges, gcRuns, nodesReclaimed, byKind,
+           totalViolations, samples);
+    }
 };
 
 } // namespace getm

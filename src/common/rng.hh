@@ -73,6 +73,15 @@ class Rng
     /** Bernoulli draw with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Checkpoint hook (ckpt/serial.hh): the four state words. */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        for (auto &word : state)
+            ar(word);
+    }
+
     /** splitmix64 step, exposed for seeding other structures. */
     static std::uint64_t
     splitmix64(std::uint64_t &x)

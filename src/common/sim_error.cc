@@ -17,6 +17,8 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::WallTimeout: return "WALL_TIMEOUT";
       case SimErrorKind::Config: return "CONFIG";
       case SimErrorKind::Internal: return "INTERNAL";
+      case SimErrorKind::Checkpoint: return "CHECKPOINT";
+      case SimErrorKind::Interrupt: return "INTERRUPT";
     }
     return "?";
 }
@@ -31,8 +33,23 @@ simErrorStatus(SimErrorKind kind)
       case SimErrorKind::WallTimeout: return "timeout";
       case SimErrorKind::Config: return "config";
       case SimErrorKind::Internal: return "error";
+      case SimErrorKind::Checkpoint: return "checkpoint";
+      case SimErrorKind::Interrupt: return "interrupted";
     }
     return "error";
+}
+
+int
+simErrorExitCode(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Livelock:
+      case SimErrorKind::WallTimeout:
+      case SimErrorKind::CycleLimit:
+        return exitWatchdog;
+      default:
+        return exitSimError;
+    }
 }
 
 std::string

@@ -38,6 +38,8 @@ enum class SimErrorKind : std::uint8_t
     WallTimeout,///< The --timeout-sec wall-clock budget was exceeded.
     Config,     ///< Invalid configuration rejected up front.
     Internal,   ///< Escaped internal error, wrapped for reporting.
+    Checkpoint, ///< Unusable checkpoint file (corrupt, skewed, wrong).
+    Interrupt,  ///< SIGINT/SIGTERM clean stop at an epoch boundary.
 };
 
 /** Stable upper-case kind name ("DEADLOCK", "LIVELOCK", ...). */
@@ -46,6 +48,21 @@ const char *simErrorKindName(SimErrorKind kind);
 /** Lower-case status token recorded in sweep/failure documents
  *  ("deadlock", "livelock", "cycle-limit", "timeout", ...). */
 const char *simErrorStatus(SimErrorKind kind);
+
+/**
+ * Process exit code the CLIs use for this failure kind. The contract
+ * (docs/DURABILITY.md): 0 success, 2 usage error, 3 verification or
+ * checker violation, 4 general SimError taxonomy, 5 watchdog/timeout
+ * guards (livelock, wall-clock, cycle-limit), 128+signal for a clean
+ * SIGINT/SIGTERM stop.
+ */
+int simErrorExitCode(SimErrorKind kind);
+
+/** Exit codes shared by getm-sim and getm-sweep (see above). */
+inline constexpr int exitUsage = 2;
+inline constexpr int exitVerification = 3;
+inline constexpr int exitSimError = 4;
+inline constexpr int exitWatchdog = 5;
 
 /** Structured snapshot of a failed simulation, attached to SimError. */
 struct SimDiagnostic

@@ -107,6 +107,13 @@ struct HistogramData
                            static_cast<double>(count)
                      : 0.0;
     }
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(buckets, count, sum, minValue, maxValue);
+    }
 };
 
 /**
@@ -133,6 +140,8 @@ class StatSet
             value += delta;
             touched = true;
         }
+
+        template <class Ar> void ckpt(Ar &ar) { ar(value, touched); }
     };
 
     /** A high-water-mark slot; feed through track(). */
@@ -148,6 +157,8 @@ class StatSet
                 value = v;
             touched = true;
         }
+
+        template <class Ar> void ckpt(Ar &ar) { ar(value, touched); }
     };
 
     /** An averaging slot; a count of zero means "never sampled". */
@@ -168,6 +179,8 @@ class StatSet
         {
             return count ? sum / static_cast<double>(count) : 0.0;
         }
+
+        template <class Ar> void ckpt(Ar &ar) { ar(sum, count); }
     };
 
     explicit StatSet(std::string name_) : setName(std::move(name_)) {}
@@ -327,7 +340,47 @@ class StatSet
             slot.reset();
     }
 
+    /**
+     * Checkpoint hook. Loads write slots *in place* by key instead of
+     * clearing the maps, so handles returned by addCounter() and
+     * friends (references into node-based storage) stay valid across a
+     * restore. The snapshot's slot set always covers the freshly
+     * registered one (the same constructors ran before the restore),
+     * so the merged result equals the snapshot exactly.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ckptSlots(ar, counters);
+        ckptSlots(ar, maxima);
+        ckptSlots(ar, averages);
+        ckptSlots(ar, histograms);
+    }
+
   private:
+    template <class Ar, class Map>
+    static void
+    ckptSlots(Ar &ar, Map &map)
+    {
+        if constexpr (Ar::saving) {
+            std::uint64_t n = map.size();
+            ar.raw(&n, sizeof(n));
+            for (auto &[name, slot] : map) {
+                std::string key = name;
+                ar(key, slot);
+            }
+        } else {
+            std::uint64_t n = 0;
+            ar.raw(&n, sizeof(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::string key;
+                ar(key);
+                ar(map[key]);
+            }
+        }
+    }
+
     std::string setName;
     std::map<std::string, Counter> counters;
     std::map<std::string, Maximum> maxima;

@@ -4,6 +4,7 @@
 
 #include "check/fault.hh"
 #include "check/sink.hh"
+#include "ckpt/serial.hh"
 #include "common/debug.hh"
 #include "common/log.hh"
 
@@ -366,6 +367,18 @@ GetmPartitionUnit::flushForRollover(Cycle now)
         });
     stall.flush();
     meta.flush();
+}
+
+void
+GetmPartitionUnit::ckptSave(ckpt::Writer &ar)
+{
+    ar(meta, stall, traceNow);
+}
+
+void
+GetmPartitionUnit::ckptLoad(ckpt::Reader &ar)
+{
+    ar(meta, stall, traceNow);
 }
 
 } // namespace getm

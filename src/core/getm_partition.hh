@@ -42,6 +42,9 @@ class GetmPartitionUnit : public TmPartitionProtocol
 
     Cycle handleRequest(MemMsg &&msg, Cycle now) override;
 
+    void ckptSave(ckpt::Writer &ar) override;
+    void ckptLoad(ckpt::Reader &ar) override;
+
     /** Highest logical timestamp seen (rollover detection). */
     LogicalTs maxTimestamp() const { return meta.maxTimestamp(); }
 

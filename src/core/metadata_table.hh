@@ -53,6 +53,13 @@ struct TxMetadata
 
     bool valid() const { return key != invalidAddr; }
     bool locked() const { return numWrites != 0; }
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(key, wts, rts, numWrites, owner, approxSeeded);
+    }
 };
 
 /** The recency Bloom filter for evicted (inactive) metadata. */
@@ -77,11 +84,16 @@ class RecencyBloom
     unsigned entriesPerWay() const { return wayEntries; }
     static constexpr unsigned numWays = 4;
 
+    /** Checkpoint hook: bucket contents (hashes come from the seed). */
+    template <class Ar> void ckpt(Ar &ar) { ar(buckets); }
+
   private:
     struct Bucket
     {
         LogicalTs wts = 0;
         LogicalTs rts = 0;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(wts, rts); }
     };
 
     unsigned wayEntries;
@@ -164,6 +176,16 @@ class MetadataTable
     }
 
     StatSet &stats() { return statSet; }
+
+    /** Checkpoint hook: every storage structure plus the kick RNG
+     *  (H3 hash matrices are reconstructed from the config seed). */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(table, stash, overflow, bloom, maxRegWts, maxRegRts, maxTs,
+           kickRng, statSet);
+    }
 
     static constexpr unsigned numWays = 4;
 

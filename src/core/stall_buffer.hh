@@ -114,17 +114,29 @@ class StallBuffer
     /** Attach a GPU-wide occupancy tracker (may be null). */
     void setTracker(StallOccupancyTracker *t) { tracker = t; }
 
+    /** Checkpoint hook: every parked request plus stats. */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(lines, statSet);
+    }
+
   private:
     struct Waiter
     {
         MemMsg msg;
         Cycle enqueuedAt;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(msg, enqueuedAt); }
     };
 
     struct Line
     {
         Addr key = invalidAddr;
         std::vector<Waiter> entries;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(key, entries); }
     };
 
     Line *findLine(Addr key);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include "ckpt/serial.hh"
 
 // Checker/fault-injection coverage: EAPG adds only the broadcast
 // machinery below on top of WarpTM-LL; loads, validation, and commit
@@ -152,6 +153,20 @@ EapgCoreTm::maybePause(Warp &warp)
     stPauses.add();
     core.changeState(warp, WarpState::CommitWait);
     return true;
+}
+
+void
+EapgCoreTm::ckptSave(ckpt::Writer &ar)
+{
+    WtmCoreTm::ckptSave(ar);
+    ar(remote, paused);
+}
+
+void
+EapgCoreTm::ckptLoad(ckpt::Reader &ar)
+{
+    WtmCoreTm::ckptLoad(ar);
+    ar(remote, paused);
 }
 
 } // namespace getm

@@ -65,6 +65,8 @@ class EapgCoreTm : public WtmCoreTm
     }
 
     void onBroadcast(const MemMsg &msg) override;
+    void ckptSave(ckpt::Writer &ar) override;
+    void ckptLoad(ckpt::Reader &ar) override;
 
   protected:
     bool maybePause(Warp &warp) override;

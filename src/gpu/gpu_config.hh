@@ -146,6 +146,35 @@ struct GpuConfig
      */
     unsigned simEpoch = 1;
 
+    /**
+     * Periodic checkpointing: write a snapshot every N simulated cycles
+     * (0 = off). Snapshots land on the first epoch barrier at or after
+     * each boundary, the same alignment rule the telemetry sampler
+     * uses. Like checkLevel, never part of config provenance — and the
+     * config hash embedded in checkpoint files is computed over
+     * provenance fields only, so a run checkpointed with one cadence
+     * restores under another.
+     */
+    Cycle ckptEvery = 0;
+
+    /** Directory for checkpoint files (default "." when enabled). */
+    std::string ckptDir;
+
+    /** Restore machine state from this snapshot file (or the newest
+     *  snapshot in this directory) before simulating. Empty: cold
+     *  start. Excluded from provenance. */
+    std::string restorePath;
+
+    /**
+     * Crash-test hook: abandon the run (SIGKILL-style, no cleanup and
+     * no final checkpoint) at the first loop iteration at or after
+     * this cycle (0 = off). Only reachable through `getm_sim
+     * --ckpt-kill-at`; exists so the kill-resume CI job and the
+     * determinism tests can cut a run at a precise point. Excluded
+     * from provenance.
+     */
+    Cycle ckptKillAt = 0;
+
     /** GTX480-like baseline of Table II. */
     static GpuConfig gtx480();
 

@@ -8,8 +8,11 @@
 
 #include "check/checker.hh"
 #include "check/fault.hh"
+#include "ckpt/checkpoint.hh"
+#include "ckpt/serial.hh"
 #include "common/cycle_workers.hh"
 #include "common/log.hh"
+#include "common/stop_flag.hh"
 #include "core/getm_core_tm.hh"
 #include "gpu/config_file.hh"
 #include "gpu/deferred_sinks.hh"
@@ -544,16 +547,16 @@ GpuSystem::buildDiagnostic(SimErrorKind kind, std::string message,
 Cycle
 GpuSystem::runLegacyLoop(const Kernel &kernel, Cycle max_cycles)
 {
-    Cycle now = 0;
+    Cycle now = resumeCycle;
     const bool getm_rollover =
         cfg.protocol == ProtocolKind::Getm &&
         cfg.rolloverThreshold != ~static_cast<LogicalTs>(0);
     const bool el_micro = cfg.protocol == ProtocolKind::WarpTmEL;
-    GuardState guard;
     guard.wallStart = std::chrono::steady_clock::now();
 
     while (!allDone() || !drained(now)) {
         checkGuards(kernel, now, max_cycles, guard);
+        checkpointTop(kernel, now);
 
         for (auto &part : partArray)
             part->tick(now);
@@ -620,20 +623,24 @@ GpuSystem::runEventLoop(const Kernel &kernel, Cycle max_cycles)
     const unsigned nparts = static_cast<unsigned>(partArray.size());
 
     // Cycle 0 behaves like the legacy loop's first iteration: everything
-    // is due once, then earns its cached wake.
-    std::vector<Cycle> coreWake(ncores, 0);
-    std::vector<Cycle> partWake(nparts, 0);
+    // is due once, then earns its cached wake. After a restore, the
+    // first visited cycle plays the same role: forcing every component
+    // due is harmless (ticking a not-due component is a no-op, the
+    // equivalence this loop is built on), and each then earns its
+    // cached wake from restored state.
+    std::vector<Cycle> coreWake(ncores, resumeCycle);
+    std::vector<Cycle> partWake(nparts, resumeCycle);
 
-    Cycle now = 0;
+    Cycle now = resumeCycle;
     const bool getm_rollover =
         cfg.protocol == ProtocolKind::Getm &&
         cfg.rolloverThreshold != ~static_cast<LogicalTs>(0);
     const bool el_micro = cfg.protocol == ProtocolKind::WarpTmEL;
-    GuardState guard;
     guard.wallStart = std::chrono::steady_clock::now();
 
     while (!allDone() || !drained(now)) {
         checkGuards(kernel, now, max_cycles, guard);
+        checkpointTop(kernel, now);
 
         for (PartitionId p = 0; p < nparts; ++p) {
             if (partWake[p] <= now || xbarUp.hasReady(p, now)) {
@@ -827,8 +834,8 @@ GpuSystem::runParallelLoop(const Kernel &kernel, Cycle max_cycles,
     const bool stage_parts = pool_parts || epoch_max > 1;
     const unsigned core_slots = 2 * epoch_max;
 
-    std::vector<Cycle> coreWake(ncores, 0);
-    std::vector<Cycle> partWake(nparts, 0);
+    std::vector<Cycle> coreWake(ncores, resumeCycle);
+    std::vector<Cycle> partWake(nparts, resumeCycle);
 
     std::vector<CoreSendStage> sends(ncores, CoreSendStage(core_slots));
     std::vector<ObsShard> shards(ncores);
@@ -1009,13 +1016,16 @@ GpuSystem::runParallelLoop(const Kernel &kernel, Cycle max_cycles,
 
     CycleWorkers pool(threads);
 
-    Cycle now = 0;
-    GuardState guard;
+    Cycle now = resumeCycle;
     guard.wallStart = std::chrono::steady_clock::now();
 
     try {
         while (!allDone() || !drained(now)) {
             checkGuards(kernel, now, max_cycles, guard);
+            // Iteration top is a barrier: all staged work of previous
+            // cycles is flushed and the WtmShared stages are dormant,
+            // so the machine is snapshot-consistent here.
+            checkpointTop(kernel, now);
             if (wtm)
                 wtm->resetEpoch();
 
@@ -1234,18 +1244,153 @@ GpuSystem::runParallelLoop(const Kernel &kernel, Cycle max_cycles,
     return now;
 }
 
+
+std::uint64_t
+GpuSystem::checkpointHash(const Kernel &kernel,
+                          std::uint64_t num_threads) const
+{
+    constexpr std::uint64_t basis = 0xcbf29ce484222325ull;
+    constexpr std::uint64_t prime = 0x100000001b3ull;
+    std::uint64_t h = basis;
+    auto mix = [&h, prime](const std::string &text) {
+        for (unsigned char byte : text) {
+            h ^= byte;
+            h *= prime;
+        }
+        h ^= 0x1f; // field separator
+        h *= prime;
+    };
+    for (const auto &[key, value] : configProvenance(cfg)) {
+        mix(key);
+        mix(value);
+    }
+    // State-shaping knobs deliberately excluded from sweep provenance
+    // but baked into the snapshot payload or the run's dynamics.
+    mix("check=" + std::to_string(cfg.checkLevel));
+    mix("trace=" + std::to_string(cfg.traceTx));
+    mix("fault=" + std::to_string(cfg.injectFault));
+    mix("prob=" + std::to_string(cfg.injectProb));
+    mix("sample=" + std::to_string(cfg.sampleInterval));
+    mix(cfg.timelinePath.empty() ? "timeline=0" : "timeline=1");
+    mix("kernel=" + kernel.name());
+    mix("threads=" + std::to_string(num_threads));
+    return h;
+}
+
+template <class Ar>
+void
+GpuSystem::ckptMachine(Ar &ar)
+{
+    // One fixed component order, shared by save and load. Optional
+    // components (tracer, checker, injectors) are config-determined,
+    // and the config hash guarantees both sides agree on the config.
+    ar(store, xbarUp, xbarDown);
+    for (auto &core : coreArray)
+        ar(*core);
+    for (auto &part : partArray) {
+        ar(*part);
+        if (TmPartitionProtocol *unit = part->protocol()) {
+            if constexpr (Ar::saving)
+                unit->ckptSave(ar);
+            else
+                unit->ckptLoad(ar);
+        }
+    }
+    ar(stallTracker.current, stallTracker.peak);
+    if (wtmShared)
+        ar(wtmShared->nextCommitId);
+    ar(rolloverPending, rollovers, warpCursor, timeline, observability);
+    if (txTracer)
+        ar(*txTracer);
+    if (checker)
+        ar(*checker);
+    for (auto &injector : faultInjectors)
+        ar(*injector);
+    ar(guard.lastProgressValue, guard.lastProgressCycle,
+       guard.iterations);
+}
+
+void
+GpuSystem::saveCheckpoint(Cycle now)
+{
+    // Fold worker-local observability shards into the hub first: shard
+    // sums are commutative, so absorbing early cannot change the
+    // end-of-run report, and it makes the snapshot shard-free — a
+    // restored run starts with fresh, empty shards, exactly matching
+    // the just-absorbed state of the saving run.
+    if (activeShards)
+        for (ObsShard &shard : *activeShards)
+            observability.absorbShard(shard);
+
+    ckpt::Writer ar;
+    ckptMachine(ar);
+    ckpt::Snapshot snap;
+    snap.configHash = ckptHash;
+    snap.cycle = now;
+    snap.payload = ar.take();
+    const std::string dir =
+        cfg.ckptDir.empty() ? std::string(".") : cfg.ckptDir;
+    const std::string path = ckpt::writeSnapshot(dir, snap);
+    inform("checkpoint written to %s (cycle %llu)", path.c_str(),
+           static_cast<unsigned long long>(now));
+}
+
+void
+GpuSystem::restoreFromSnapshot()
+{
+    const std::string path = ckpt::resolveRestorePath(cfg.restorePath);
+    const ckpt::Snapshot snap = ckpt::readSnapshot(path, ckptHash);
+    ckpt::Reader ar(snap.payload.data(), snap.payload.size());
+    ckptMachine(ar);
+    if (ar.remaining() != 0)
+        throw SimError(SimErrorKind::Checkpoint,
+                       "checkpoint payload corrupt (" +
+                           std::to_string(ar.remaining()) +
+                           " trailing bytes)");
+    resumeCycle = snap.cycle;
+    if (cfg.ckptEvery)
+        nextCkptDue = CycleSampler::alignNext(snap.cycle, cfg.ckptEvery);
+    inform("restored checkpoint %s (cycle %llu)", path.c_str(),
+           static_cast<unsigned long long>(snap.cycle));
+}
+
+void
+GpuSystem::checkpointTop(const Kernel &kernel, Cycle now)
+{
+    // Crash-test hook first: a real SIGKILL does not wait for
+    // checkpoint work either. No cleanup, no flush, 128+9.
+    if (cfg.ckptKillAt && now >= cfg.ckptKillAt)
+        std::_Exit(137);
+
+    if (stopRequested()) {
+        const int sig = stopSignal();
+        if (cfg.ckptEvery || !cfg.ckptDir.empty())
+            saveCheckpoint(now);
+        throw SimError(buildDiagnostic(
+            SimErrorKind::Interrupt,
+            "kernel " + kernel.name() + " stopped by signal " +
+                std::to_string(sig) + " at cycle " + std::to_string(now),
+            now, now - guard.lastProgressCycle));
+    }
+
+    if (cfg.ckptEvery && now >= nextCkptDue) {
+        saveCheckpoint(now);
+        nextCkptDue = CycleSampler::alignNext(now, cfg.ckptEvery);
+    }
+}
+
 RunResult
 GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
                Cycle max_cycles)
 {
     const std::uint64_t total_warps = (num_threads + warpSize - 1) /
                                       warpSize;
-    auto next_warp = std::make_shared<std::uint64_t>(0);
-    auto work = [next_warp, total_warps,
+    warpCursor = 0;
+    auto work = [this, total_warps,
                  num_threads](WarpAssignment &assign) -> bool {
-        if (*next_warp >= total_warps)
+        if (warpCursor >= total_warps)
             return false;
-        const std::uint64_t w = (*next_warp)++;
+        const std::uint64_t w = warpCursor++;
         assign.firstTid = static_cast<std::uint32_t>(w * warpSize);
         const std::uint64_t remaining = num_threads - w * warpSize;
         assign.validLanes =
@@ -1259,14 +1404,45 @@ GpuSystem::run(const Kernel &kernel, std::uint64_t num_threads,
     for (auto &core : coreArray)
         core->startKernel(&kernel, num_threads, work, 0);
 
+    // Durability setup. The restore overwrites everything startKernel
+    // just initialized (including warpCursor), which is exactly the
+    // point: the kernel pointer and work source are live-wired, the
+    // machine state is the snapshot's.
+    ckptHash = checkpointHash(kernel, num_threads);
+    guard = GuardState{};
+    resumeCycle = 0;
+    nextCkptDue = cfg.ckptEvery
+                      ? CycleSampler::alignNext(0, cfg.ckptEvery)
+                      : 0;
+    if (!cfg.restorePath.empty())
+        restoreFromSnapshot();
+
     const bool legacy = cfg.legacyLoop ||
                         std::getenv("GETM_LEGACY_LOOP") != nullptr;
     const unsigned sim_threads = legacy ? 1 : effectiveSimThreads();
-    const Cycle now =
-        legacy ? runLegacyLoop(kernel, max_cycles)
-        : sim_threads > 1
-            ? runParallelLoop(kernel, max_cycles, sim_threads)
-            : runEventLoop(kernel, max_cycles);
+    Cycle now = 0;
+    try {
+        now = legacy ? runLegacyLoop(kernel, max_cycles)
+              : sim_threads > 1
+                  ? runParallelLoop(kernel, max_cycles, sim_threads)
+                  : runEventLoop(kernel, max_cycles);
+    } catch (const SimError &err) {
+        // Final snapshot beside the diagnostic: every SimError leaves
+        // the machine at a cycle boundary (the guards and the
+        // iteration-top hooks throw before any tick, the deadlock
+        // check after a cycle completed), so the snapshot is
+        // resumable. INTERRUPT already wrote one in checkpointTop.
+        if ((cfg.ckptEvery || !cfg.ckptDir.empty()) &&
+            err.kind() != SimErrorKind::Interrupt &&
+            err.kind() != SimErrorKind::Checkpoint) {
+            try {
+                saveCheckpoint(err.diagnostic().cycle);
+            } catch (const SimError &ckpt_err) {
+                warn("final checkpoint failed: %s", ckpt_err.what());
+            }
+        }
+        throw;
+    }
 
     // Gather results.
     RunResult result;

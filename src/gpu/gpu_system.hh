@@ -203,6 +203,39 @@ class GpuSystem
     SimDiagnostic buildDiagnostic(SimErrorKind kind, std::string message,
                                   Cycle now, Cycle since_progress);
 
+    // --- durability (docs/DURABILITY.md) -------------------------------
+
+    /**
+     * Checkpoint compatibility hash for one run: FNV-1a over the
+     * config-provenance pairs plus every state-shaping knob excluded
+     * from provenance (checker level, tracer rate, fault injection,
+     * telemetry) and the workload identity (kernel name, thread
+     * count). A snapshot only restores into a bit-equivalent machine.
+     */
+    std::uint64_t checkpointHash(const Kernel &kernel,
+                                 std::uint64_t num_threads) const;
+
+    /** Serialize (Ar = ckpt::Writer) or restore (ckpt::Reader) the
+     *  complete machine state, in one fixed component order. */
+    template <class Ar> void ckptMachine(Ar &ar);
+
+    /** Write an atomically-renamed snapshot of the machine at @p now
+     *  into cfg.ckptDir (default "."). */
+    void saveCheckpoint(Cycle now);
+
+    /** Restore cfg.restorePath (file or directory); sets resumeCycle
+     *  so the loops resume mid-kernel. Throws SimError CHECKPOINT on
+     *  any corrupt, truncated, version- or config-skewed snapshot. */
+    void restoreFromSnapshot();
+
+    /**
+     * Iteration-top durability hook, run by every loop at the start of
+     * each visited cycle (a barrier point of the parallel loop): the
+     * --ckpt-kill-at crash hook, pending SIGINT/SIGTERM (final
+     * checkpoint + SimError INTERRUPT), and the periodic checkpoint.
+     */
+    void checkpointTop(const Kernel &kernel, Cycle now);
+
     GpuConfig cfg;
     BackingStore store;
     AddressMap addrMap;
@@ -227,6 +260,26 @@ class GpuSystem
 
     bool rolloverPending = false;
     std::uint64_t rollovers = 0;
+
+    /** Next warp to assign (run()'s work source; checkpointed so a
+     *  restored run keeps pulling from where the snapshot stopped). */
+    std::uint64_t warpCursor = 0;
+
+    /** This run's checkpoint compatibility hash (set by run()). */
+    std::uint64_t ckptHash = 0;
+
+    /** First cycle the loops simulate (nonzero after a restore). */
+    Cycle resumeCycle = 0;
+
+    /** Next periodic-checkpoint boundary (sampler-style alignment). */
+    Cycle nextCkptDue = 0;
+
+    /**
+     * Live safety-guard state. A member (reset by run(), wall clock
+     * re-armed by each loop) so checkpoints capture the watchdog's
+     * progress window and a restored run resumes it exactly.
+     */
+    GuardState guard;
 
     /**
      * Live per-core observability shards while the parallel loop runs

@@ -99,6 +99,15 @@ class MemPartition : public PartitionContext
     CheckSink *check() override { return checkSink; }
     FaultInjector *faults() override { return faultInj; }
 
+    /** Checkpoint hook for everything but the protocol unit (which the
+     *  owner serializes through its virtual ckptSave/ckptLoad). */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(llcCache, dram, popFree, outSeq, outQueue, statSet);
+    }
+
   private:
     /** Handle non-transactional reads/writes and atomics locally. */
     Cycle handleLocal(MemMsg &&msg, Cycle now);
@@ -115,6 +124,8 @@ class MemPartition : public PartitionContext
             return when != other.when ? when > other.when
                                       : seq > other.seq;
         }
+
+        template <class Ar> void ckpt(Ar &ar) { ar(when, seq, msg); }
     };
 
     PartitionId id;

@@ -98,6 +98,9 @@ class Timeline
 
     std::size_t size() const { return events.size(); }
 
+    /** Checkpoint hook: every recorded event. */
+    template <class Ar> void ckpt(Ar &ar) { ar(events); }
+
     /** Serialize as Chrome trace-event JSON. */
     std::string toJson() const;
 
@@ -124,6 +127,13 @@ class Timeline
         std::string name;
         Cycle ts;
         double value;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(kind, pid, tid, name, ts, value);
+        }
     };
 
     std::vector<Event> events;

@@ -70,7 +70,62 @@ class BackingStore
     /** Total bytes allocated so far. */
     std::uint64_t allocated() const { return allocTop - baseAddr; }
 
+    /**
+     * Checkpoint hook: the bump pointer plus *every* allocated page.
+     * Allocation is monotonic (pages are never freed), so a snapshot's
+     * page set always covers the set a freshly set-up store holds;
+     * loading over a fresh store therefore rewrites every byte the
+     * workload ever placed, and no stale setup data can survive under
+     * a page the snapshot omitted.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(allocTop);
+        std::vector<std::uint32_t> buf(wordsPerPage);
+        if constexpr (Ar::saving) {
+            std::uint64_t npages = 0;
+            forEachPage([&](std::uint64_t, Word *) { ++npages; });
+            ar.raw(&npages, sizeof(npages));
+            forEachPage([&](std::uint64_t index, Word *words) {
+                ar.raw(&index, sizeof(index));
+                for (std::uint64_t w = 0; w < wordsPerPage; ++w)
+                    buf[w] = words[w].load(std::memory_order_relaxed);
+                ar.raw(buf.data(), pageBytes);
+            });
+        } else {
+            std::uint64_t npages = 0;
+            ar.raw(&npages, sizeof(npages));
+            for (std::uint64_t p = 0; p < npages; ++p) {
+                std::uint64_t index = 0;
+                ar.raw(&index, sizeof(index));
+                Word *words = pageFor(index * pageBytes);
+                ar.raw(buf.data(), pageBytes);
+                for (std::uint64_t w = 0; w < wordsPerPage; ++w)
+                    words[w].store(buf[w], std::memory_order_relaxed);
+            }
+        }
+    }
+
   private:
+    /** Visit every allocated page as (page index, word array). */
+    template <class Fn>
+    void
+    forEachPage(Fn &&fn)
+    {
+        for (std::uint64_t i = 0; i < dirFanout; ++i) {
+            Leaf *leaf = root[i].load(std::memory_order_relaxed);
+            if (!leaf)
+                continue;
+            for (std::uint64_t j = 0; j < dirFanout; ++j) {
+                Word *words = (*leaf)[j].load(std::memory_order_relaxed);
+                if (words)
+                    fn((i << dirBits) | j, words);
+            }
+        }
+    }
+
     static constexpr std::uint64_t pageBytes = 1ull << 16;
     static constexpr std::uint64_t wordsPerPage = pageBytes / wordBytes;
     /** Directory fan-out: 2048 x 2048 pages of 64 KiB = 256 GiB. */

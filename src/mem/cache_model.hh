@@ -64,6 +64,14 @@ class CacheModel
     StatSet &stats() { return statSet; }
     const StatSet &stats() const { return statSet; }
 
+    /** Checkpoint hook: tags, LRU clock, stats (geometry is config). */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(useClock, lines, statSet);
+    }
+
   private:
     struct Line
     {
@@ -71,6 +79,13 @@ class CacheModel
         bool dirty = false;
         Addr tag = 0;
         std::uint64_t lastUse = 0;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(valid, dirty, tag, lastUse);
+        }
     };
 
     std::uint64_t setIndex(Addr addr) const;

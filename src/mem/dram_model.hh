@@ -55,11 +55,21 @@ class DramModel
 
     StatSet &stats() { return statSet; }
 
+    /** Checkpoint hook: bank service clocks + open rows + stats. */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(banks, statSet);
+    }
+
   private:
     struct Bank
     {
         Cycle nextService = 0;
         Addr openRow = invalidAddr;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(nextService, openRow); }
     };
 
     Config cfg;

@@ -27,6 +27,15 @@ struct MshrTarget
     std::uint8_t reg = 0;  ///< Destination register of the load.
     LaneMask lanes = 0;    ///< Lanes of the group.
     Addr addrs[warpSize] = {}; ///< Per-lane word addresses.
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(warpSlot, reg, lanes);
+        for (Addr &a : addrs)
+            ar(a);
+    }
 };
 
 /** L1 MSHR file. */
@@ -68,6 +77,8 @@ class MshrFile
     }
 
     std::size_t occupancy() const { return entries.size(); }
+
+    template <class Ar> void ckpt(Ar &ar) { ar(entries); }
 
   private:
     unsigned cap;

@@ -63,6 +63,14 @@ class CrossbarTiming
     StatSet &stats() { return statSet; }
     const StatSet &stats() const { return statSet; }
 
+    /** Checkpoint hook: port occupancy clocks + traffic stats. */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(srcFree, dstFree, flits, statSet);
+    }
+
   private:
     Config cfg;
     std::vector<Cycle> srcFree;
@@ -175,6 +183,27 @@ class Crossbar
     std::uint64_t totalFlits() const { return timing.totalFlits(); }
     StatSet &stats() { return timing.stats(); }
 
+    /**
+     * Checkpoint hook: timing state, send sequence, and every in-flight
+     * message (each inbox drains/reloads in (when, seq) pop order, a
+     * total order, so heap layout is unobservable). The in-flight gauge
+     * is recomputed and the arrival cache invalidated on load.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        timing.ckpt(ar);
+        ar(seq, inbox);
+        if constexpr (!Ar::saving) {
+            std::size_t n = 0;
+            for (const auto &queue : inbox)
+                n += queue.size();
+            pending.store(n, std::memory_order_relaxed);
+            arrivalDirty.store(true, std::memory_order_relaxed);
+        }
+    }
+
   private:
     struct Entry
     {
@@ -188,6 +217,8 @@ class Crossbar
             return when != other.when ? when > other.when
                                       : seq > other.seq;
         }
+
+        template <class Ar> void ckpt(Ar &ar) { ar(when, seq, msg); }
     };
 
     CrossbarTiming timing;

@@ -50,6 +50,14 @@ struct HotAddrRow
                          static_cast<double>(stallDepthCount)
                    : 0.0;
     }
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(addr, partition, total, label, byReason, stallDepthSum,
+           stallDepthCount);
+    }
 };
 
 /** Per-address conflict aggregation. */
@@ -82,6 +90,22 @@ class ConflictProfiler
     void mergeFrom(const ConflictProfiler &other);
 
     void clear();
+
+    /**
+     * Checkpoint hook. The one-entry memo is a pure accelerator whose
+     * pointer cannot survive a restore; it re-warms on the first
+     * record() after load.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(table, events);
+        if constexpr (!Ar::saving) {
+            lastAddr = invalidAddr;
+            lastRow = nullptr;
+        }
+    }
 
   private:
     /**

@@ -132,6 +132,14 @@ class ObsShard : public ObsSink
         prof.clear();
     }
 
+    /** Checkpoint hook: shards hold un-absorbed event sums mid-run. */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(abortLanes, stalls, depthSum, depthCount, prof);
+    }
+
   private:
     friend class Observability;
     std::array<std::uint64_t, numAbortReasons> abortLanes{};
@@ -164,6 +172,16 @@ class Observability : public ObsSink
 
     /** Snapshot everything, keeping at most @p maxHotAddrs rows. */
     ObsReport report(std::size_t maxHotAddrs) const;
+
+    /** Checkpoint hook: aggregates, the live stall gauge, profiler,
+     *  and the sampler's recorded series. */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(abortLanes, stalls, stallCurrent, stallPeak, depthSum,
+           depthCount, prof, sampler);
+    }
 
   private:
     std::array<std::uint64_t, numAbortReasons> abortLanes{};

@@ -34,6 +34,13 @@ struct SampleSeries
     std::vector<std::vector<double>> values; ///< [probe][row].
 
     std::size_t numSamples() const { return cycles.size(); }
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(interval, names, cycles, values);
+    }
 };
 
 /** Periodic gauge sampler. */
@@ -119,6 +126,18 @@ class CycleSampler
     }
 
     const SampleSeries &data() const { return series; }
+
+    /**
+     * Checkpoint hook: the recorded series and the sampling schedule.
+     * Probes and the emit hook are closures over live structures,
+     * re-registered by GpuSystem's setup on both sides of a restore.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(series, nextDue);
+    }
 
   private:
     SampleSeries series;

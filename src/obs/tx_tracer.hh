@@ -50,6 +50,13 @@ struct TxAbortRecord
     GlobalWarpId aborter = invalidWarp; ///< Killer warp when known.
     PartitionId partition = 0; ///< Conflict site (with a valid addr).
     Cycle cycle = 0;           ///< When the abort was accounted.
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(attempt, reason, addr, aborter, partition, cycle);
+    }
 };
 
 /** Where a traced transaction's cycles went (exact; sums to lifetime). */
@@ -65,6 +72,13 @@ struct TxCycleBreakdown
     total() const
     {
         return exec + noc + stall + validation + retry;
+    }
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(exec, noc, stall, validation, retry);
     }
 };
 
@@ -98,6 +112,16 @@ struct TxRecord
     std::vector<TxAbortRecord> aborts; ///< Kill chain, in order.
 
     Cycle lifetime() const { return endCycle - beginCycle; }
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(traceId, gwid, core, slot, beginCycle, endCycle, attempts,
+           committedLanes, committed, commitHandoff, sawHandoff, cycles,
+           rawExec, rawMem, rawValidate, rawBackoff, accessesIssued,
+           accessesCompleted, aborts);
+    }
 };
 
 /** Plain-data snapshot exported inside ObsReport. */
@@ -118,6 +142,13 @@ struct TxTraceReport
         std::uint64_t msgs = 0;
         std::uint64_t latencyCycles = 0;
         std::uint64_t bytes = 0;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(msgs, latencyCycles, bytes);
+        }
     };
     NocAggregate nocUp, nocDown;
 
@@ -209,6 +240,18 @@ class TxTracer : public ObsSink
      */
     TxTraceReport report(Cycle endCycle);
 
+    /**
+     * Checkpoint hook. The sample rate comes from config and the emit
+     * closures are re-installed by GpuSystem setup; everything else —
+     * including live (open) transactions mid-attempt — round-trips.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(seen, nextTraceId, open, closed, upAgg, downAgg);
+    }
+
   private:
     /** An in-flight access span awaiting correlation. */
     struct PendingAccess
@@ -220,6 +263,13 @@ class TxTracer : public ObsSink
         Cycle issue = 0;
         Cycle arrival = 0;
         Cycle ready = 0;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(granule, store, decided, ok, issue, arrival, ready);
+        }
     };
 
     /** Live charging state of the open attempt of one traced tx. */
@@ -236,6 +286,14 @@ class TxTracer : public ObsSink
         /** Partition-side conflict awaiting the core-side txAbort. */
         bool conflictPending = false;
         TxAbortRecord conflict;
+
+        template <class Ar>
+        void
+        ckpt(Ar &ar)
+        {
+            ar(rec, cursor, phase, stallDepth, attemptPhase,
+               attemptStall, accesses, conflictPending, conflict);
+        }
     };
 
     void charge(LiveTx &tx, Cycle now);

@@ -268,6 +268,26 @@ class SimtCore
         return stTxCommitLanes.value;
     }
 
+    /**
+     * Checkpoint hook: all mutable core state, then the protocol
+     * engine's own state through its virtual hooks (the kernel, work
+     * source, and sink pointers are reconstructed by the owner).
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(totalThreads, workExhausted, warps, stateOf, wakeOf, l1,
+           mshrs, txActive, lastIssued, liveWarps, txFrozen,
+           currentCycle, randomGen, statSet);
+        if (protocol) {
+            if constexpr (Ar::saving)
+                protocol->ckptSave(ar);
+            else
+                protocol->ckptLoad(ar);
+        }
+    }
+
   private:
     // --- execution --------------------------------------------------------
     void maybeLaunchWarps(Cycle now);

@@ -21,6 +21,11 @@ namespace getm {
 
 class SimtCore;
 
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Per-lane addresses of one memory instruction. */
 using LaneAddrs = std::array<Addr, warpSize>;
 
@@ -82,6 +87,12 @@ class TmCoreProtocol
         (void)now;
         return false;
     }
+
+    /** Serialize engine state into a checkpoint (default: stateless). */
+    virtual void ckptSave(ckpt::Writer &ar) { (void)ar; }
+
+    /** Restore engine state from a checkpoint (default: stateless). */
+    virtual void ckptLoad(ckpt::Reader &ar) { (void)ar; }
 };
 
 } // namespace getm

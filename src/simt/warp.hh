@@ -86,6 +86,34 @@ class LaneGrantTable
         return count;
     }
 
+    /**
+     * Checkpoint hook. Lane-map *allocation* is part of the layout
+     * contract in the class comment, so presence is serialized per
+     * lane and maps are materialized (or dropped) to match the
+     * snapshot exactly.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        for (auto &slot : lanes) {
+            bool present = slot != nullptr;
+            ar(present);
+            if constexpr (!Ar::saving) {
+                if (!present) {
+                    slot.reset();
+                    continue;
+                }
+                if (!slot)
+                    slot = std::make_unique<GrantMap>();
+            } else {
+                if (!present)
+                    continue;
+            }
+            ar(*slot);
+        }
+    }
+
   private:
     std::array<std::unique_ptr<GrantMap>, warpSize> lanes;
 };
@@ -97,6 +125,13 @@ struct SimtEntry
     Pc pc = 0;
     Pc rpc = noRpc;
     LaneMask mask = 0;
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(kind, pc, rpc, mask);
+    }
 };
 
 /** Why a warp cannot issue this cycle. */
@@ -220,6 +255,20 @@ class Warp
     /** Reset the warp for a fresh thread assignment. */
     void launch(GlobalWarpId gwid_, std::uint32_t slot_,
                 std::uint32_t first_tid, LaneMask valid, Cycle now);
+
+    /** Checkpoint hook: the complete per-warp machine state. */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(gwid, slot, firstTid, validLanes, regs, stack, state,
+           wakeCycle, outstanding, outstandingTxStores, pendingReg,
+           stateSince, inTx, warpts, maxObservedTs, abortedMask, logs,
+           iwcd, backoff, granted, retriesThisTx, txStartCycle,
+           tcdOkLanes, commitId, pendingValidations, pendingAcks,
+           validationFailed, commitIssued, commitPointFired, wtmSilent,
+           wtmValidating, txExecCycles, txWaitCycles, commits, aborts);
+    }
 };
 
 } // namespace getm

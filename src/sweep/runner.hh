@@ -66,6 +66,30 @@ struct SweepOptions
      * count (docs/PARALLELISM.md, "Budgeting threads").
      */
     unsigned simThreads = 1;
+
+    /**
+     * Deterministic manifest partitioning (docs/DURABILITY.md): with
+     * shardCount > 0, run only the points whose enumeration index i
+     * satisfies i % shardCount == shardIndex. Enumeration order is a
+     * pure function of the manifest, so the same `--shard i/N` always
+     * names the same points on every host; mergeSweep() reassembles
+     * the byte-identical single-process sweep.json from the shards'
+     * working directories.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 0; ///< 0 = unsharded.
+
+    /**
+     * Per-point crash-resume: checkpoint each point's machine every N
+     * simulated cycles (0 = off) into DIR/ckpt/<id>. A rerun or a
+     * retry whose snapshot directory holds a completed checkpoint
+     * restores from it instead of re-simulating from cycle 0, and a
+     * point that dies in a typed SimError parks its final snapshot
+     * next to the failure document (points/<id>.final.ckpt). Like
+     * traceTx/simThreads, excluded from provenance, so spec hashes
+     * and every emitted document are unchanged by the cadence.
+     */
+    std::uint64_t ckptEvery = 0;
 };
 
 /** One point that ended in a typed simulation failure. */
@@ -86,6 +110,15 @@ struct SweepOutcome
     unsigned unverified = 0; ///< Ran but failed workload verification.
     unsigned failed = 0;   ///< Ended in a typed simulation failure.
     std::vector<SweepFailure> failures; ///< One row per failed point.
+
+    /**
+     * A SIGINT/SIGTERM stop was honoured: in-flight points wound down
+     * at their next cycle boundary (final checkpoints written when
+     * enabled), queued points never started, and no merged document
+     * was produced. Completed per-point results are on disk, so the
+     * identical rerun resumes where the stop landed.
+     */
+    bool interrupted = false;
 };
 
 /** Current getm-sweep merged-document schema (version in
@@ -115,6 +148,23 @@ inline constexpr const char *sweepSchemaName = "getm-sweep";
  */
 bool runSweep(const SweepManifest &manifest, const SweepOptions &options,
               SweepOutcome &outcome, std::string &error);
+
+/**
+ * Reassemble the merged document of @p manifest from the working
+ * directories of completed shard runs (`--merge`): every enumerated
+ * point's points/<id>.json is located across @p shard_dirs (searched
+ * in order), validated, and spliced with the exact head and ordering
+ * runSweep() uses — so the output is byte-identical to the
+ * single-process sweep.json. Writes to options.outPath (or
+ * options.dir + "/sweep.json").
+ *
+ * @return false with @p error set when a point's document is missing
+ *         from every shard directory or fails validation. Failure
+ *         documents are counted in @p outcome like a live run.
+ */
+bool mergeSweep(const SweepManifest &manifest, const SweepOptions &options,
+                const std::vector<std::string> &shard_dirs,
+                SweepOutcome &outcome, std::string &error);
 
 } // namespace getm
 

@@ -42,6 +42,8 @@ class Backoff
     /** A successful commit resets the window. */
     void reset() { attempts = 0; }
 
+    template <class Ar> void ckpt(Ar &ar) { ar(attempts); }
+
     unsigned consecutiveAborts() const { return attempts; }
 
     Cycle

@@ -79,11 +79,15 @@ class IntraWarpCd
         }
     }
 
+    template <class Ar> void ckpt(Ar &ar) { ar(table); }
+
   private:
     struct Owners
     {
         LaneMask readers = 0;
         LaneMask writers = 0;
+
+        template <class Ar> void ckpt(Ar &ar) { ar(readers, writers); }
     };
 
     std::unordered_map<Addr, Owners> table;

@@ -53,6 +53,13 @@ struct LaneOp
     Addr addr = 0;          ///< Word address.
     std::uint32_t value = 0;///< Store data / loaded data / old value.
     std::uint32_t aux = 0;  ///< CAS swap value / write count / flags.
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(lane, addr, value, aux);
+    }
 };
 
 /** Atomic operation kinds executed at the LLC. */
@@ -90,6 +97,14 @@ struct MemMsg
                                 ///< core attributes the abort with it.
     std::vector<LaneOp> ops;    ///< Lane ops or log entries.
     std::uint32_t bytes = 8;    ///< Modelled wire size for the crossbar.
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(kind, core, partition, wid, warpSlot, seq, addr, ts, txId,
+           flag, aop, outcome, reason, ops, bytes);
+    }
 };
 
 } // namespace getm

@@ -23,6 +23,11 @@ namespace getm {
 class CheckSink;
 class FaultInjector;
 
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Services a partition provides to its protocol unit. */
 class PartitionContext
 {
@@ -92,6 +97,12 @@ class TmPartitionProtocol
         (void)addr;
         (void)now;
     }
+
+    /** Serialize engine state into a checkpoint (default: stateless). */
+    virtual void ckptSave(ckpt::Writer &ar) { (void)ar; }
+
+    /** Restore engine state from a checkpoint (default: stateless). */
+    virtual void ckptLoad(ckpt::Reader &ar) { (void)ar; }
 };
 
 } // namespace getm

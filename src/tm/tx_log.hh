@@ -34,6 +34,13 @@ struct LogEntry
     Addr addr = 0;           ///< Word address.
     std::uint32_t value = 0; ///< Observed value (reads) / data (writes).
     std::uint32_t count = 1; ///< Number of coalesced writes (writes only).
+
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(addr, value, count);
+    }
 };
 
 /** The redo log of a single thread's transaction attempt. */
@@ -92,6 +99,26 @@ class ThreadTxLog
     const std::vector<LogEntry> &readLog() const { return reads; }
     const std::vector<LogEntry> &writeLog() const { return writes; }
     bool readOnly() const { return writes.empty(); }
+
+    /**
+     * Checkpoint hook: the entry vectors only. The addr→slot indexes
+     * are pure lookup accelerators — find() returns the same slot for
+     * any layout — so they are rebuilt, not serialized.
+     */
+    template <class Ar>
+    void
+    ckpt(Ar &ar)
+    {
+        ar(reads, writes);
+        if constexpr (!Ar::saving) {
+            readIndex.clear();
+            writeIndex.clear();
+            if (reads.size() > linearCutoff)
+                readIndex.rebuild(reads);
+            if (writes.size() > linearCutoff)
+                writeIndex.rebuild(writes);
+        }
+    }
 
   private:
     static constexpr std::size_t npos = ~static_cast<std::size_t>(0);

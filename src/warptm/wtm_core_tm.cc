@@ -5,6 +5,7 @@
 
 #include "check/fault.hh"
 #include "check/sink.hh"
+#include "ckpt/serial.hh"
 #include "common/log.hh"
 
 namespace getm {
@@ -419,6 +420,18 @@ WtmCoreTm::startValidation(Warp &warp)
     }
     stValidations.add();
     core.changeState(warp, WarpState::CommitWait);
+}
+
+void
+WtmCoreTm::ckptSave(ckpt::Writer &ar)
+{
+    ar(sliceParts, deferredCommits);
+}
+
+void
+WtmCoreTm::ckptLoad(ckpt::Reader &ar)
+{
+    ar(sliceParts, deferredCommits);
 }
 
 } // namespace getm

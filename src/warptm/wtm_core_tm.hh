@@ -39,6 +39,8 @@ class WtmCoreTm : public TmCoreProtocol
     void txCommitPoint(Warp &warp) override;
     void onResponse(Warp &warp, const MemMsg &msg) override;
     bool runDeferredCommits(Cycle now) override;
+    void ckptSave(ckpt::Writer &ar) override;
+    void ckptLoad(ckpt::Reader &ar) override;
 
   protected:
     /**

@@ -4,6 +4,7 @@
 
 #include "check/fault.hh"
 #include "check/sink.hh"
+#include "ckpt/serial.hh"
 #include "common/log.hh"
 
 namespace getm {
@@ -273,6 +274,18 @@ WtmPartitionUnit::applyDecision(const MemMsg &decision, Cycle now)
     ctx.scheduleToCore(std::move(ack), start + busy);
     stDecisions.add();
     onDecisionApplied(decision.txId, start + busy);
+}
+
+void
+WtmPartitionUnit::ckptSave(ckpt::Writer &ar)
+{
+    ar(tcd, reorder, decisions, awaiting, pendingWrites, nextId, vuFree);
+}
+
+void
+WtmPartitionUnit::ckptLoad(ckpt::Reader &ar)
+{
+    ar(tcd, reorder, decisions, awaiting, pendingWrites, nextId, vuFree);
 }
 
 } // namespace getm

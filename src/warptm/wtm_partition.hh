@@ -64,6 +64,8 @@ class WtmPartitionUnit : public TmPartitionProtocol
 
     Cycle handleRequest(MemMsg &&msg, Cycle now) override;
     void noteDataWrite(Addr addr, Cycle now) override;
+    void ckptSave(ckpt::Writer &ar) override;
+    void ckptLoad(ckpt::Reader &ar) override;
 
     /** Oldest commit id not yet fully processed here. */
     std::uint64_t nextCommitId() const { return nextId; }

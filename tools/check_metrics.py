@@ -100,6 +100,7 @@ FAILURE_TOP_LEVEL = ["schema", "version", "meta", "config", "failure"]
 FAILURE_KEYS = ["status", "kind", "message", "attempts"]
 FAILURE_STATUSES = [
     "deadlock", "livelock", "cycle-limit", "timeout", "config", "error",
+    "checkpoint", "interrupted",
 ]
 
 

@@ -12,6 +12,7 @@
  *     getm_sim --list
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "check/fault.hh"
 #include "check/reference_exec.hh"
 #include "common/sim_error.hh"
+#include "common/stop_flag.hh"
 #include "gpu/config_file.hh"
 #include "gpu/gpu_system.hh"
 #include "obs/metrics.hh"
@@ -92,13 +94,27 @@ usage(const char *argv0)
         "                      lane committing (default 2000000; 0 off)\n"
         "  --timeout-sec S     abort the run after S seconds of wall\n"
         "                      clock (default 0 = unlimited)\n"
+        "  --checkpoint-every N  write a crash-safe machine snapshot\n"
+        "                      every N simulated cycles (at the first\n"
+        "                      epoch boundary at or past each multiple\n"
+        "                      of N); restores are byte-identical\n"
+        "  --checkpoint-dir D  snapshot directory (default .)\n"
+        "  --restore PATH      resume from a snapshot file, or from the\n"
+        "                      newest snapshot in a directory\n"
+        "  --ckpt-kill-at N    crash-test hook: vanish (as if SIGKILLed,\n"
+        "                      exit 137) at the first visited cycle >= N\n"
         "  --stats             dump all statistics\n"
         "  --json              machine-readable result summary\n"
         "  --disasm            print the kernel disassembly and exit\n"
         "  --area              print the protocol's area/power overheads\n"
         "  --list              list benchmarks and protocols\n"
         "  --list-benches      list every registered bench with its\n"
-        "                      parameters, defaults and ranges\n",
+        "                      parameters, defaults and ranges\n"
+        "exit codes: 0 ok; 1 internal error; 2 usage; 3 verification\n"
+        "or checker violation; 4 simulation error; 5 watchdog guard\n"
+        "(livelock, cycle limit, wall timeout); 128+N stopped by\n"
+        "signal N (SIGINT/SIGTERM stop cleanly at the next cycle\n"
+        "boundary, flushing metrics and a final checkpoint)\n",
         argv0);
 }
 
@@ -264,6 +280,14 @@ main(int argc, char **argv)
             cfg.watchdogCycles = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--timeout-sec") {
             cfg.timeoutSec = std::atof(next());
+        } else if (arg == "--checkpoint-every") {
+            cfg.ckptEvery = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--checkpoint-dir") {
+            cfg.ckptDir = next();
+        } else if (arg == "--restore") {
+            cfg.restorePath = next();
+        } else if (arg == "--ckpt-kill-at") {
+            cfg.ckptKillAt = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--json") {
@@ -313,6 +337,13 @@ main(int argc, char **argv)
         cfg.sampleInterval == 0)
         cfg.sampleInterval = 512;
 
+    // Graceful shutdown: SIGINT/SIGTERM set a flag the simulation
+    // loops poll at every cycle boundary; the run then stops cleanly
+    // (final checkpoint when enabled) and surfaces here as SimError
+    // INTERRUPT, flushing partial metrics before exiting 128+signal.
+    std::signal(SIGINT, [](int sig) { requestStop(sig); });
+    std::signal(SIGTERM, [](int sig) { requestStop(sig); });
+
     try {
         return runSimulation(bench, protocol, scale, seed, cfg,
                              dump_stats, disasm, json, metrics_path,
@@ -320,8 +351,9 @@ main(int argc, char **argv)
     } catch (const SimError &e) {
         // A typed simulation pathology: dump the diagnostic snapshot,
         // export a failure document when metrics were requested, and
-        // exit with a status distinct from verification failure (1)
-        // and usage errors (2).
+        // exit with the taxonomy's status (4 general, 5 watchdog,
+        // 128+signal for a clean stop) — distinct from verification
+        // failure (3) and usage errors (2).
         std::fprintf(stderr, "%s\n", e.diagnostic().toText().c_str());
         if (!metrics_path.empty()) {
             MetricsMeta meta;
@@ -342,7 +374,9 @@ main(int argc, char **argv)
                 std::printf("wrote failure document to %s\n",
                             metrics_path.c_str());
         }
-        return 3;
+        if (e.kind() == SimErrorKind::Interrupt)
+            return 128 + (stopSignal() ? stopSignal() : SIGTERM);
+        return simErrorExitCode(e.kind());
     }
 }
 
@@ -471,7 +505,7 @@ runSimulation(const WorkloadSpec &bench, ProtocolKind protocol,
                     static_cast<unsigned long long>(result.xbarFlits),
                     static_cast<unsigned long long>(result.rollovers),
                     ok ? "true" : "false");
-        return ok ? 0 : 1;
+        return ok ? 0 : exitVerification;
     }
     std::printf("cycles        %llu\n",
                 static_cast<unsigned long long>(result.cycles));
@@ -509,7 +543,7 @@ runSimulation(const WorkloadSpec &bench, ProtocolKind protocol,
                 ok ? "" : ": ", ok ? "" : why.c_str());
     if (dump_stats)
         std::printf("\n%s", result.stats.dump().c_str());
-    return ok ? 0 : 1;
+    return ok ? 0 : exitVerification;
 }
 
 } // namespace

@@ -1,0 +1,120 @@
+# Sharded-sweep durability check driven by ctest (docs/DURABILITY.md):
+#
+#  1. Run the smoke sweep as three disjoint shards (--shard 0/3, 1/3,
+#     2/3) into separate working directories, then reassemble them with
+#     --merge. The merged document must be byte-identical to the
+#     checked-in golden single-process sweep.json -- sharding is pure
+#     partitioning, invisible in the output bytes.
+#  2. Crash-resume: run the full sweep with per-point checkpoints and
+#     GETM_SWEEP_KILL_AT so the first point dies mid-kernel (exit 137,
+#     the _Exit stand-in for SIGKILL). The identical rerun must report
+#     "restored checkpoint ... (cycle N)" with N > 0 -- the retried
+#     point resumes from its last snapshot, not cycle 0 -- and still
+#     produce the golden bytes.
+#
+# Expected variables:
+#   SWEEP_BIN - path to the getm-sweep binary
+#   MANIFEST  - path to the smoke sweep manifest
+#   OUT_DIR   - writable scratch directory
+#   GOLDEN    - checked-in golden sweep.json for the manifest
+
+set(work_dir "${OUT_DIR}/shard_check")
+file(REMOVE_RECURSE "${work_dir}")
+file(MAKE_DIRECTORY "${work_dir}")
+
+# --- 1. three shards + merge ------------------------------------------------
+
+set(shard_dir_args "")
+foreach(shard 0 1 2)
+    execute_process(
+        COMMAND "${SWEEP_BIN}" --manifest "${MANIFEST}"
+                --dir "${work_dir}/shard${shard}"
+                --shard "${shard}/3" --jobs 2 --quiet
+        RESULT_VARIABLE shard_status
+        OUTPUT_VARIABLE shard_output
+        ERROR_VARIABLE shard_output)
+    if(NOT shard_status EQUAL 0)
+        message(FATAL_ERROR
+                "getm-sweep --shard ${shard}/3 failed "
+                "(${shard_status}):\n${shard_output}")
+    endif()
+    list(APPEND shard_dir_args --merge "${work_dir}/shard${shard}")
+endforeach()
+
+execute_process(
+    COMMAND "${SWEEP_BIN}" --manifest "${MANIFEST}"
+            --dir "${work_dir}/merged" ${shard_dir_args} --quiet
+    RESULT_VARIABLE merge_status
+    OUTPUT_VARIABLE merge_output
+    ERROR_VARIABLE merge_output)
+if(NOT merge_status EQUAL 0)
+    message(FATAL_ERROR
+            "getm-sweep --merge failed (${merge_status}):\n"
+            "${merge_output}")
+endif()
+message(STATUS "${merge_output}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${work_dir}/merged/sweep.json" "${GOLDEN}"
+    RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "3-shard merged sweep.json differs from the golden "
+            "single-process document ${GOLDEN}: sharding must be "
+            "invisible in the output bytes (docs/DURABILITY.md)")
+endif()
+message(STATUS "3-shard merge is byte-identical to the golden sweep")
+
+# --- 2. kill mid-point, resume from checkpoint ------------------------------
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env GETM_SWEEP_KILL_AT=3000
+            "${SWEEP_BIN}" --manifest "${MANIFEST}"
+            --dir "${work_dir}/killed"
+            --checkpoint-every 1000 --jobs 1 --quiet
+    RESULT_VARIABLE kill_status
+    OUTPUT_VARIABLE kill_output
+    ERROR_VARIABLE kill_output)
+if(NOT kill_status EQUAL 137)
+    message(FATAL_ERROR
+            "GETM_SWEEP_KILL_AT=3000 should die with exit 137, got "
+            "${kill_status}:\n${kill_output}")
+endif()
+
+execute_process(
+    COMMAND "${SWEEP_BIN}" --manifest "${MANIFEST}"
+            --dir "${work_dir}/killed"
+            --checkpoint-every 1000 --jobs 1
+    RESULT_VARIABLE resume_status
+    OUTPUT_VARIABLE resume_output
+    ERROR_VARIABLE resume_output)
+if(NOT resume_status EQUAL 0)
+    message(FATAL_ERROR
+            "rerun after the kill failed (${resume_status}):\n"
+            "${resume_output}")
+endif()
+if(NOT resume_output MATCHES
+   "restored checkpoint .* \\(cycle ([0-9]+)\\)")
+    message(FATAL_ERROR
+            "rerun after the kill did not restore a checkpoint -- the "
+            "killed point restarted from cycle 0:\n${resume_output}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+    message(FATAL_ERROR
+            "rerun restored a checkpoint at cycle 0 -- no mid-kernel "
+            "state survived the kill")
+endif()
+message(STATUS
+        "killed point resumed from cycle ${CMAKE_MATCH_1}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${work_dir}/killed/sweep.json" "${GOLDEN}"
+    RESULT_VARIABLE same_resumed)
+if(NOT same_resumed EQUAL 0)
+    message(FATAL_ERROR
+            "kill+resume sweep.json differs from the golden document: "
+            "restoring mid-kernel changed simulated behavior")
+endif()
+message(STATUS "kill+resume sweep.json is byte-identical to the golden")
